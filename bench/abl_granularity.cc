@@ -1,0 +1,46 @@
+// Ablation ABL1 — decomposition granularity (DESIGN.md §7; paper §3.1:
+// "as step size increases, each transaction becomes a single step and
+// residual interference disappears entirely" — but so does the concurrency
+// benefit).
+//
+// new-order decomposed three ways, all under the ACC executor, against the
+// 2PL baseline at the same load. Finer steps shorten lock hold times at the
+// price of more per-step overhead.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace accdb::bench;
+  using accdb::tpcc::NewOrderGranularity;
+  PrintTitle(
+      "Ablation: new-order decomposition granularity — mean response time "
+      "(seconds) under the ACC, vs the 2PL baseline");
+  std::printf("%-10s %12s %12s %12s %12s\n", "terminals", "single-step",
+              "coarse(3)", "fine(paper)", "2PL");
+
+  accdb::tpcc::WorkloadConfig base = BaseConfig(/*seed=*/60250706);
+  base.compute_seconds = 0.0005;  // Contention regime.
+
+  for (int terminals : {20, 40, 60}) {
+    double response[3] = {0, 0, 0};
+    NewOrderGranularity levels[3] = {NewOrderGranularity::kSingle,
+                                     NewOrderGranularity::kCoarse,
+                                     NewOrderGranularity::kFine};
+    for (int g = 0; g < 3; ++g) {
+      accdb::tpcc::WorkloadConfig config = base;
+      config.decomposed = true;
+      config.granularity = levels[g];
+      config.terminals = terminals;
+      response[g] = accdb::tpcc::RunWorkload(config).response_all.mean();
+    }
+    accdb::tpcc::WorkloadConfig baseline = base;
+    baseline.decomposed = false;
+    baseline.terminals = terminals;
+    double ser = accdb::tpcc::RunWorkload(baseline).response_all.mean();
+    std::printf("%-10d %12.4f %12.4f %12.4f %12.4f\n", terminals, response[0],
+                response[1], response[2], ser);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Calibration scratch tool (not a figure): prints absolute response times,
+// lock waits, server utilization proxies, and ratios for a few terminal
+// counts so the base configuration can be tuned. Kept in the tree because
+// re-calibration is needed whenever the cost model changes.
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  using namespace accdb::bench;
+  accdb::tpcc::WorkloadConfig base = BaseConfig(/*seed=*/424242);
+  std::printf(
+      "term |  resp(ACC)  resp(2PL)  ratio | wait(ACC) wait(2PL) | "
+      "thru(ACC) thru(2PL) | restarts A/S\n");
+  for (int terminals : {4, 20, 40, 60}) {
+    PairResult pair = RunPair(base, terminals);
+    std::printf(
+        "%4d | %9.4f %9.4f %6.3f | %8.1f %8.1f | %8.1f %8.1f | %llu/%llu\n",
+        terminals, pair.acc.response_all.mean(),
+        pair.non_acc.response_all.mean(), pair.ResponseRatio(),
+        pair.acc.total_lock_wait, pair.non_acc.total_lock_wait,
+        pair.acc.throughput(), pair.non_acc.throughput(),
+        static_cast<unsigned long long>(pair.acc.txn_restarts +
+                                        pair.acc.step_deadlock_retries),
+        static_cast<unsigned long long>(pair.non_acc.txn_restarts));
+    if (!pair.acc.consistent) {
+      std::printf("  !! ACC inconsistent: %s\n",
+                  pair.acc.first_violation.c_str());
+    }
+    if (!pair.non_acc.consistent) {
+      std::printf("  !! 2PL inconsistent: %s\n",
+                  pair.non_acc.first_violation.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Section 5.3's fourth experiment (described, not plotted): the relationship
+// between the number of database server processes and ACC performance.
+//
+// Paper: "with a single server, where the server is constantly servicing
+// requests, the server is the bottleneck and performance for the ACC is
+// slightly lower than that for non-ACC. When multiple servers are active,
+// and lock contention becomes the system bottleneck, the ACC performs as
+// shown in figures 2-4."
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace accdb::bench;
+  PrintTitle(
+      "Experiment 4: Effect of the number of database servers "
+      "(60 terminals; ratios are Non-ACC / ACC)");
+  std::printf("%-8s %14s %12s %12s %12s\n", "servers", "response_time",
+              "throughput", "tps(ACC)", "tps(2PL)");
+
+  for (int servers : {1, 2, 3, 4, 6}) {
+    accdb::tpcc::WorkloadConfig config = BaseConfig(/*seed=*/50250706);
+    config.servers = servers;
+    PairResult pair = RunPair(config, /*terminals=*/60);
+    std::printf("%-8d %14.3f %12.3f %12.2f %12.2f\n", servers,
+                pair.ResponseRatio(), pair.ThroughputRatio(),
+                pair.acc.throughput(), pair.non_acc.throughput());
+  }
+  return 0;
+}

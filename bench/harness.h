@@ -1,0 +1,53 @@
+// Shared experiment harness for the figure-reproduction benchmarks.
+//
+// Every figure binary sweeps the terminal count, runs the identical
+// workload against both systems (ACC and unmodified/strict-2PL), and prints
+// the paper's ordinate: the ratio Non-ACC / ACC of the metric in question
+// (>1 means the ACC is better for response time; <1 means the ACC is
+// better for completed-transaction counts).
+
+#ifndef ACCDB_BENCH_HARNESS_H_
+#define ACCDB_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tpcc/driver.h"
+
+namespace accdb::bench {
+
+// The calibrated base configuration used by all figures (EXPERIMENTS.md
+// documents the calibration): 1 warehouse / 10 districts, 3 database
+// servers, keying+think time, statement costs from the engine CostModel,
+// ACC overheads charged.
+tpcc::WorkloadConfig BaseConfig(uint64_t seed);
+
+struct PairResult {
+  int terminals = 0;
+  tpcc::WorkloadResult acc;
+  tpcc::WorkloadResult non_acc;
+
+  double ResponseRatio() const {
+    return acc.response_all.mean() > 0
+               ? non_acc.response_all.mean() / acc.response_all.mean()
+               : 0;
+  }
+  double ThroughputRatio() const {
+    return acc.completed > 0 ? static_cast<double>(non_acc.completed) /
+                                   static_cast<double>(acc.completed)
+                             : 0;
+  }
+};
+
+// Runs the same configuration under both systems.
+PairResult RunPair(tpcc::WorkloadConfig config, int terminals);
+
+// The paper's abscissa: terminal counts from low to high concurrency.
+std::vector<int> TerminalSweep();
+
+void PrintTitle(const std::string& title);
+
+}  // namespace accdb::bench
+
+#endif  // ACCDB_BENCH_HARNESS_H_

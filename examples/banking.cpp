@@ -1,0 +1,192 @@
+// Banking example: a long-running audit decomposed into steps, running
+// concurrently with transfers.
+//
+// The audit sums every account balance, a few accounts per step. Its
+// interstep assertion is "the accounts I have already counted still hold
+// what I counted" — protected by assertional locks on the scanned rows.
+// Transfers between two not-yet-audited (or two already-audited) accounts
+// proceed freely; a transfer touching an already-audited account waits
+// until the audit commits. Under two-phase locking the audit's S locks
+// would block EVERY transfer against audited accounts just the same, but
+// the audit would also hold every lock to commit — the ACC releases the
+// conventional locks per step and keeps only the assertional protection,
+// whose conflicts are decided by the design-time interference table.
+//
+// (A transfer preserves the total; the paper's maximally reduced proof
+// would let even audited-account transfers through IF both sides were
+// audited or both unaudited — our table is the conservative kAlways for
+// transfer-vs-audit, demonstrating assertional blocking.)
+
+#include <cstdio>
+#include <vector>
+
+#include "acc/catalog.h"
+#include "acc/conflict_resolver.h"
+#include "acc/engine.h"
+#include "acc/function_program.h"
+#include "acc/interference.h"
+#include "acc/sim_env.h"
+#include "acc/txn_context.h"
+#include "common/rng.h"
+#include "sim/simulation.h"
+#include "storage/database.h"
+
+using namespace accdb;
+using storage::Key;
+using storage::Value;
+
+namespace {
+
+constexpr int64_t kAccounts = 40;
+constexpr int64_t kInitialBalance = 1000;
+
+struct Bank {
+  explicit Bank(storage::Database* database) : db(database) {
+    storage::Schema schema;
+    schema.columns = {{"id", storage::ColumnType::kInt64},
+                      {"balance", storage::ColumnType::kMoney}};
+    schema.key_columns = {0};
+    accounts = db->CreateTable("accounts", schema);
+    for (int64_t a = 1; a <= kAccounts; ++a) {
+      (void)accounts->Insert(
+          {Value(a), Value(Money::FromDollars(kInitialBalance))});
+    }
+    step_transfer = catalog.RegisterStepType("transfer");
+    step_audit = catalog.RegisterStepType("audit.scan");
+    prefix_audit = catalog.RegisterPrefix("audit.partial");
+    assert_counted = catalog.RegisterAssertion("audit.counted", 0);
+    // Transfers move money between specific accounts: whether they disturb
+    // "the accounts I already counted" depends on WHICH accounts — not
+    // decidable at design time, so the table stays conservative and the
+    // run-time protection is purely item-based: only writes to rows that
+    // actually carry the audit's assertional locks wait.
+    interference.Set(step_transfer, assert_counted,
+                     acc::Interference::kAlways);
+    interference.Set(step_audit, assert_counted, acc::Interference::kNone);
+    interference.Set(prefix_audit, assert_counted, acc::Interference::kNone);
+  }
+
+  storage::Database* db;
+  storage::Table* accounts;
+  acc::Catalog catalog;
+  acc::InterferenceTable interference;
+  lock::ActorId step_transfer, step_audit, prefix_audit;
+  lock::AssertionId assert_counted;
+};
+
+}  // namespace
+
+int main() {
+  storage::Database database;
+  Bank bank(&database);
+  acc::AccConflictResolver resolver(&bank.interference);
+  acc::EngineConfig config;
+  config.charge_acc_overheads = false;
+  acc::Engine engine(&database, &resolver, config);
+
+  sim::Simulation sim;
+  acc::SimExecutionEnv audit_env(sim, nullptr);
+
+  // The audit: 8 steps of 5 accounts each, thinking between steps.
+  Money audited_total;
+  double audit_done = 0;
+  acc::FunctionProgram audit("audit", [&](acc::TxnContext& ctx) -> Status {
+    audited_total = Money();
+    // The interstep assertion "the accounts I already counted still hold
+    // what I counted" references EVERY scanned row, so each instance names
+    // the accumulated item set (releasing the previous instance must not
+    // unprotect earlier chunks).
+    std::vector<lock::ItemId> audited_items;
+    for (int64_t chunk = 0; chunk < kAccounts / 5; ++chunk) {
+      ACCDB_RETURN_IF_ERROR(ctx.RunStep(
+          bank.step_audit, {},
+          acc::AssertionInstance{bank.assert_counted, {}, audited_items},
+          [&](acc::TxnContext& c) -> Status {
+            for (int64_t a = chunk * 5 + 1; a <= chunk * 5 + 5; ++a) {
+              ACCDB_ASSIGN_OR_RETURN(storage::Row row,
+                                     c.ReadByKey(*bank.accounts, Key(a)));
+              audited_total += row[1].AsMoney();
+              audited_items.push_back(lock::ItemId::Row(
+                  bank.accounts->id(), *bank.accounts->LookupPk(Key(a))));
+            }
+            // Reads are not auto-protected; extend the protection to the
+            // freshly scanned rows.
+            c.UpdateNextAssertion(acc::AssertionInstance{
+                bank.assert_counted, {}, audited_items});
+            return Status::Ok();
+          }));
+      ctx.Compute(0.05);
+    }
+    return Status::Ok();
+  });
+
+  int transfers_done = 0, transfers_during_audit = 0;
+  sim.Spawn("audit", [&] {
+    (void)engine.Execute(audit, audit_env, acc::ExecMode::kAccDecomposed);
+    audit_done = sim.Now();
+  });
+
+  // Transfer traffic: 4 tellers moving random amounts between accounts.
+  std::vector<std::unique_ptr<acc::SimExecutionEnv>> envs;
+  for (int teller = 0; teller < 4; ++teller) {
+    envs.push_back(std::make_unique<acc::SimExecutionEnv>(sim, nullptr));
+    acc::SimExecutionEnv* env = envs.back().get();
+    sim.Spawn("teller", [&, env, teller] {
+      Rng rng(1000 + teller);
+      while (sim.Now() < 0.5) {
+        sim.Delay(rng.Exponential(0.01));
+        int64_t from = rng.UniformInt(1, kAccounts);
+        int64_t to = rng.UniformInt(1, kAccounts);
+        if (from == to) continue;
+        Money amount = Money::FromDollars(rng.UniformInt(1, 50));
+        acc::FunctionProgram transfer(
+            "transfer", [&](acc::TxnContext& ctx) -> Status {
+              return ctx.RunStep(
+                  bank.step_transfer, {from, to}, acc::AssertionInstance{},
+                  [&](acc::TxnContext& c) -> Status {
+                    ACCDB_ASSIGN_OR_RETURN(
+                        storage::Row src,
+                        c.ReadByKey(*bank.accounts, Key(from), true));
+                    ACCDB_ASSIGN_OR_RETURN(
+                        storage::Row dst,
+                        c.ReadByKey(*bank.accounts, Key(to), true));
+                    ACCDB_RETURN_IF_ERROR(c.Update(
+                        *bank.accounts, *bank.accounts->LookupPk(Key(from)),
+                        {{1, Value(src[1].AsMoney() - amount)}}));
+                    return c.Update(*bank.accounts,
+                                    *bank.accounts->LookupPk(Key(to)),
+                                    {{1, Value(dst[1].AsMoney() + amount)}});
+                  });
+            });
+        if (engine.Execute(transfer, *env, acc::ExecMode::kAccDecomposed)
+                .status.ok()) {
+          ++transfers_done;
+          if (audit_done == 0) ++transfers_during_audit;
+        }
+      }
+    });
+  }
+  sim.Run();
+
+  // Ground truth.
+  Money actual_total;
+  for (storage::RowId id : bank.accounts->ScanAll()) {
+    actual_total += (*bank.accounts->Get(id))[1].AsMoney();
+  }
+  std::printf("audit finished at t=%.3f s\n", audit_done);
+  std::printf("audited total:  $%s\n", audited_total.ToString().c_str());
+  std::printf("expected total: $%s (invariant: %s)\n",
+              Money::FromDollars(kAccounts * kInitialBalance)
+                  .ToString()
+                  .c_str(),
+              audited_total ==
+                      Money::FromDollars(kAccounts * kInitialBalance)
+                  ? "HELD"
+                  : "BROKEN");
+  std::printf("final total:    $%s\n", actual_total.ToString().c_str());
+  std::printf("transfers completed: %d (%d while the audit was running)\n",
+              transfers_done, transfers_during_audit);
+  return audited_total == Money::FromDollars(kAccounts * kInitialBalance)
+             ? 0
+             : 1;
+}

@@ -1,0 +1,48 @@
+#include "acc/catalog.h"
+
+#include <cassert>
+
+namespace accdb::acc {
+
+Catalog::Catalog() {
+  actors_.push_back(Actor{"<none>", false});
+  assertions_.push_back(Assertion{"<none>", 0});
+}
+
+lock::ActorId Catalog::RegisterStepType(std::string name) {
+  actors_.push_back(Actor{std::move(name), true});
+  return static_cast<lock::ActorId>(actors_.size() - 1);
+}
+
+lock::ActorId Catalog::RegisterPrefix(std::string name) {
+  actors_.push_back(Actor{std::move(name), false});
+  return static_cast<lock::ActorId>(actors_.size() - 1);
+}
+
+lock::AssertionId Catalog::RegisterAssertion(std::string name, int key_arity) {
+  assert(key_arity >= 0);
+  assertions_.push_back(Assertion{std::move(name), key_arity});
+  return static_cast<lock::AssertionId>(assertions_.size() - 1);
+}
+
+std::string_view Catalog::ActorName(lock::ActorId id) const {
+  assert(id < actors_.size());
+  return actors_[id].name;
+}
+
+std::string_view Catalog::AssertionName(lock::AssertionId id) const {
+  assert(id < assertions_.size());
+  return assertions_[id].name;
+}
+
+int Catalog::AssertionKeyArity(lock::AssertionId id) const {
+  assert(id < assertions_.size());
+  return assertions_[id].key_arity;
+}
+
+bool Catalog::IsStepType(lock::ActorId id) const {
+  assert(id < actors_.size());
+  return actors_[id].is_step;
+}
+
+}  // namespace accdb::acc

@@ -1,0 +1,73 @@
+// Design-time catalog of step types, transaction prefixes, and interstep
+// assertions.
+//
+// The ACC's design-time analysis (Section 3 of the paper) produces three
+// kinds of named entities:
+//   * Step types: the atomic, interleavable units transactions are
+//     decomposed into (plus compensating step types).
+//   * Prefixes: "the transaction has completed steps S_1..S_j" — the actor
+//     identity attached to an assertional lock so that a later transaction's
+//     initiation check can ask "does that prefix interfere with my initial
+//     assertion?".
+//   * Assertion declarations: the interstep assertions pre(S_{i,j}) and the
+//     conjuncts of the database consistency constraint I. A declaration has
+//     a key arity: the number of run-time discriminator values that
+//     instantiate it (e.g. I1^{o_num} has arity 1).
+//
+// Step types and prefixes share one ActorId space (an interference-table row
+// is "an actor that can change the database"); assertions have their own
+// AssertionId space. Id 0 is reserved as "none" in both spaces.
+
+#ifndef ACCDB_ACC_CATALOG_H_
+#define ACCDB_ACC_CATALOG_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lock/types.h"
+
+namespace accdb::acc {
+
+class Catalog {
+ public:
+  Catalog();
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  // Registers a forward or compensating step type.
+  lock::ActorId RegisterStepType(std::string name);
+
+  // Registers a transaction prefix.
+  lock::ActorId RegisterPrefix(std::string name);
+
+  // Registers an assertion declaration. `key_arity` is the number of
+  // discriminator values instantiating it at run time (0 = unparameterized).
+  lock::AssertionId RegisterAssertion(std::string name, int key_arity);
+
+  std::string_view ActorName(lock::ActorId id) const;
+  std::string_view AssertionName(lock::AssertionId id) const;
+  int AssertionKeyArity(lock::AssertionId id) const;
+  bool IsStepType(lock::ActorId id) const;
+
+  size_t actor_count() const { return actors_.size() - 1; }
+  size_t assertion_count() const { return assertions_.size() - 1; }
+
+ private:
+  struct Actor {
+    std::string name;
+    bool is_step;
+  };
+  struct Assertion {
+    std::string name;
+    int key_arity;
+  };
+
+  std::vector<Actor> actors_;          // Index 0 reserved.
+  std::vector<Assertion> assertions_;  // Index 0 reserved.
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_CATALOG_H_

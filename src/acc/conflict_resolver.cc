@@ -1,0 +1,37 @@
+#include "acc/conflict_resolver.h"
+
+namespace accdb::acc {
+
+namespace {
+
+bool IsWriteIntent(lock::LockMode mode) {
+  return mode == lock::LockMode::kIX || mode == lock::LockMode::kSIX ||
+         mode == lock::LockMode::kX;
+}
+
+}  // namespace
+
+bool AccConflictResolver::Conflicts(const lock::HolderView& holder,
+                                    const lock::RequestView& request) const {
+  using lock::LockMode;
+
+  if (holder.mode == LockMode::kAssert && IsWriteIntent(request.mode)) {
+    if (request.ctx->for_compensation && request.requester_holds_comp) {
+      return false;
+    }
+    return table_->Interferes(request.ctx->actor, request.ctx->keys,
+                              holder.ctx->assertion, holder.ctx->keys);
+  }
+  if (request.mode == LockMode::kAssert && IsWriteIntent(holder.mode)) {
+    return table_->Interferes(holder.ctx->actor, holder.ctx->keys,
+                              request.ctx->assertion, request.ctx->keys);
+  }
+  if (request.mode == LockMode::kAssert &&
+      holder.mode == LockMode::kAssert) {
+    return table_->Interferes(holder.ctx->actor, holder.ctx->keys,
+                              request.ctx->assertion, request.ctx->keys);
+  }
+  return MatrixConflictResolver::Conflicts(holder, request);
+}
+
+}  // namespace accdb::acc

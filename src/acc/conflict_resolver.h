@@ -1,0 +1,37 @@
+// The one-level ACC's conflict resolver: conventional matrix semantics with
+// assertional-lock conflicts decided by the interference table.
+
+#ifndef ACCDB_ACC_CONFLICT_RESOLVER_H_
+#define ACCDB_ACC_CONFLICT_RESOLVER_H_
+
+#include "acc/interference.h"
+#include "lock/conflict.h"
+
+namespace accdb::acc {
+
+class AccConflictResolver : public lock::MatrixConflictResolver {
+ public:
+  explicit AccConflictResolver(const InterferenceTable* table)
+      : table_(table) {}
+
+  // Decision procedure (Sections 3.2-3.4):
+  //   * write-intent request vs held A(Q): conflict iff the requesting step
+  //     type interferes with Q — except that a compensating step never waits
+  //     for foreign assertional locks on items its own forward steps
+  //     modified (requester_holds_comp).
+  //   * A(Q) request vs held write-intent: the holder is mid-step; conflict
+  //     iff that step type interferes with Q.
+  //   * A(Q) request vs held A(Q'): the holder has completed (or is about to
+  //     complete) the prefix recorded in its lock; conflict iff that prefix
+  //     interferes with Q (the transaction-initiation check).
+  //   * everything else: inherited matrix + kComp semantics.
+  bool Conflicts(const lock::HolderView& holder,
+                 const lock::RequestView& request) const override;
+
+ private:
+  const InterferenceTable* table_;
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_CONFLICT_RESOLVER_H_

@@ -1,0 +1,157 @@
+#include "acc/engine.h"
+
+#include <cassert>
+
+#include "acc/txn_context.h"
+
+namespace accdb::acc {
+
+lock::ItemId AssertionDeclItem(lock::AssertionId decl) {
+  return lock::ItemId{/*table=*/0xFFFFFFFFu, /*row=*/decl};
+}
+
+Engine::Engine(storage::Database* db, const lock::ConflictResolver* resolver,
+               EngineConfig config)
+    : db_(db), config_(std::move(config)), lock_manager_(resolver) {
+  lock_manager_.set_listener(this);
+}
+
+void Engine::OnGranted(lock::TxnId txn) {
+  auto it = txn_envs_.find(txn);
+  if (it != txn_envs_.end()) it->second->LockGranted(txn);
+}
+
+void Engine::OnWaiterAborted(lock::TxnId txn) {
+  auto it = txn_envs_.find(txn);
+  if (it != txn_envs_.end()) it->second->LockAborted(txn);
+}
+
+ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
+                           ExecMode mode) {
+  const bool analyzed = program.analyzed();
+  if (!analyzed) mode = ExecMode::kSerializable;
+
+  ExecResult result;
+  for (int attempt = 0;; ++attempt) {
+    lock::TxnId txn = NextTxnId();
+    txn_envs_[txn] = &env;
+    TxnContext ctx(this, &program, &env, txn, mode, analyzed);
+
+    Status status;
+    if (mode == ExecMode::kAccDecomposed) {
+      recovery_log_.Begin(txn, std::string(program.name()));
+      status = ctx.AcquireInitialAssertion(program.InitialAssertion());
+    }
+    if (status.ok()) {
+      try {
+        status = program.Run(ctx);
+      } catch (...) {
+        // Teardown unwind: under strict 2PL the whole uncommitted
+        // transaction evaporates physically (the WAL undo pass); under the
+        // ACC, RunStep already rolled back the in-flight step and the
+        // committed steps await compensation by recovery.
+        if (mode == ExecMode::kSerializable) ctx.PhysicalRollbackAll();
+        txn_envs_.erase(txn);
+        throw;
+      }
+    }
+
+    result.steps_completed = ctx.completed_steps();
+    result.step_deadlock_retries += ctx.step_deadlock_retries();
+
+    if (status.ok()) {
+      if (mode == ExecMode::kAccDecomposed) recovery_log_.Commit(txn);
+      ctx.FinishCommit();
+      txn_envs_.erase(txn);
+      result.status = Status::Ok();
+      return result;
+    }
+
+    if (mode == ExecMode::kAccDecomposed) {
+      // The failing step was already physically rolled back inside RunStep.
+      if (ctx.completed_steps() > 0) {
+        assert(program.has_compensation() &&
+               "multi-step programs must provide compensation");
+        const int forward_steps = ctx.completed_steps();
+        Status comp = ctx.RunCompensation(
+            program.CompensationStepType(), program.CompensationKeys(),
+            [&program, forward_steps](TxnContext& c) {
+              return program.Compensate(c, forward_steps);
+            },
+            std::string(program.name()));
+        ctx.ReleaseLocks();
+        txn_envs_.erase(txn);
+        if (!comp.ok()) {
+          // A compensation that cannot complete is a programming error in
+          // the workload (its semantic undo must always be executable);
+          // surface it instead of silently leaving the database broken.
+          result.status = Status::Internal("compensation failed: " +
+                                           comp.ToString());
+          return result;
+        }
+        result.compensated = true;
+        recovery_log_.Compensated(txn);
+        result.status = Status::Aborted(status.message());
+        return result;
+      }
+      // No step completed: the transaction simply evaporates.
+      recovery_log_.Compensated(txn);
+      ctx.ReleaseLocks();
+      txn_envs_.erase(txn);
+      if (status.code() == StatusCode::kDeadlock &&
+          attempt < config_.txn_restart_limit) {
+        ++result.txn_restarts;
+        continue;
+      }
+      result.status = Status::Aborted(status.message());
+      return result;
+    }
+
+    // Serializable baseline: full physical rollback; restart on deadlock.
+    ctx.PhysicalRollbackAll();
+    txn_envs_.erase(txn);
+    if (status.code() == StatusCode::kDeadlock &&
+        attempt < config_.txn_restart_limit) {
+      ++result.txn_restarts;
+      continue;
+    }
+    result.status = Status::Aborted(status.message());
+    return result;
+  }
+}
+
+Status Engine::ExecuteCompensation(
+    const std::string& program_name, lock::ActorId comp_step_type,
+    std::vector<int64_t> comp_keys, ExecutionEnv& env,
+    const std::function<Status(TxnContext&)>& body) {
+  // A minimal program shell so TxnContext has a program to talk to.
+  class RecoveryShell : public TransactionProgram {
+   public:
+    explicit RecoveryShell(const std::string& name) : name_(name) {}
+    std::string_view name() const override { return name_; }
+    Status Run(TxnContext&) override {
+      return Status::Internal("recovery shell is not runnable");
+    }
+
+   private:
+    std::string name_;
+  };
+
+  RecoveryShell shell(program_name);
+  lock::TxnId txn = NextTxnId();
+  txn_envs_[txn] = &env;
+  TxnContext ctx(this, &shell, &env, txn, ExecMode::kAccDecomposed,
+                 /*analyzed=*/true);
+  Status status = ctx.RunCompensation(comp_step_type, std::move(comp_keys),
+                                      body, program_name);
+  if (status.ok()) recovery_log_.Compensated(txn);
+  ctx.ReleaseLocks();
+  txn_envs_.erase(txn);
+  return status;
+}
+
+Status TransactionProgram::Compensate(TxnContext&, int) {
+  return Status::Internal("program does not define compensation");
+}
+
+}  // namespace accdb::acc

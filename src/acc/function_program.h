@@ -1,0 +1,76 @@
+// FunctionProgram: a TransactionProgram assembled from callables. Convenient
+// for ad-hoc/legacy transactions, tests, and examples; full workloads define
+// proper TransactionProgram subclasses.
+
+#ifndef ACCDB_ACC_FUNCTION_PROGRAM_H_
+#define ACCDB_ACC_FUNCTION_PROGRAM_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "acc/program.h"
+
+namespace accdb::acc {
+
+class FunctionProgram : public TransactionProgram {
+ public:
+  using RunFn = std::function<Status(TxnContext&)>;
+  using CompensateFn = std::function<Status(TxnContext&, int)>;
+
+  FunctionProgram(std::string name, RunFn run)
+      : name_(std::move(name)), run_(std::move(run)) {}
+
+  std::string_view name() const override { return name_; }
+  bool analyzed() const override { return analyzed_; }
+  Status Run(TxnContext& ctx) override { return run_(ctx); }
+
+  AssertionInstance InitialAssertion() const override {
+    return initial_assertion_;
+  }
+  lock::ActorId PrefixActor(int completed_steps) const override {
+    return prefix_fn_ ? prefix_fn_(completed_steps) : lock::kNoActor;
+  }
+
+  bool has_compensation() const override { return compensate_ != nullptr; }
+  lock::ActorId CompensationStepType() const override {
+    return comp_step_type_;
+  }
+  Status Compensate(TxnContext& ctx, int completed_steps) override {
+    return compensate_(ctx, completed_steps);
+  }
+
+  // Builder-style configuration.
+  FunctionProgram& set_analyzed(bool analyzed) {
+    analyzed_ = analyzed;
+    return *this;
+  }
+  FunctionProgram& set_initial_assertion(AssertionInstance assertion) {
+    initial_assertion_ = std::move(assertion);
+    return *this;
+  }
+  FunctionProgram& set_prefix_fn(
+      std::function<lock::ActorId(int)> prefix_fn) {
+    prefix_fn_ = std::move(prefix_fn);
+    return *this;
+  }
+  FunctionProgram& set_compensation(lock::ActorId step_type,
+                                    CompensateFn compensate) {
+    comp_step_type_ = step_type;
+    compensate_ = std::move(compensate);
+    return *this;
+  }
+
+ private:
+  std::string name_;
+  RunFn run_;
+  bool analyzed_ = true;
+  AssertionInstance initial_assertion_;
+  std::function<lock::ActorId(int)> prefix_fn_;
+  lock::ActorId comp_step_type_ = lock::kNoActor;
+  CompensateFn compensate_;
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_FUNCTION_PROGRAM_H_

@@ -1,0 +1,91 @@
+// Transaction programs: the unit of work the engine executes.
+//
+// A program is written once and can run under two disciplines:
+//   * kAccDecomposed — each RunStep() call is an atomic, isolated step;
+//     conventional locks are released at step end and interstep assertions
+//     are protected with assertional locks (the paper's ACC).
+//   * kSerializable — RunStep() bodies execute inline and all conventional
+//     locks are held to commit (strict two-phase locking; the unmodified-
+//     system baseline).
+//
+// Contract for implementations:
+//   * Run() may be invoked multiple times on one instance (whole-transaction
+//     restart after a baseline deadlock); it must reset per-execution state
+//     at its top.
+//   * Step bodies passed to RunStep() may be re-invoked after a step-level
+//     deadlock rollback; they must compute only from program state
+//     established by *earlier* steps plus their own local variables.
+//   * Programs decomposed into more than one step must provide compensation
+//     (Compensate + has_compensation), which semantically undoes the
+//     completed forward steps (Section 3.4).
+
+#ifndef ACCDB_ACC_PROGRAM_H_
+#define ACCDB_ACC_PROGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "lock/types.h"
+
+namespace accdb::acc {
+
+class TxnContext;
+
+// A run-time instance of an interstep assertion: the declaration, the
+// discriminator key values, and the database items the assertion references
+// (the items that will carry A-locks).
+struct AssertionInstance {
+  lock::AssertionId decl = lock::kNoAssertion;
+  std::vector<int64_t> keys;
+  std::vector<lock::ItemId> items;
+
+  bool empty() const { return decl == lock::kNoAssertion; }
+};
+
+class TransactionProgram {
+ public:
+  virtual ~TransactionProgram() = default;
+
+  virtual std::string_view name() const = 0;
+
+  // False for legacy/ad-hoc transactions that were never analyzed. They run
+  // single-step with commit-duration locks even under the ACC, and the
+  // engine marks their requests non-analyzed so kComp locks isolate them
+  // from intermediate results of multi-step transactions.
+  virtual bool analyzed() const { return true; }
+
+  // The assertion pre(S_1) to lock before the transaction initiates.
+  virtual AssertionInstance InitialAssertion() const { return {}; }
+
+  // Actor id representing the prefix "completed steps 1..j". Attached to
+  // assertional locks so other transactions' initiation checks can consult
+  // the interference table. Default kNoActor is maximally conservative.
+  virtual lock::ActorId PrefixActor(int completed_steps) const {
+    (void)completed_steps;
+    return lock::kNoActor;
+  }
+
+  virtual Status Run(TxnContext& ctx) = 0;
+
+  // --- Compensation (multi-step programs only) ---
+
+  virtual bool has_compensation() const { return false; }
+  virtual lock::ActorId CompensationStepType() const { return lock::kNoActor; }
+  // Discriminator keys of the compensating step (for interference
+  // refinement against others' assertional locks).
+  virtual std::vector<int64_t> CompensationKeys() const { return {}; }
+  // Semantically undo forward steps 1..completed_steps. Invoked inside a
+  // compensating step; uses member state captured by the last Run().
+  virtual Status Compensate(TxnContext& ctx, int completed_steps);
+
+  // Serialized work area persisted in the end-of-step log record; crash
+  // recovery rebuilds compensation state from it (see acc/recovery.h).
+  virtual std::string SerializeWorkArea() const { return {}; }
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_PROGRAM_H_

@@ -1,0 +1,39 @@
+#include "acc/recovery.h"
+
+#include "acc/txn_context.h"
+
+namespace accdb::acc {
+
+void CompensatorRegistry::Register(const std::string& program_name,
+                                   Compensator compensator) {
+  compensators_[program_name] = std::move(compensator);
+}
+
+const Compensator* CompensatorRegistry::Find(
+    const std::string& program_name) const {
+  auto it = compensators_.find(program_name);
+  return it == compensators_.end() ? nullptr : &it->second;
+}
+
+RecoveryReport RunRecovery(Engine& engine, const RecoveryLog& log,
+                           const CompensatorRegistry& registry,
+                           ExecutionEnv& env) {
+  RecoveryReport report;
+  for (const InFlightTxn& txn : log.FindInFlight()) {
+    ++report.in_flight;
+    const Compensator* compensator = registry.Find(txn.program);
+    if (compensator == nullptr) {
+      ++report.missing_compensator;
+      continue;
+    }
+    Status status = engine.ExecuteCompensation(
+        txn.program, compensator->comp_step_type, /*comp_keys=*/{}, env,
+        [&](TxnContext& ctx) {
+          return compensator->fn(ctx, txn.work_area, txn.completed_steps);
+        });
+    if (status.ok()) ++report.compensated;
+  }
+  return report;
+}
+
+}  // namespace accdb::acc

@@ -1,0 +1,72 @@
+#include "acc/recovery_log.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace accdb::acc {
+
+void RecoveryLog::Begin(lock::TxnId txn, std::string program) {
+  records_.push_back(
+      LogRecord{LogRecordType::kBegin, txn, std::move(program), 0, {}});
+}
+
+void RecoveryLog::EndOfStep(lock::TxnId txn, int step_index,
+                            std::string work_area) {
+  records_.push_back(LogRecord{LogRecordType::kEndOfStep, txn, {}, step_index,
+                               std::move(work_area)});
+}
+
+void RecoveryLog::Commit(lock::TxnId txn) {
+  records_.push_back(LogRecord{LogRecordType::kCommit, txn, {}, 0, {}});
+}
+
+void RecoveryLog::Compensated(lock::TxnId txn) {
+  records_.push_back(LogRecord{LogRecordType::kCompensated, txn, {}, 0, {}});
+}
+
+std::vector<InFlightTxn> RecoveryLog::FindInFlight() const {
+  struct State {
+    std::string program;
+    int completed_steps = 0;
+    std::string work_area;
+    bool finished = false;
+    size_t begin_order = 0;
+  };
+  std::unordered_map<lock::TxnId, State> states;
+  size_t order = 0;
+  for (const LogRecord& rec : records_) {
+    switch (rec.type) {
+      case LogRecordType::kBegin: {
+        State& s = states[rec.txn];
+        s.program = rec.program;
+        s.begin_order = order++;
+        break;
+      }
+      case LogRecordType::kEndOfStep: {
+        State& s = states[rec.txn];
+        s.completed_steps = std::max(s.completed_steps, rec.step_index);
+        s.work_area = rec.work_area;
+        break;
+      }
+      case LogRecordType::kCommit:
+      case LogRecordType::kCompensated:
+        states[rec.txn].finished = true;
+        break;
+    }
+  }
+  std::vector<std::pair<size_t, InFlightTxn>> pending;
+  for (const auto& [txn, s] : states) {
+    if (s.finished || s.completed_steps == 0) continue;
+    pending.emplace_back(
+        s.begin_order,
+        InFlightTxn{txn, s.program, s.completed_steps, s.work_area});
+  }
+  std::sort(pending.begin(), pending.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<InFlightTxn> out;
+  out.reserve(pending.size());
+  for (auto& [ord, txn] : pending) out.push_back(std::move(txn));
+  return out;
+}
+
+}  // namespace accdb::acc

@@ -1,0 +1,66 @@
+// Append-only recovery log.
+//
+// The implemented ACC "stores an end-of-step record, used in crash recovery,
+// in the log, and saves some of its work area in a database table for
+// compensation" (Section 5). This log models both: every end-of-step record
+// carries the program's serialized work area. After a crash (modelled as
+// discarding all volatile state — lock tables, undo logs — while keeping the
+// database and this log), recovery compensates every transaction that has
+// completed steps but neither committed nor compensated.
+
+#ifndef ACCDB_ACC_RECOVERY_LOG_H_
+#define ACCDB_ACC_RECOVERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lock/types.h"
+
+namespace accdb::acc {
+
+enum class LogRecordType : uint8_t {
+  kBegin,
+  kEndOfStep,
+  kCommit,
+  kCompensated,
+};
+
+struct LogRecord {
+  LogRecordType type;
+  lock::TxnId txn;
+  std::string program;    // kBegin only.
+  int step_index = 0;     // kEndOfStep only (1-based).
+  std::string work_area;  // kEndOfStep only.
+};
+
+// A transaction that needs compensation after a crash.
+struct InFlightTxn {
+  lock::TxnId txn;
+  std::string program;
+  int completed_steps;
+  std::string work_area;  // From the latest end-of-step record.
+};
+
+class RecoveryLog {
+ public:
+  void Begin(lock::TxnId txn, std::string program);
+  void EndOfStep(lock::TxnId txn, int step_index, std::string work_area);
+  void Commit(lock::TxnId txn);
+  void Compensated(lock::TxnId txn);
+
+  const std::vector<LogRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  // Scans the log for transactions with at least one end-of-step record and
+  // no commit/compensated record, in reverse begin order (most recent
+  // first) — the order recovery compensates them in.
+  std::vector<InFlightTxn> FindInFlight() const;
+
+ private:
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_RECOVERY_LOG_H_

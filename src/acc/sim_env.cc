@@ -1,0 +1,42 @@
+#include "acc/sim_env.h"
+
+#include <cassert>
+
+namespace accdb::acc {
+
+void SimExecutionEnv::PrepareWait(lock::TxnId txn) {
+  assert(!cells_.contains(txn));
+  cells_.emplace(txn, std::make_unique<WaitCell>(sim_));
+}
+
+bool SimExecutionEnv::AwaitLock(lock::TxnId txn) {
+  auto it = cells_.find(txn);
+  assert(it != cells_.end() && "AwaitLock without PrepareWait");
+  WaitCell* cell = it->second.get();
+  sim::Time start = sim_.Now();
+  while (!cell->resolved) sim_.WaitSignal(cell->signal);
+  total_lock_wait_ += sim_.Now() - start;
+  bool granted = cell->granted;
+  cells_.erase(txn);
+  return granted;
+}
+
+void SimExecutionEnv::DiscardWait(lock::TxnId txn) { cells_.erase(txn); }
+
+void SimExecutionEnv::LockGranted(lock::TxnId txn) {
+  auto it = cells_.find(txn);
+  if (it == cells_.end()) return;  // Resolved inside Request; cell unused.
+  it->second->resolved = true;
+  it->second->granted = true;
+  it->second->signal.Notify();
+}
+
+void SimExecutionEnv::LockAborted(lock::TxnId txn) {
+  auto it = cells_.find(txn);
+  if (it == cells_.end()) return;
+  it->second->resolved = true;
+  it->second->granted = false;
+  it->second->signal.Notify();
+}
+
+}  // namespace accdb::acc

@@ -1,0 +1,523 @@
+#include "acc/txn_context.h"
+
+#include <cassert>
+
+namespace accdb::acc {
+
+namespace {
+
+Status DeadlockStatus() { return Status::Deadlock("deadlock victim"); }
+
+}  // namespace
+
+TxnContext::TxnContext(Engine* engine, TransactionProgram* program,
+                       ExecutionEnv* env, lock::TxnId txn, ExecMode mode,
+                       bool analyzed)
+    : engine_(engine),
+      program_(program),
+      env_(env),
+      txn_(txn),
+      mode_(mode),
+      analyzed_(analyzed),
+      undo_(&engine->db()) {}
+
+lock::RequestContext TxnContext::BuildContext() const {
+  lock::RequestContext ctx;
+  ctx.actor = current_step_type_;
+  ctx.keys = step_keys_;
+  ctx.for_compensation = in_compensation_;
+  ctx.analyzed = analyzed_;
+  return ctx;
+}
+
+Status TxnContext::AcquireLock(lock::ItemId item, lock::LockMode mode) {
+  ++pending_lock_ops_;
+  lock::LockManager& lm = engine_->lock_manager();
+  env_->PrepareWait(txn_);
+  lock::Outcome outcome = lm.Request(txn_, item, mode, BuildContext());
+  switch (outcome) {
+    case lock::Outcome::kGranted:
+      env_->DiscardWait(txn_);
+      return Status::Ok();
+    case lock::Outcome::kAborted:
+      env_->DiscardWait(txn_);
+      return DeadlockStatus();
+    case lock::Outcome::kWaiting:
+      return env_->AwaitLock(txn_) ? Status::Ok() : DeadlockStatus();
+  }
+  return Status::Internal("unreachable");
+}
+
+void TxnContext::ChargeStatement(double base_cost) {
+  double cost = base_cost;
+  if (mode_ == ExecMode::kAccDecomposed &&
+      engine_->config().charge_acc_overheads) {
+    cost += pending_lock_ops_ * engine_->config().costs.acc_lock_overhead;
+  }
+  pending_lock_ops_ = 0;
+  env_->UseServer(cost);
+}
+
+Status TxnContext::LockRowForStatement(const storage::Table& table,
+                                       storage::RowId id, bool for_update) {
+  return AcquireLock(lock::ItemId::Row(table.id(), id),
+                     for_update ? lock::LockMode::kX : lock::LockMode::kS);
+}
+
+Result<storage::Row> TxnContext::ReadByKey(const storage::Table& table,
+                                           const storage::CompositeKey& key,
+                                           bool for_update) {
+  ACCDB_RETURN_IF_ERROR(AcquireLock(
+      lock::ItemId::Table(table.id()),
+      for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
+  // Lookup-lock-verify loop: the binding key -> row id may change while we
+  // wait for the row lock.
+  for (;;) {
+    std::optional<storage::RowId> id = table.LookupPk(key);
+    if (!id.has_value()) {
+      ChargeStatement(engine_->config().costs.read_statement);
+      return Status::NotFound(table.name() + " " +
+                              storage::CompositeKeyToString(key));
+    }
+    ACCDB_RETURN_IF_ERROR(LockRowForStatement(table, *id, for_update));
+    std::optional<storage::RowId> again = table.LookupPk(key);
+    if (again == id) {
+      const storage::Row* row = table.Get(*id);
+      assert(row != nullptr);
+      ChargeStatement(engine_->config().costs.read_statement);
+      return *row;
+    }
+    // The row was deleted (and possibly re-inserted) while we waited; retry.
+  }
+}
+
+Result<storage::Row> TxnContext::ReadById(const storage::Table& table,
+                                          storage::RowId id, bool for_update) {
+  ACCDB_RETURN_IF_ERROR(AcquireLock(
+      lock::ItemId::Table(table.id()),
+      for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
+  ACCDB_RETURN_IF_ERROR(LockRowForStatement(table, id, for_update));
+  const storage::Row* row = table.Get(id);
+  ChargeStatement(engine_->config().costs.read_statement);
+  if (row == nullptr) {
+    return Status::NotFound(table.name() + " row");
+  }
+  return *row;
+}
+
+Result<std::vector<std::pair<storage::RowId, storage::Row>>>
+TxnContext::ScanPkPrefix(const storage::Table& table,
+                         const storage::CompositeKey& prefix,
+                         bool for_update) {
+  ACCDB_RETURN_IF_ERROR(AcquireLock(
+      lock::ItemId::Table(table.id()),
+      for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
+  std::vector<std::pair<storage::RowId, storage::Row>> out;
+  for (storage::RowId id : table.ScanPkPrefix(prefix)) {
+    ACCDB_RETURN_IF_ERROR(LockRowForStatement(table, id, for_update));
+    const storage::Row* row = table.Get(id);
+    if (row != nullptr) out.emplace_back(id, *row);
+  }
+  ChargeStatement(engine_->config().costs.read_statement);
+  return out;
+}
+
+Result<std::optional<std::pair<storage::RowId, storage::Row>>>
+TxnContext::MinPkPrefix(const storage::Table& table,
+                        const storage::CompositeKey& prefix, bool for_update) {
+  ACCDB_RETURN_IF_ERROR(AcquireLock(
+      lock::ItemId::Table(table.id()),
+      for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
+  for (;;) {
+    std::optional<storage::RowId> id = table.MinPkPrefix(prefix);
+    if (!id.has_value()) {
+      ChargeStatement(engine_->config().costs.read_statement);
+      return std::optional<std::pair<storage::RowId, storage::Row>>();
+    }
+    ACCDB_RETURN_IF_ERROR(LockRowForStatement(table, *id, for_update));
+    if (table.MinPkPrefix(prefix) == id) {
+      const storage::Row* row = table.Get(*id);
+      assert(row != nullptr);
+      ChargeStatement(engine_->config().costs.read_statement);
+      return std::optional<std::pair<storage::RowId, storage::Row>>(
+          std::make_pair(*id, *row));
+    }
+  }
+}
+
+Result<std::vector<std::pair<storage::RowId, storage::Row>>>
+TxnContext::ScanIndexPrefix(const storage::Table& table,
+                            storage::IndexId index,
+                            const storage::CompositeKey& prefix,
+                            bool for_update) {
+  ACCDB_RETURN_IF_ERROR(AcquireLock(
+      lock::ItemId::Table(table.id()),
+      for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
+  std::vector<std::pair<storage::RowId, storage::Row>> out;
+  for (storage::RowId id : table.ScanIndexPrefix(index, prefix)) {
+    ACCDB_RETURN_IF_ERROR(LockRowForStatement(table, id, for_update));
+    const storage::Row* row = table.Get(id);
+    if (row != nullptr) out.emplace_back(id, *row);
+  }
+  ChargeStatement(engine_->config().costs.read_statement);
+  return out;
+}
+
+Result<storage::RowId> TxnContext::Insert(storage::Table& table,
+                                          storage::Row row) {
+  ACCDB_RETURN_IF_ERROR(
+      AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
+  Result<storage::RowId> inserted = table.Insert(row);
+  if (!inserted.ok()) {
+    ChargeStatement(engine_->config().costs.write_statement);
+    return inserted.status();
+  }
+  storage::RowId id = *inserted;
+  // The row is brand new; the X request is granted immediately.
+  Status lock_status =
+      AcquireLock(lock::ItemId::Row(table.id(), id), lock::LockMode::kX);
+  assert(lock_status.ok());
+  (void)lock_status;
+  undo_.WillInsert(table.id(), id);
+  step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  ChargeStatement(engine_->config().costs.write_statement);
+  return id;
+}
+
+Status TxnContext::Update(
+    storage::Table& table, storage::RowId id,
+    const std::vector<std::pair<int, storage::Value>>& updates) {
+  ACCDB_RETURN_IF_ERROR(
+      AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
+  ACCDB_RETURN_IF_ERROR(
+      AcquireLock(lock::ItemId::Row(table.id(), id), lock::LockMode::kX));
+  const storage::Row* before = table.Get(id);
+  if (before == nullptr) {
+    ChargeStatement(engine_->config().costs.write_statement);
+    return Status::NotFound(table.name() + " row");
+  }
+  undo_.WillUpdate(table.id(), id, *before);
+  ACCDB_RETURN_IF_ERROR(table.UpdateColumns(id, updates));
+  step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  ChargeStatement(engine_->config().costs.write_statement);
+  return Status::Ok();
+}
+
+Status TxnContext::Delete(storage::Table& table, storage::RowId id) {
+  ACCDB_RETURN_IF_ERROR(
+      AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
+  ACCDB_RETURN_IF_ERROR(
+      AcquireLock(lock::ItemId::Row(table.id(), id), lock::LockMode::kX));
+  const storage::Row* before = table.Get(id);
+  if (before == nullptr) {
+    ChargeStatement(engine_->config().costs.write_statement);
+    return Status::NotFound(table.name() + " row");
+  }
+  undo_.WillDelete(table.id(), id, *before);
+  ACCDB_RETURN_IF_ERROR(table.Delete(id));
+  step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  ChargeStatement(engine_->config().costs.write_statement);
+  return Status::Ok();
+}
+
+Result<int64_t> TxnContext::ReadVariable(const storage::Table& var,
+                                         bool for_update) {
+  Result<storage::Row> row =
+      ReadById(var, storage::kVariableRowId, for_update);
+  if (!row.ok()) return row.status();
+  return (*row)[1].AsInt64();
+}
+
+Status TxnContext::WriteVariable(storage::Table& var, int64_t value) {
+  return Update(var, storage::kVariableRowId,
+                {{1, storage::Value(value)}});
+}
+
+void TxnContext::Compute(double seconds) { env_->ClientDelay(seconds); }
+
+void TxnContext::UpdateNextAssertion(const AssertionInstance& next_assertion) {
+  if (mode_ == ExecMode::kSerializable) return;
+  assert(in_step_ && "UpdateNextAssertion outside a step");
+  pending_next_assertion_ = next_assertion;
+  GrantAssertionLocks(pending_next_assertion_, pending_next_number_);
+}
+
+Status TxnContext::AcquireAssertion(const AssertionInstance& assertion) {
+  if (mode_ == ExecMode::kSerializable || assertion.empty()) {
+    return Status::Ok();
+  }
+  assert(in_step_ && "AcquireAssertion outside a step");
+  lock::LockManager& lm = engine_->lock_manager();
+  lock::RequestContext ctx;
+  ctx.actor = program_->PrefixActor(completed_steps_);
+  ctx.assertion = assertion.decl;
+  ctx.assertion_instance = pending_next_number_;
+  ctx.keys = assertion.keys;
+  ctx.analyzed = analyzed_;
+  ctx.for_compensation = in_compensation_;
+  std::vector<lock::ItemId> items = assertion.items;
+  if (engine_->config().two_level_dispatch) {
+    items.push_back(AssertionDeclItem(assertion.decl));
+  }
+  for (const lock::ItemId& item : items) {
+    ++pending_lock_ops_;
+    env_->PrepareWait(txn_);
+    lock::Outcome outcome =
+        lm.Request(txn_, item, lock::LockMode::kAssert, ctx);
+    if (outcome == lock::Outcome::kGranted) {
+      env_->DiscardWait(txn_);
+      continue;
+    }
+    if (outcome == lock::Outcome::kAborted) {
+      env_->DiscardWait(txn_);
+      return DeadlockStatus();
+    }
+    if (!env_->AwaitLock(txn_)) return DeadlockStatus();
+  }
+  return Status::Ok();
+}
+
+void TxnContext::GrantAssertionLocks(const AssertionInstance& assertion,
+                                     uint32_t number) {
+  if (assertion.empty()) return;
+  lock::LockManager& lm = engine_->lock_manager();
+  lock::RequestContext ctx;
+  ctx.actor = program_->PrefixActor(completed_steps_ + 1);
+  ctx.assertion = assertion.decl;
+  ctx.assertion_instance = number;
+  ctx.keys = assertion.keys;
+  ctx.analyzed = analyzed_;
+  for (const lock::ItemId& item : assertion.items) {
+    lm.GrantUnconditional(txn_, item, lock::LockMode::kAssert, ctx);
+  }
+  if (engine_->config().two_level_dispatch) {
+    lm.GrantUnconditional(txn_, AssertionDeclItem(assertion.decl),
+                          lock::LockMode::kAssert, ctx);
+  }
+}
+
+Status TxnContext::DispatchTwoLevel() {
+  const EngineConfig& config = engine_->config();
+  if (!config.two_level_dispatch || in_compensation_) return Status::Ok();
+  for (lock::AssertionId decl : config.dispatch_assertions) {
+    ACCDB_RETURN_IF_ERROR(
+        AcquireLock(AssertionDeclItem(decl), lock::LockMode::kIX));
+  }
+  return Status::Ok();
+}
+
+Status TxnContext::RunStep(lock::ActorId step_type,
+                           std::vector<int64_t> step_keys,
+                           const AssertionInstance& next_assertion,
+                           const StepBody& body) {
+  assert(!in_step_ && "steps do not nest");
+
+  if (mode_ == ExecMode::kSerializable) {
+    // Baseline: the body runs inline under transaction-duration 2PL. Errors
+    // (deadlock, voluntary abort) propagate to the Engine, which performs a
+    // full physical rollback (including on teardown unwind, see Execute).
+    in_step_ = true;
+    current_step_type_ = step_type;
+    step_keys_ = std::move(step_keys);
+    Status status = body(*this);
+    in_step_ = false;
+    if (status.ok()) ++completed_steps_;
+    return status;
+  }
+
+  in_step_ = true;
+  current_step_type_ = step_type;
+  step_keys_ = std::move(step_keys);
+  pending_next_number_ = ++next_assertion_instance_number_;
+  pending_next_assertion_ = next_assertion;
+
+  storage::UndoLog::Savepoint sp = undo_.Mark();
+  assert(sp == 0 && "ACC steps release undo at step end");
+
+  bool granted_next = false;
+  int attempts = 0;
+  for (;;) {
+    step_writes_.clear();
+    pending_next_assertion_ = next_assertion;  // Undo in-body refinements.
+    // The two-level dispatcher (when configured) gates the step before it
+    // announces its next assertion or touches any item.
+    Status status = DispatchTwoLevel();
+    if (status.ok() && !granted_next) {
+      // "Before initiating step S_{i,j}: unconditionally grant
+      // A(pre(S_{i,j+1})) locks on all items in pre(S_{i,j+1})."
+      GrantAssertionLocks(pending_next_assertion_, pending_next_number_);
+      granted_next = true;
+    }
+    if (!status.ok()) {
+      // Dispatch deadlock: nothing executed yet; fall through to the retry
+      // machinery below.
+    }
+    try {
+      if (status.ok()) status = body(*this);
+    } catch (...) {
+      // Teardown unwind (the simulation kernel's shutdown): steps are
+      // atomic, so the in-flight step's physical effects must not survive —
+      // this models the WAL undo pass a real system performs at restart.
+      RollbackStep(sp);
+      in_step_ = false;
+      throw;
+    }
+    if (status.ok()) {
+      CompleteStep(pending_next_assertion_, pending_next_number_);
+      in_step_ = false;
+      return Status::Ok();
+    }
+    RollbackStep(sp);
+    if (status.code() != StatusCode::kDeadlock) {
+      // Voluntary abort or logic error: propagate for compensation.
+      in_step_ = false;
+      return status;
+    }
+    ++step_deadlock_retries_;
+    if (++attempts > engine_->config().step_retry_limit) {
+      // "If the deadlock recurs when S_{i,j} restarts, the system will
+      // rollback T_i by executing CS_{i,j-1}."
+      in_step_ = false;
+      return status;
+    }
+  }
+}
+
+void TxnContext::CompleteStep(const AssertionInstance& next_assertion,
+                              uint32_t next_number) {
+  lock::LockManager& lm = engine_->lock_manager();
+  const EngineConfig& config = engine_->config();
+
+  // End-of-step record + compensation work area (overhead charged).
+  if (config.charge_acc_overheads) {
+    env_->UseServer(config.costs.acc_step_end_overhead);
+  }
+  if (!in_compensation_) {
+    engine_->recovery_log().EndOfStep(txn_, completed_steps_ + 1,
+                                      program_->SerializeWorkArea());
+  }
+
+  // Items written by this step: kComp markers (compensation reservation and
+  // legacy isolation), plus dynamic extension of the next assertion's
+  // protection.
+  lock::RequestContext comp_ctx;
+  comp_ctx.analyzed = analyzed_;
+  lock::RequestContext assert_ctx;
+  assert_ctx.actor = program_->PrefixActor(completed_steps_ + 1);
+  assert_ctx.assertion = next_assertion.decl;
+  assert_ctx.assertion_instance = next_number;
+  assert_ctx.keys = next_assertion.keys;
+  assert_ctx.analyzed = analyzed_;
+  for (const lock::ItemId& item : step_writes_) {
+    lm.GrantUnconditional(txn_, item, lock::LockMode::kComp, comp_ctx);
+    // The compensating step will also need the table-level intent lock of
+    // every row it touches; mark the table too so compensation never waits
+    // for foreign assertional locks at any granularity (Section 3.4).
+    lm.GrantUnconditional(txn_, lock::ItemId::Table(item.table),
+                          lock::LockMode::kComp, comp_ctx);
+    if (config.auto_protect_writes && !next_assertion.empty()) {
+      lm.GrantUnconditional(txn_, item, lock::LockMode::kAssert, assert_ctx);
+    }
+  }
+
+  // The step is durable; physical rollback is no longer possible.
+  undo_.ReleaseAll();
+
+  // "When a step S_{i,j} terminates: unconditionally release all
+  // conventional and A(pre(S_{i,j})) locks."
+  lm.ReleaseConventional(txn_);
+  if (current_assertion_.held) {
+    lm.ReleaseAssertion(txn_, current_assertion_.instance.decl,
+                        current_assertion_.instance_number);
+  }
+  current_assertion_.instance = next_assertion;
+  current_assertion_.instance_number = next_number;
+  current_assertion_.held = !next_assertion.empty();
+  ++completed_steps_;
+  step_writes_.clear();
+}
+
+void TxnContext::RollbackStep(storage::UndoLog::Savepoint sp) {
+  Status status = undo_.RollbackTo(sp);
+  assert(status.ok() && "step undo must succeed");
+  (void)status;
+  engine_->lock_manager().ReleaseConventional(txn_);
+  step_writes_.clear();
+}
+
+Status TxnContext::AcquireInitialAssertion(const AssertionInstance& assertion) {
+  if (assertion.empty()) return Status::Ok();
+  if (engine_->config().charge_acc_overheads) {
+    env_->UseServer(engine_->config().costs.acc_init_overhead);
+  }
+  lock::LockManager& lm = engine_->lock_manager();
+  lock::RequestContext ctx;
+  ctx.actor = program_->PrefixActor(0);
+  ctx.assertion = assertion.decl;
+  ctx.assertion_instance = 0;
+  ctx.keys = assertion.keys;
+  ctx.analyzed = analyzed_;
+  std::vector<lock::ItemId> items = assertion.items;
+  if (engine_->config().two_level_dispatch) {
+    items.push_back(AssertionDeclItem(assertion.decl));
+  }
+  for (const lock::ItemId& item : items) {
+    ++pending_lock_ops_;
+    env_->PrepareWait(txn_);
+    lock::Outcome outcome =
+        lm.Request(txn_, item, lock::LockMode::kAssert, ctx);
+    if (outcome == lock::Outcome::kGranted) {
+      env_->DiscardWait(txn_);
+      continue;
+    }
+    if (outcome == lock::Outcome::kAborted) {
+      env_->DiscardWait(txn_);
+      return DeadlockStatus();
+    }
+    if (!env_->AwaitLock(txn_)) return DeadlockStatus();
+  }
+  current_assertion_.instance = assertion;
+  current_assertion_.instance_number = 0;
+  current_assertion_.held = true;
+  pending_lock_ops_ = 0;
+  return Status::Ok();
+}
+
+Status TxnContext::RunCompensation(lock::ActorId comp_step_type,
+                                   std::vector<int64_t> comp_keys,
+                                   const StepBody& body,
+                                   const std::string& program_name) {
+  (void)program_name;
+  in_compensation_ = true;
+  // A compensating step must eventually succeed: deadlocks are always
+  // resolved in its favour (the lock manager aborts the steps delaying it),
+  // so retrying cannot livelock.
+  for (;;) {
+    Status status =
+        RunStep(comp_step_type, comp_keys, AssertionInstance{}, body);
+    if (status.ok()) {
+      in_compensation_ = false;
+      return Status::Ok();
+    }
+    if (status.code() != StatusCode::kDeadlock) {
+      in_compensation_ = false;
+      return status;  // Compensation logic error; surfaced to caller.
+    }
+  }
+}
+
+void TxnContext::FinishCommit() {
+  undo_.ReleaseAll();
+  ReleaseLocks();
+}
+
+void TxnContext::PhysicalRollbackAll() {
+  Status status = undo_.RollbackAll();
+  assert(status.ok() && "transaction undo must succeed");
+  (void)status;
+  ReleaseLocks();
+}
+
+void TxnContext::ReleaseLocks() { engine_->lock_manager().ReleaseAll(txn_); }
+
+}  // namespace accdb::acc

@@ -1,0 +1,199 @@
+// TxnContext: the interface a transaction program uses to access the
+// database and to delimit its steps. Created by Engine::Execute; one
+// instance per execution attempt.
+//
+// Locking protocol implemented by the data-access methods (per statement):
+//   * reads take an IS table lock and S row locks; for_update reads take IX
+//     and X (read-for-update avoids the classic S->X upgrade deadlock on hot
+//     rows, as production systems do);
+//   * writes take IX table locks and X row locks, record before-images in
+//     the step/transaction undo log, and are tracked in the step write set;
+//   * each statement charges CostModel server time, plus ACC lock-overhead
+//     time proportional to the lock-manager calls it made.
+//
+// Step protocol (kAccDecomposed; see DESIGN.md §4): RunStep grants the next
+// interstep assertion's A-locks before the body runs, executes the body
+// under step-duration 2PL, and on success writes the end-of-step record,
+// attaches kComp (and, optionally, next-assertion A) locks to written items,
+// then releases step locks and the consumed assertion. A body aborted as a
+// deadlock victim is physically rolled back and retried up to
+// step_retry_limit times before the error propagates (which triggers
+// compensation at the Engine level).
+
+#ifndef ACCDB_ACC_TXN_CONTEXT_H_
+#define ACCDB_ACC_TXN_CONTEXT_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "acc/engine.h"
+#include "acc/program.h"
+#include "common/status.h"
+#include "lock/types.h"
+#include "storage/database.h"
+#include "storage/undo_log.h"
+
+namespace accdb::acc {
+
+class TxnContext {
+ public:
+  using StepBody = std::function<Status(TxnContext&)>;
+
+  // --- Step control ---
+
+  // Runs one atomic step. `step_type` is the design-time step-type actor;
+  // `step_keys` are the run-time discriminators of this step's writes (for
+  // kIfSameKey refinement); `next_assertion` is pre(S_{j+1}) — empty for the
+  // final step.
+  Status RunStep(lock::ActorId step_type, std::vector<int64_t> step_keys,
+                 const AssertionInstance& next_assertion,
+                 const StepBody& body);
+
+  // Replaces/refines the next interstep assertion from inside the step body
+  // once its run-time identity is known (e.g. after the order number is
+  // allocated): A-locks on the new items are granted immediately, and the
+  // refined keys drive the dynamic write protection at step end. This is
+  // the paper's "implemented algorithm acquires assertional locks on items
+  // dynamically". No-op under kSerializable.
+  void UpdateNextAssertion(const AssertionInstance& next_assertion);
+
+  // Conditionally acquires A-locks for `assertion` on its items, checking
+  // holder prefixes against the interference table (same discipline as the
+  // transaction-initiation check). For steps whose precondition references
+  // items only identified at run time — e.g. a read-only transaction that
+  // first locates the order it requires I1 of. Returns kDeadlock if this
+  // transaction lost a deadlock while waiting. No-op under kSerializable.
+  Status AcquireAssertion(const AssertionInstance& assertion);
+
+  // --- Data access (only valid inside a step body) ---
+
+  Result<storage::Row> ReadByKey(const storage::Table& table,
+                                 const storage::CompositeKey& key,
+                                 bool for_update = false);
+  Result<storage::Row> ReadById(const storage::Table& table,
+                                storage::RowId id, bool for_update = false);
+  // Rows whose primary key extends `prefix`, in key order.
+  Result<std::vector<std::pair<storage::RowId, storage::Row>>> ScanPkPrefix(
+      const storage::Table& table, const storage::CompositeKey& prefix,
+      bool for_update = false);
+  // Smallest-keyed row extending `prefix`, if any.
+  Result<std::optional<std::pair<storage::RowId, storage::Row>>> MinPkPrefix(
+      const storage::Table& table, const storage::CompositeKey& prefix,
+      bool for_update = false);
+  Result<std::vector<std::pair<storage::RowId, storage::Row>>> ScanIndexPrefix(
+      const storage::Table& table, storage::IndexId index,
+      const storage::CompositeKey& prefix, bool for_update = false);
+
+  Result<storage::RowId> Insert(storage::Table& table, storage::Row row);
+  Status Update(storage::Table& table, storage::RowId id,
+                const std::vector<std::pair<int, storage::Value>>& updates);
+  Status Delete(storage::Table& table, storage::RowId id);
+
+  // Scalar database variables (single-row tables).
+  Result<int64_t> ReadVariable(const storage::Table& var,
+                               bool for_update = false);
+  Status WriteVariable(storage::Table& var, int64_t value);
+
+  // Client-side compute time between statements (lengthens lock hold times;
+  // the knob behind Figure 3).
+  void Compute(double seconds);
+
+  // --- Metadata ---
+
+  lock::TxnId txn_id() const { return txn_; }
+  int completed_steps() const { return completed_steps_; }
+  int step_deadlock_retries() const { return step_deadlock_retries_; }
+  bool in_compensation() const { return in_compensation_; }
+  ExecMode mode() const { return mode_; }
+
+ private:
+  friend class Engine;
+
+  TxnContext(Engine* engine, TransactionProgram* program, ExecutionEnv* env,
+             lock::TxnId txn, ExecMode mode, bool analyzed);
+
+  // Engine-side entry points.
+  Status AcquireInitialAssertion(const AssertionInstance& assertion);
+  Status RunCompensation(lock::ActorId comp_step_type,
+                         std::vector<int64_t> comp_keys, const StepBody& body,
+                         const std::string& program_name);
+  // Commit bookkeeping: discard undo, release every lock.
+  void FinishCommit();
+  // Full physical rollback (baseline / failed single-step execution).
+  void PhysicalRollbackAll();
+  // Release locks without touching the database (after compensation).
+  void ReleaseLocks();
+
+  // --- Internals ---
+
+  struct HeldAssertion {
+    AssertionInstance instance;
+    uint32_t instance_number = 0;
+    bool held = false;
+  };
+
+  // One lock-manager round trip; resolves waiting through the env. Returns
+  // OK, or kDeadlock when this transaction lost a deadlock.
+  Status AcquireLock(lock::ItemId item, lock::LockMode mode);
+
+  // Lock a row and charge a statement; shared by the read paths.
+  Status LockRowForStatement(const storage::Table& table, storage::RowId id,
+                             bool for_update);
+
+  // Charges statement CPU plus ACC lock overhead accumulated since the last
+  // charge.
+  void ChargeStatement(double base_cost);
+
+  // Grants A-locks for `assertion` (instance `number`) on its items,
+  // unconditionally, using the prefix actor for `completed_steps` completed
+  // steps. Under two-level dispatch, the assertion's declaration item is
+  // locked as well ("locking the assertions themselves").
+  void GrantAssertionLocks(const AssertionInstance& assertion,
+                           uint32_t number);
+
+  // Two-level dispatcher gate (no-op unless EngineConfig::
+  // two_level_dispatch): takes IX on every dispatch-relevant assertion
+  // declaration, so the step waits while any interfering assertion is
+  // locked by another transaction — regardless of item overlap.
+  Status DispatchTwoLevel();
+
+  // End-of-step bookkeeping (log record, kComp locks, releases).
+  void CompleteStep(const AssertionInstance& next_assertion,
+                    uint32_t next_number);
+
+  // Physical rollback of the current step's changes and release of its
+  // conventional locks.
+  void RollbackStep(storage::UndoLog::Savepoint sp);
+
+  // Assembles the RequestContext for conventional requests of the current
+  // step (actor, keys, compensation/analyzed flags).
+  lock::RequestContext BuildContext() const;
+
+  Engine* engine_;
+  TransactionProgram* program_;
+  ExecutionEnv* env_;
+  lock::TxnId txn_;
+  ExecMode mode_;
+  bool analyzed_;
+
+  storage::UndoLog undo_;
+  bool in_step_ = false;
+  bool in_compensation_ = false;
+  lock::ActorId current_step_type_ = lock::kNoActor;
+  std::vector<int64_t> step_keys_;
+  std::vector<lock::ItemId> step_writes_;
+  int completed_steps_ = 0;
+  int step_deadlock_retries_ = 0;
+  uint32_t next_assertion_instance_number_ = 0;
+  HeldAssertion current_assertion_;
+  AssertionInstance pending_next_assertion_;
+  uint32_t pending_next_number_ = 0;
+  int pending_lock_ops_ = 0;  // Lock-manager calls since last ChargeStatement.
+};
+
+}  // namespace accdb::acc
+
+#endif  // ACCDB_ACC_TXN_CONTEXT_H_

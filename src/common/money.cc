@@ -1,0 +1,23 @@
+#include "common/money.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace accdb {
+
+Money Money::FromDouble(double dollars) {
+  double cents = dollars * 100.0;
+  return Money(static_cast<int64_t>(cents >= 0 ? cents + 0.5 : cents - 0.5));
+}
+
+std::string Money::ToString() const {
+  int64_t abs_cents = std::llabs(cents_);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%lld.%02lld", cents_ < 0 ? "-" : "",
+                static_cast<long long>(abs_cents / 100),
+                static_cast<long long>(abs_cents % 100));
+  return buf;
+}
+
+}  // namespace accdb

@@ -1,0 +1,66 @@
+// Fixed-point money type.
+//
+// TPC-C balances and prices must be exact; floating point drifts under the
+// millions of add/subtract operations a long simulation performs, which would
+// break the database consistency checks (e.g. W_YTD == sum(D_YTD)). Money
+// stores an integer number of hundredths (cents).
+
+#ifndef ACCDB_COMMON_MONEY_H_
+#define ACCDB_COMMON_MONEY_H_
+
+#include <cstdint>
+#include <string>
+
+namespace accdb {
+
+class Money {
+ public:
+  constexpr Money() : cents_(0) {}
+
+  // Named constructors make the unit explicit at call sites.
+  static constexpr Money FromCents(int64_t cents) { return Money(cents); }
+  static constexpr Money FromDollars(int64_t dollars) {
+    return Money(dollars * 100);
+  }
+  // Rounds to the nearest cent (ties away from zero).
+  static Money FromDouble(double dollars);
+
+  constexpr int64_t cents() const { return cents_; }
+  double ToDouble() const { return static_cast<double>(cents_) / 100.0; }
+
+  // "12.34" / "-0.05".
+  std::string ToString() const;
+
+  constexpr Money operator+(Money other) const {
+    return Money(cents_ + other.cents_);
+  }
+  constexpr Money operator-(Money other) const {
+    return Money(cents_ - other.cents_);
+  }
+  constexpr Money operator-() const { return Money(-cents_); }
+  constexpr Money operator*(int64_t n) const { return Money(cents_ * n); }
+  Money& operator+=(Money other) {
+    cents_ += other.cents_;
+    return *this;
+  }
+  Money& operator-=(Money other) {
+    cents_ -= other.cents_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Money a, Money b) {
+    return a.cents_ == b.cents_;
+  }
+  friend constexpr auto operator<=>(Money a, Money b) {
+    return a.cents_ <=> b.cents_;
+  }
+
+ private:
+  explicit constexpr Money(int64_t cents) : cents_(cents) {}
+
+  int64_t cents_;
+};
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_MONEY_H_

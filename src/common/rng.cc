@@ -1,0 +1,110 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace accdb {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // Full 64-bit range.
+  // Rejection sampling to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0);
+  double u = UniformDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::string Rng::AlnumString(int min_len, int max_len) {
+  static constexpr char kChars[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  int len = static_cast<int>(UniformInt(min_len, max_len));
+  std::string out;
+  out.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    out.push_back(kChars[UniformInt(0, sizeof(kChars) - 2)]);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+int64_t NuRand(Rng& rng, int64_t a, int64_t x, int64_t y, int64_t c) {
+  return (((rng.UniformInt(0, a) | rng.UniformInt(x, y)) + c) % (y - x + 1)) +
+         x;
+}
+
+int64_t HotSpotChoice(Rng& rng, int64_t n, int64_t hot_count,
+                      double hot_fraction) {
+  assert(n > 0 && hot_count > 0 && hot_count <= n);
+  if (hot_count == n) return rng.UniformInt(0, n - 1);
+  if (rng.Bernoulli(hot_fraction)) return rng.UniformInt(0, hot_count - 1);
+  return rng.UniformInt(hot_count, n - 1);
+}
+
+ZipfGenerator::ZipfGenerator(int64_t n, double theta) : n_(n), cdf_(n) {
+  assert(n > 0);
+  double sum = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+int64_t ZipfGenerator::Next(Rng& rng) const {
+  double u = rng.UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return it - cdf_.begin();
+}
+
+}  // namespace accdb

@@ -1,0 +1,79 @@
+// Deterministic random number generation for workloads and simulations.
+//
+// Every experiment in the benchmark harness must be exactly reproducible
+// from a seed, so the library uses its own splitmix64/xoshiro-style engine
+// rather than std:: distributions (whose outputs vary across standard
+// library implementations).
+//
+// Includes the TPC-C NURand non-uniform generator (TPC-C spec clause 2.1.6)
+// and the skew distributions used by the hot-spot experiments.
+
+#ifndef ACCDB_COMMON_RNG_H_
+#define ACCDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accdb {
+
+// xoshiro256** seeded via splitmix64. Fast, high quality, and identical on
+// every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // Exponentially distributed value with the given mean (> 0).
+  double Exponential(double mean);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Uniformly random lowercase alphanumeric string with length in
+  // [min_len, max_len].
+  std::string AlnumString(int min_len, int max_len);
+
+  // Forks an independent stream; deterministic function of this generator's
+  // current state. Used to give each simulated terminal its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+// TPC-C NURand(A, x, y): non-uniform random over [x, y] with constant `c`
+// (the per-run constant C from clause 2.1.6).
+int64_t NuRand(Rng& rng, int64_t a, int64_t x, int64_t y, int64_t c);
+
+// Skewed choice over {0, .., n-1}: with probability `hot_fraction` returns a
+// value from the first `hot_count` elements, otherwise uniform over the rest.
+// Used to create hot spots ("skewed district distribution", Figure 2).
+int64_t HotSpotChoice(Rng& rng, int64_t n, int64_t hot_count,
+                      double hot_fraction);
+
+// Zipf-distributed value over {0, .., n-1} with exponent `theta` in [0, 1).
+// Table-based; O(log n) per draw after O(n) setup.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(int64_t n, double theta);
+
+  int64_t Next(Rng& rng) const;
+
+  int64_t n() const { return n_; }
+
+ private:
+  int64_t n_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_RNG_H_

@@ -1,0 +1,145 @@
+// Status / Result error-handling vocabulary used throughout the library.
+//
+// The library does not use exceptions for error reporting (the simulation
+// kernel uses one internal exception type for teardown only, see
+// sim/simulation.h). Every fallible operation returns a Status or a
+// Result<T>; callers are expected to check and propagate.
+
+#ifndef ACCDB_COMMON_STATUS_H_
+#define ACCDB_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace accdb {
+
+// Canonical error space for the whole library. Kept deliberately small:
+// concurrency-control outcomes (kAborted, kDeadlock, kWouldBlock) are first
+// class because transaction programs dispatch on them.
+enum class StatusCode {
+  kOk = 0,
+  // Generic failures.
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+  // Concurrency-control outcomes.
+  kAborted,      // Transaction chosen as a victim or voluntarily aborted;
+                 // rollback / compensation is in progress or required.
+  kDeadlock,     // This request closed a deadlock cycle.
+  kWouldBlock,   // Non-blocking request could not be granted immediately.
+};
+
+// Human-readable name of a StatusCode, e.g. "ABORTED".
+std::string_view StatusCodeName(StatusCode code);
+
+// Value-type status word carrying a code and an optional message. Cheap to
+// copy in the OK case (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status WouldBlock(std::string msg) {
+    return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T>: either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+// Propagate a non-OK Status from an expression.
+#define ACCDB_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::accdb::Status _accdb_status = (expr);    \
+    if (!_accdb_status.ok()) return _accdb_status; \
+  } while (false)
+
+// Evaluate a Result expression; on error return its status, otherwise bind
+// the value to `lhs`.
+#define ACCDB_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto ACCDB_CONCAT_(_accdb_result, __LINE__) = (expr); \
+  if (!ACCDB_CONCAT_(_accdb_result, __LINE__).ok())     \
+    return ACCDB_CONCAT_(_accdb_result, __LINE__).status(); \
+  lhs = std::move(ACCDB_CONCAT_(_accdb_result, __LINE__)).value()
+
+#define ACCDB_CONCAT_INNER_(a, b) a##b
+#define ACCDB_CONCAT_(a, b) ACCDB_CONCAT_INNER_(a, b)
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_STATUS_H_

@@ -1,0 +1,23 @@
+// Small string helpers shared by the library (no external dependencies).
+
+#ifndef ACCDB_COMMON_STRING_UTIL_H_
+#define ACCDB_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accdb {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+// Joins the elements with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,58 @@
+#include "lock/conflict.h"
+
+#include <cassert>
+
+namespace accdb::lock {
+
+namespace {
+
+bool IsConventional(LockMode mode) {
+  return mode != LockMode::kAssert && mode != LockMode::kComp;
+}
+
+bool IsWriteIntent(LockMode mode) {
+  return mode == LockMode::kIX || mode == LockMode::kSIX ||
+         mode == LockMode::kX;
+}
+
+}  // namespace
+
+bool MatrixConflictResolver::ConventionalCompatible(LockMode a, LockMode b) {
+  // Rows/cols: IS IX S SIX X.
+  static constexpr bool kCompat[5][5] = {
+      /* IS  */ {true, true, true, true, false},
+      /* IX  */ {true, true, false, false, false},
+      /* S   */ {true, false, true, false, false},
+      /* SIX */ {true, false, false, false, false},
+      /* X   */ {false, false, false, false, false},
+  };
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool MatrixConflictResolver::Conflicts(const HolderView& holder,
+                                       const RequestView& request) const {
+  assert(holder.txn != request.txn);
+
+  // Compensation locks: pure markers toward analyzed work; a barrier for
+  // legacy/ad-hoc transactions that must not see intermediate results.
+  if (holder.mode == LockMode::kComp) {
+    if (request.mode == LockMode::kComp || request.mode == LockMode::kAssert) {
+      return false;
+    }
+    return !request.ctx->analyzed;
+  }
+  if (request.mode == LockMode::kComp) return false;
+
+  // Assertional locks: conservative default — any foreign write(-intent)
+  // invalidates, reads never do. Subclasses refine via interference tables.
+  if (holder.mode == LockMode::kAssert) {
+    return IsConventional(request.mode) && IsWriteIntent(request.mode);
+  }
+  if (request.mode == LockMode::kAssert) {
+    return IsWriteIntent(holder.mode);
+  }
+
+  return !ConventionalCompatible(holder.mode, request.mode);
+}
+
+}  // namespace accdb::lock

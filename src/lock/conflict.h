@@ -1,0 +1,70 @@
+// Conflict resolution between lock holders and lock requests.
+//
+// Conventional mode compatibility is a fixed matrix. Assertional locks make
+// compatibility *conditional*: an X request conflicts with a held
+// A(pre(S_{k,l})) lock only if the requesting step interferes with that
+// assertion — a fact computed at design time and stored in an interference
+// table (owned by src/acc). The lock manager therefore delegates every
+// holder-vs-request decision to a ConflictResolver.
+//
+// MatrixConflictResolver implements the conservative default: every write
+// conflicts with every foreign assertional lock (this is exactly the
+// behaviour of the paper's *two-level* ACC with an empty "no interference"
+// table). The ACC layer subclasses it to consult the interference table
+// (acc::AccConflictResolver), turning the conservative default into the
+// one-level ACC.
+
+#ifndef ACCDB_LOCK_CONFLICT_H_
+#define ACCDB_LOCK_CONFLICT_H_
+
+#include "lock/types.h"
+
+namespace accdb::lock {
+
+// A granted lock as seen by the resolver.
+struct HolderView {
+  TxnId txn;
+  LockMode mode;
+  const RequestContext* ctx;
+};
+
+// A pending or new request as seen by the resolver.
+struct RequestView {
+  TxnId txn;
+  LockMode mode;
+  const RequestContext* ctx;
+  // True when the requesting transaction already holds a kComp lock on the
+  // item (its forward steps modified it). A compensating step never waits
+  // for foreign assertional locks on such items — the guarantee of
+  // Section 3.4 that makes every deadlock recoverable.
+  bool requester_holds_comp = false;
+};
+
+class ConflictResolver {
+ public:
+  virtual ~ConflictResolver() = default;
+
+  // Returns true if `request` must wait for `holder` to release. Never
+  // called with holder.txn == request.txn (own locks never conflict).
+  virtual bool Conflicts(const HolderView& holder,
+                         const RequestView& request) const = 0;
+};
+
+// Conventional matrix + conservative assertional semantics:
+//   * A vs {IX, SIX, X}: always conflict (both directions).
+//   * A vs {IS, S, A, C}: compatible.
+//   * C vs conventional request: conflict iff the requester is not analyzed
+//     (legacy isolation); C requests themselves never conflict.
+class MatrixConflictResolver : public ConflictResolver {
+ public:
+  bool Conflicts(const HolderView& holder,
+                 const RequestView& request) const override;
+
+ protected:
+  // The five-by-five conventional compatibility matrix.
+  static bool ConventionalCompatible(LockMode a, LockMode b);
+};
+
+}  // namespace accdb::lock
+
+#endif  // ACCDB_LOCK_CONFLICT_H_

@@ -1,0 +1,535 @@
+#include "lock/lock_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "lock/wait_for_graph.h"
+
+namespace accdb::lock {
+
+namespace {
+
+bool IsConventional(LockMode mode) {
+  return mode != LockMode::kAssert && mode != LockMode::kComp;
+}
+
+}  // namespace
+
+bool LockManager::HoldsComp(const ItemState& state, TxnId txn) {
+  for (const Holder& h : state.holders) {
+    if (h.txn == txn && h.mode == LockMode::kComp) return true;
+  }
+  return false;
+}
+
+bool LockManager::ConflictsWithHolders(const ItemState& state,
+                                       const RequestView& request) const {
+  for (const Holder& h : state.holders) {
+    if (h.txn == request.txn) continue;
+    if (resolver_->Conflicts(HolderView{h.txn, h.mode, &h.ctx}, request)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::ConflictsWithWaiters(const ItemState& state,
+                                       const RequestView& request,
+                                       size_t upto) const {
+  for (size_t i = 0; i < upto && i < state.queue.size(); ++i) {
+    const Waiter& w = state.queue[i];
+    if (w.txn == request.txn) continue;
+    // Treat the earlier waiter as a prospective holder for fairness.
+    if (resolver_->Conflicts(HolderView{w.txn, w.mode, &w.ctx}, request)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void LockManager::InstallHolder(ItemState& state, TxnId txn, LockMode mode,
+                                RequestContext ctx) {
+  if (IsConventional(mode)) {
+    for (Holder& h : state.holders) {
+      if (h.txn == txn && IsConventional(h.mode)) {
+        if (ModeCovers(h.mode, mode)) return;
+        h.mode = ModeCombine(h.mode, mode);
+        h.ctx = std::move(ctx);
+        return;
+      }
+    }
+  } else if (mode == LockMode::kAssert) {
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn && h.mode == LockMode::kAssert &&
+          h.ctx.assertion == ctx.assertion &&
+          h.ctx.assertion_instance == ctx.assertion_instance &&
+          h.ctx.keys == ctx.keys) {
+        return;  // Already protecting this assertion instance.
+      }
+    }
+  } else {  // kComp
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn && h.mode == LockMode::kComp) return;
+    }
+  }
+  state.holders.push_back(Holder{txn, mode, std::move(ctx)});
+}
+
+Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
+                             RequestContext ctx) {
+  ++stats_.requests;
+  TxnState& txn_state = txns_[txn];
+  assert(!txn_state.waiting_on.has_value() &&
+         "transaction already waiting for a lock");
+
+  ItemState& state = items_[item];
+
+  // Compensation marker locks never conflict and never wait.
+  if (mode == LockMode::kComp) {
+    InstallHolder(state, txn, mode, std::move(ctx));
+    txn_state.held_items.insert(item);
+    ++stats_.immediate_grants;
+    return Outcome::kGranted;
+  }
+
+  // Re-request covered by an already-held conventional mode?
+  bool is_upgrade = false;
+  if (IsConventional(mode)) {
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn && IsConventional(h.mode)) {
+        if (ModeCovers(h.mode, mode)) {
+          ++stats_.immediate_grants;
+          return Outcome::kGranted;
+        }
+        is_upgrade = true;
+        break;
+      }
+    }
+  } else {  // kAssert re-request of the same assertion instance.
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn && h.mode == LockMode::kAssert &&
+          h.ctx.assertion == ctx.assertion &&
+          h.ctx.assertion_instance == ctx.assertion_instance &&
+          h.ctx.keys == ctx.keys) {
+        ++stats_.immediate_grants;
+        return Outcome::kGranted;
+      }
+    }
+  }
+
+  LockMode effective = mode;
+  if (is_upgrade) {
+    for (const Holder& h : state.holders) {
+      if (h.txn == txn && IsConventional(h.mode)) {
+        effective = ModeCombine(h.mode, mode);
+        break;
+      }
+    }
+  }
+
+  RequestView request{txn, effective, &ctx, HoldsComp(state, txn)};
+  bool blocked = ConflictsWithHolders(state, request);
+  if (!blocked && !is_upgrade) {
+    blocked = ConflictsWithWaiters(state, request, state.queue.size());
+  }
+
+  if (!blocked) {
+    InstallHolder(state, txn, effective, std::move(ctx));
+    txn_state.held_items.insert(item);
+    ++stats_.immediate_grants;
+    if (is_upgrade) ++stats_.upgrades;
+    return Outcome::kGranted;
+  }
+
+  // Enqueue: upgrades ahead of non-upgrade waiters.
+  Waiter waiter{txn, effective, std::move(ctx), is_upgrade};
+  if (is_upgrade) {
+    auto pos = state.queue.begin();
+    while (pos != state.queue.end() && pos->is_upgrade) ++pos;
+    state.queue.insert(pos, std::move(waiter));
+    ++stats_.upgrades;
+  } else {
+    state.queue.push_back(std::move(waiter));
+  }
+  txn_state.waiting_on = item;
+  ++waiting_count_;
+
+  // Eager deadlock detection.
+  CycleDetector detector([this](TxnId t) { return ComputeBlockers(t); });
+  std::vector<TxnId> cycle = detector.FindCycle(txn);
+  if (cycle.empty()) {
+    ++stats_.waits;
+    return Outcome::kWaiting;
+  }
+
+  ++stats_.deadlocks;
+
+  // Find our own waiter entry's compensation flag.
+  bool requester_compensating = false;
+  for (const Waiter& w : state.queue) {
+    if (w.txn == txn) {
+      requester_compensating = w.ctx.for_compensation;
+      break;
+    }
+  }
+
+  if (!requester_compensating) {
+    // The requester completes the cycle; it is the victim.
+    RemoveWaiter(txn);
+    ProcessQueue(item);
+    return Outcome::kAborted;
+  }
+
+  // A compensating step must not be the victim: abort every other waiting
+  // transaction in the cycle instead (Section 3.4).
+  ++stats_.compensation_priority_aborts;
+  std::vector<TxnId> victims;
+  for (TxnId member : cycle) {
+    if (member != txn) victims.push_back(member);
+  }
+  for (TxnId victim : victims) {
+    std::optional<ItemId> waited = RemoveWaiter(victim);
+    if (waited.has_value()) {
+      ProcessQueue(*waited);
+      if (listener_ != nullptr) listener_->OnWaiterAborted(victim);
+    }
+  }
+  // We may have been granted while processing queues; report current state.
+  if (!txns_[txn].waiting_on.has_value()) return Outcome::kGranted;
+  ++stats_.waits;
+  return Outcome::kWaiting;
+}
+
+void LockManager::GrantUnconditional(TxnId txn, ItemId item, LockMode mode,
+                                     RequestContext ctx) {
+  ++stats_.unconditional_grants;
+  InstallHolder(items_[item], txn, mode, std::move(ctx));
+  txns_[txn].held_items.insert(item);
+  // The new holder may block existing waiters of this item, creating
+  // wait-for edges that close a cycle no request-time check saw.
+  if (!items_[item].queue.empty()) ResolveAllDeadlocks();
+}
+
+void LockManager::ResolveAllDeadlocks() {
+  if (resolving_ || waiting_count_ == 0) return;
+  resolving_ = true;
+  CycleDetector detector([this](TxnId t) { return ComputeBlockers(t); });
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Snapshot the waiting transactions (resolution mutates txns_).
+    std::vector<TxnId> waiting;
+    for (const auto& [txn, state] : txns_) {
+      if (state.waiting_on.has_value()) waiting.push_back(txn);
+    }
+    std::sort(waiting.begin(), waiting.end());  // Determinism.
+    for (TxnId start : waiting) {
+      auto it = txns_.find(start);
+      if (it == txns_.end() || !it->second.waiting_on.has_value()) continue;
+      std::vector<TxnId> cycle = detector.FindCycle(start);
+      if (cycle.empty()) continue;
+      ++stats_.deadlocks;
+      // Victim: a non-compensating cycle member. If a compensating step is
+      // in the cycle, every other member is aborted (Section 3.4).
+      auto is_compensating = [this](TxnId txn) {
+        auto txn_it = txns_.find(txn);
+        if (txn_it == txns_.end() || !txn_it->second.waiting_on.has_value()) {
+          return false;
+        }
+        auto item_it = items_.find(*txn_it->second.waiting_on);
+        if (item_it == items_.end()) return false;
+        for (const Waiter& w : item_it->second.queue) {
+          if (w.txn == txn) return w.ctx.for_compensation;
+        }
+        return false;
+      };
+      bool has_compensating = false;
+      for (TxnId member : cycle) has_compensating |= is_compensating(member);
+      std::vector<TxnId> victims;
+      if (has_compensating) {
+        ++stats_.compensation_priority_aborts;
+        for (TxnId member : cycle) {
+          if (!is_compensating(member)) victims.push_back(member);
+        }
+      } else {
+        victims.push_back(cycle.front());
+      }
+      for (TxnId victim : victims) {
+        std::optional<ItemId> waited = RemoveWaiter(victim);
+        if (waited.has_value()) {
+          ProcessQueue(*waited);
+          if (listener_ != nullptr) listener_->OnWaiterAborted(victim);
+        }
+      }
+      progress = true;
+      break;  // Re-snapshot: the graph changed.
+    }
+  }
+  resolving_ = false;
+}
+
+void LockManager::ReleaseConventional(TxnId txn) {
+  ++stats_.release_calls;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  std::vector<ItemId> touched;
+  for (const ItemId& item : it->second.held_items) {
+    ItemState& state = items_[item];
+    auto removed = std::remove_if(
+        state.holders.begin(), state.holders.end(), [&](const Holder& h) {
+          return h.txn == txn && IsConventional(h.mode);
+        });
+    if (removed != state.holders.end()) {
+      state.holders.erase(removed, state.holders.end());
+      touched.push_back(item);
+    }
+  }
+  // Drop items where nothing is held anymore.
+  for (const ItemId& item : touched) {
+    ItemState& state = items_[item];
+    bool still_held = std::any_of(state.holders.begin(), state.holders.end(),
+                                  [&](const Holder& h) { return h.txn == txn; });
+    if (!still_held) it->second.held_items.erase(item);
+  }
+  for (const ItemId& item : touched) ProcessQueue(item);
+  MaybeDropTxnState(txn);
+  ResolveAllDeadlocks();
+}
+
+void LockManager::ReleaseAssertion(TxnId txn, AssertionId assertion,
+                                   uint32_t assertion_instance) {
+  ++stats_.release_calls;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  std::vector<ItemId> touched;
+  for (const ItemId& item : it->second.held_items) {
+    ItemState& state = items_[item];
+    auto removed = std::remove_if(
+        state.holders.begin(), state.holders.end(), [&](const Holder& h) {
+          return h.txn == txn && h.mode == LockMode::kAssert &&
+                 h.ctx.assertion == assertion &&
+                 h.ctx.assertion_instance == assertion_instance;
+        });
+    if (removed != state.holders.end()) {
+      state.holders.erase(removed, state.holders.end());
+      touched.push_back(item);
+    }
+  }
+  for (const ItemId& item : touched) {
+    ItemState& state = items_[item];
+    bool still_held = std::any_of(state.holders.begin(), state.holders.end(),
+                                  [&](const Holder& h) { return h.txn == txn; });
+    if (!still_held) it->second.held_items.erase(item);
+  }
+  for (const ItemId& item : touched) ProcessQueue(item);
+  MaybeDropTxnState(txn);
+  ResolveAllDeadlocks();
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  ++stats_.release_calls;
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  RemoveWaiter(txn);
+  std::vector<ItemId> touched(it->second.held_items.begin(),
+                              it->second.held_items.end());
+  for (const ItemId& item : touched) {
+    ItemState& state = items_[item];
+    state.holders.erase(
+        std::remove_if(state.holders.begin(), state.holders.end(),
+                       [&](const Holder& h) { return h.txn == txn; }),
+        state.holders.end());
+  }
+  txns_.erase(it);
+  for (const ItemId& item : touched) ProcessQueue(item);
+  ResolveAllDeadlocks();
+}
+
+void LockManager::CancelWaiter(TxnId txn) {
+  std::optional<ItemId> item = RemoveWaiter(txn);
+  if (item.has_value()) {
+    ProcessQueue(*item);
+    ResolveAllDeadlocks();
+  }
+}
+
+void LockManager::MaybeDropTxnState(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it != txns_.end() && it->second.held_items.empty() &&
+      !it->second.waiting_on.has_value()) {
+    txns_.erase(it);
+  }
+}
+
+std::optional<ItemId> LockManager::RemoveWaiter(TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.waiting_on.has_value()) {
+    return std::nullopt;
+  }
+  ItemId item = *it->second.waiting_on;
+  it->second.waiting_on.reset();
+  --waiting_count_;
+  ItemState& state = items_[item];
+  for (auto qit = state.queue.begin(); qit != state.queue.end(); ++qit) {
+    if (qit->txn == txn) {
+      state.queue.erase(qit);
+      break;
+    }
+  }
+  return item;
+}
+
+void LockManager::ProcessQueue(ItemId item) {
+  auto item_it = items_.find(item);
+  if (item_it == items_.end()) return;
+  ItemState& state = item_it->second;
+
+  std::vector<TxnId> granted;
+  size_t pos = 0;
+  while (pos < state.queue.size()) {
+    Waiter& w = state.queue[pos];
+    RequestView request{w.txn, w.mode, &w.ctx, HoldsComp(state, w.txn)};
+    bool blocked = ConflictsWithHolders(state, request);
+    if (!blocked && !w.is_upgrade) {
+      blocked = ConflictsWithWaiters(state, request, pos);
+    }
+    if (blocked) {
+      ++pos;
+      continue;
+    }
+    InstallHolder(state, w.txn, w.mode, std::move(w.ctx));
+    TxnState& txn_state = txns_[w.txn];
+    txn_state.held_items.insert(item);
+    txn_state.waiting_on.reset();
+    --waiting_count_;
+    granted.push_back(w.txn);
+    state.queue.erase(state.queue.begin() + pos);
+    // Do not advance pos: the next waiter shifted into this slot.
+  }
+
+  if (listener_ != nullptr) {
+    for (TxnId txn : granted) listener_->OnGranted(txn);
+  }
+}
+
+std::vector<TxnId> LockManager::ComputeBlockers(TxnId txn) const {
+  auto it = txns_.find(txn);
+  if (it == txns_.end() || !it->second.waiting_on.has_value()) return {};
+  ItemId item = *it->second.waiting_on;
+  auto item_it = items_.find(item);
+  if (item_it == items_.end()) return {};
+  const ItemState& state = item_it->second;
+
+  // Locate the waiter entry and its queue position.
+  size_t pos = state.queue.size();
+  const Waiter* waiter = nullptr;
+  for (size_t i = 0; i < state.queue.size(); ++i) {
+    if (state.queue[i].txn == txn) {
+      pos = i;
+      waiter = &state.queue[i];
+      break;
+    }
+  }
+  if (waiter == nullptr) return {};
+
+  RequestView request{txn, waiter->mode, &waiter->ctx,
+                      HoldsComp(state, txn)};
+  std::vector<TxnId> blockers;
+  for (const Holder& h : state.holders) {
+    if (h.txn == txn) continue;
+    if (resolver_->Conflicts(HolderView{h.txn, h.mode, &h.ctx}, request)) {
+      blockers.push_back(h.txn);
+    }
+  }
+  if (!waiter->is_upgrade) {
+    for (size_t i = 0; i < pos; ++i) {
+      const Waiter& earlier = state.queue[i];
+      if (earlier.txn == txn) continue;
+      if (resolver_->Conflicts(HolderView{earlier.txn, earlier.mode,
+                                          &earlier.ctx},
+                               request)) {
+        blockers.push_back(earlier.txn);
+      }
+    }
+  }
+  return blockers;
+}
+
+bool LockManager::Holds(TxnId txn, ItemId item, LockMode mode) const {
+  auto it = items_.find(item);
+  if (it == items_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn != txn) continue;
+    if (h.mode == mode) return true;
+    if (IsConventional(mode) && IsConventional(h.mode) &&
+        ModeCovers(h.mode, mode)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool LockManager::HoldsAssertion(TxnId txn, ItemId item,
+                                 AssertionId assertion) const {
+  auto it = items_.find(item);
+  if (it == items_.end()) return false;
+  for (const Holder& h : it->second.holders) {
+    if (h.txn == txn && h.mode == LockMode::kAssert &&
+        h.ctx.assertion == assertion) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TxnId> LockManager::BlockedBy(TxnId txn) const {
+  return ComputeBlockers(txn);
+}
+
+bool LockManager::IsWaiting(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it != txns_.end() && it->second.waiting_on.has_value();
+}
+
+size_t LockManager::HolderCount(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.holders.size();
+}
+
+size_t LockManager::QueueLength(ItemId item) const {
+  auto it = items_.find(item);
+  return it == items_.end() ? 0 : it->second.queue.size();
+}
+
+std::string LockManager::DumpWaiters() const {
+  std::string out;
+  for (const auto& [txn, state] : txns_) {
+    if (!state.waiting_on.has_value()) continue;
+    out += StrFormat("txn %llu waits on %s, mode ",
+                     static_cast<unsigned long long>(txn),
+                     state.waiting_on->ToString().c_str());
+    auto item_it = items_.find(*state.waiting_on);
+    if (item_it != items_.end()) {
+      for (const Waiter& w : item_it->second.queue) {
+        if (w.txn == txn) {
+          out += LockModeName(w.mode);
+          break;
+        }
+      }
+    }
+    out += ", blocked by:";
+    for (TxnId blocker : ComputeBlockers(txn)) {
+      out += StrFormat(" %llu", static_cast<unsigned long long>(blocker));
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+size_t LockManager::HeldItemCount(TxnId txn) const {
+  auto it = txns_.find(txn);
+  return it == txns_.end() ? 0 : it->second.held_items.size();
+}
+
+}  // namespace accdb::lock

@@ -1,0 +1,197 @@
+// The lock manager.
+//
+// Non-blocking core: Request() returns kGranted, kWaiting or kAborted and
+// never blocks the calling thread. Blocking behaviour (simulated or real) is
+// layered on top through the Listener interface: when a release or
+// cancellation grants queued requests, the listener is invoked for each
+// newly granted transaction; when a deadlock resolution aborts a waiting
+// transaction, the listener is told as well.
+//
+// Queueing discipline is first-in first-out per item: a new request that
+// conflicts with any current holder *or any earlier queued waiter* waits
+// (this prevents starvation of writers behind a stream of readers). Mode
+// upgrades (e.g. S -> X by the same transaction) jump to the front of the
+// queue, ahead of non-upgrade waiters.
+//
+// Deadlocks are detected eagerly on every new wait by DFS over the
+// waits-for relation. The victim is the requester ("the step that completes
+// the deadlock cycle"), with one exception from Section 3.4 of the paper:
+// a compensating step is never the victim — instead every other transaction
+// in the cycle has its pending request aborted, guaranteeing that
+// compensation always makes progress (no unrecoverable deadlock).
+//
+// A transaction can wait for at most one lock at a time (transactions
+// execute sequentially), which the manager asserts.
+
+#ifndef ACCDB_LOCK_LOCK_MANAGER_H_
+#define ACCDB_LOCK_LOCK_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "lock/conflict.h"
+#include "lock/types.h"
+
+namespace accdb::lock {
+
+class LockManager {
+ public:
+  // Notifications about queued requests. Called synchronously from within
+  // Release*/Cancel/Request calls of *other* transactions.
+  class Listener {
+   public:
+    virtual ~Listener() = default;
+    // The transaction's pending request has been granted.
+    virtual void OnGranted(TxnId txn) = 0;
+    // The transaction's pending request was aborted because a compensating
+    // step needed the cycle broken. The transaction must roll back its
+    // current step.
+    virtual void OnWaiterAborted(TxnId txn) = 0;
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t immediate_grants = 0;
+    uint64_t waits = 0;
+    uint64_t deadlocks = 0;
+    uint64_t compensation_priority_aborts = 0;
+    uint64_t unconditional_grants = 0;
+    uint64_t upgrades = 0;
+    uint64_t release_calls = 0;
+  };
+
+  explicit LockManager(const ConflictResolver* resolver)
+      : resolver_(resolver) {}
+
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  void set_listener(Listener* listener) { listener_ = listener; }
+
+  // Requests a lock. kGranted: the lock is held on return. kWaiting: the
+  // request is queued; a later OnGranted/OnWaiterAborted callback resolves
+  // it. kAborted: the request closed a deadlock cycle and was refused; the
+  // caller must roll back its current step and release its step locks.
+  Outcome Request(TxnId txn, ItemId item, LockMode mode, RequestContext ctx);
+
+  // Installs a lock without any conflict check. Used for the step-start
+  // grant of A(pre(S_{i,j+1})) — sound per the proof obligation (3) — and
+  // for kComp marker locks.
+  void GrantUnconditional(TxnId txn, ItemId item, LockMode mode,
+                          RequestContext ctx);
+
+  // Releases all conventional (IS/IX/S/SIX/X) locks of `txn`
+  // (end of an ACC step).
+  void ReleaseConventional(TxnId txn);
+
+  // Releases all kAssert locks of `txn` protecting instance
+  // `assertion_instance` of `assertion` (the assertion was consumed by the
+  // step that just ended).
+  void ReleaseAssertion(TxnId txn, AssertionId assertion,
+                        uint32_t assertion_instance);
+
+  // Releases everything `txn` holds and cancels any pending request
+  // (commit or final abort).
+  void ReleaseAll(TxnId txn);
+
+  // Removes `txn`'s pending request from its queue (the transaction was
+  // aborted while waiting). Holders are unaffected.
+  void CancelWaiter(TxnId txn);
+
+  // --- Introspection (tests, benches, assertions) ---
+
+  bool Holds(TxnId txn, ItemId item, LockMode mode) const;
+  bool HoldsAssertion(TxnId txn, ItemId item, AssertionId assertion) const;
+  // Transactions `txn` is directly blocked by (empty when not waiting).
+  std::vector<TxnId> BlockedBy(TxnId txn) const;
+  bool IsWaiting(TxnId txn) const;
+  size_t HolderCount(ItemId item) const;
+  size_t QueueLength(ItemId item) const;
+  // Number of items on which `txn` holds at least one lock.
+  size_t HeldItemCount(TxnId txn) const;
+
+  const Stats& stats() const { return stats_; }
+
+  // Human-readable dump of every waiting transaction, the item it waits on
+  // and its current blockers (diagnostics).
+  std::string DumpWaiters() const;
+
+ private:
+  struct Holder {
+    TxnId txn;
+    LockMode mode;
+    RequestContext ctx;
+  };
+
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+    RequestContext ctx;
+    bool is_upgrade;
+  };
+
+  struct ItemState {
+    std::vector<Holder> holders;
+    std::deque<Waiter> queue;
+  };
+
+  struct TxnState {
+    // Items on which the transaction holds at least one lock (deduplicated).
+    std::unordered_set<ItemId, ItemIdHash> held_items;
+    std::optional<ItemId> waiting_on;
+  };
+
+  // True if the request conflicts with any holder entry of another txn.
+  bool ConflictsWithHolders(const ItemState& state,
+                            const RequestView& request) const;
+
+  // True if `txn` holds a kComp lock on the item.
+  static bool HoldsComp(const ItemState& state, TxnId txn);
+  // True if the request conflicts with an earlier queued waiter (FIFO
+  // fairness). `upto` bounds the scan (queue positions [0, upto)).
+  bool ConflictsWithWaiters(const ItemState& state, const RequestView& request,
+                            size_t upto) const;
+
+  // Installs a granted lock into the holder list (merging with existing
+  // entries of the same transaction where appropriate).
+  void InstallHolder(ItemState& state, TxnId txn, LockMode mode,
+                     RequestContext ctx);
+
+  // Grants every queue entry that has become compatible; notifies listener.
+  void ProcessQueue(ItemId item);
+
+  // Detects and resolves deadlocks among ALL currently waiting
+  // transactions. Needed beyond the request-time check because new
+  // wait-for edges can appear without any new request: an unconditional
+  // assertional grant, or a queued assertional lock being granted ahead of
+  // other waiters, adds a holder that existing waiters are now blocked by.
+  // Victim choice follows Section 3.4: never a compensating step — if a
+  // cycle contains one, the other members' pending requests are aborted.
+  void ResolveAllDeadlocks();
+
+  // Direct blockers of `txn` given its current queue entry.
+  std::vector<TxnId> ComputeBlockers(TxnId txn) const;
+
+  // Drops the bookkeeping entry of `txn` if it holds nothing and waits for
+  // nothing (keeps txns_ from growing with dead transactions).
+  void MaybeDropTxnState(TxnId txn);
+
+  // Removes `txn`'s waiter entry (if any); returns the item it waited on.
+  std::optional<ItemId> RemoveWaiter(TxnId txn);
+
+  const ConflictResolver* resolver_;
+  Listener* listener_ = nullptr;
+  bool resolving_ = false;  // Reentrancy guard for ResolveAllDeadlocks.
+  size_t waiting_count_ = 0;  // Transactions with a pending request.
+  std::unordered_map<ItemId, ItemState, ItemIdHash> items_;
+  std::unordered_map<TxnId, TxnState> txns_;
+  Stats stats_;
+};
+
+}  // namespace accdb::lock
+
+#endif  // ACCDB_LOCK_LOCK_MANAGER_H_

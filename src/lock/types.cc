@@ -1,0 +1,73 @@
+#include "lock/types.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace accdb::lock {
+
+std::string ItemId::ToString() const {
+  if (is_table()) return StrFormat("t%u", table);
+  return StrFormat("t%u/r%llu", table, static_cast<unsigned long long>(row));
+}
+
+std::string_view LockModeName(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+    case LockMode::kAssert: return "A";
+    case LockMode::kComp: return "C";
+  }
+  return "?";
+}
+
+namespace {
+
+// Privilege bitmasks for the conventional modes: bit 0 = intent-read,
+// bit 1 = intent-write, bit 2 = read, bit 3 = write.
+int ModeBits(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS: return 0b0001;
+    case LockMode::kIX: return 0b0011;
+    case LockMode::kS: return 0b0101;
+    case LockMode::kSIX: return 0b0111;
+    case LockMode::kX: return 0b1111;
+    default: assert(false && "conventional modes only"); return 0;
+  }
+}
+
+LockMode ModeFromBits(int bits) {
+  switch (bits) {
+    case 0b0001: return LockMode::kIS;
+    case 0b0011: return LockMode::kIX;
+    case 0b0101: return LockMode::kS;
+    case 0b0111: return LockMode::kSIX;
+    default: return LockMode::kX;
+  }
+}
+
+}  // namespace
+
+bool ModeCovers(LockMode held, LockMode requested) {
+  int h = ModeBits(held);
+  int r = ModeBits(requested);
+  return (h & r) == r;
+}
+
+LockMode ModeCombine(LockMode a, LockMode b) {
+  return ModeFromBits(ModeBits(a) | ModeBits(b));
+}
+
+std::string_view OutcomeName(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kGranted: return "GRANTED";
+    case Outcome::kWaiting: return "WAITING";
+    case Outcome::kAborted: return "ABORTED";
+  }
+  return "?";
+}
+
+}  // namespace accdb::lock

@@ -1,0 +1,146 @@
+// Core vocabulary of the lock manager: lockable items, lock modes, and the
+// per-request context used by conflict resolution.
+//
+// Lock modes (Section 3.2 of the paper):
+//   * IS/IX/S/SIX/X — conventional hierarchical modes. In an ACC executor
+//     they are held for the duration of a *step* (strict two-phase within the
+//     step); in the serializable baseline, for the duration of the
+//     transaction.
+//   * kAssert — an assertional lock A(pre(S_{i,j})), attached to a database
+//     item referenced by an interstep assertion. It conflicts with a write
+//     request only if the writing step *interferes* with the assertion; the
+//     decision is a design-time table lookup, optionally refined by run-time
+//     key equality (the one-level ACC's false-conflict elimination).
+//   * kComp — compensation/exposure lock on items modified by the forward
+//     steps of a multi-step transaction, held to commit. It (a) reserves the
+//     items a compensating step may need, guaranteeing recoverable deadlocks,
+//     and (b) isolates legacy/ad-hoc (non-analyzed) transactions from
+//     uncommitted intermediate results: a non-analyzed request conflicts
+//     with another transaction's kComp lock, an analyzed step's does not.
+
+#ifndef ACCDB_LOCK_TYPES_H_
+#define ACCDB_LOCK_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace accdb::lock {
+
+using TxnId = uint64_t;
+
+inline constexpr TxnId kInvalidTxn = 0;
+
+// A lockable database item: a row of a table, or the table itself
+// (row == kTableItem) for intention locks and scans.
+struct ItemId {
+  storage::TableId table = 0;
+  storage::RowId row = 0;
+
+  static constexpr storage::RowId kTableItem = 0;
+
+  static ItemId Table(storage::TableId t) { return ItemId{t, kTableItem}; }
+  static ItemId Row(storage::TableId t, storage::RowId r) {
+    return ItemId{t, r};
+  }
+
+  bool is_table() const { return row == kTableItem; }
+
+  friend bool operator==(const ItemId& a, const ItemId& b) {
+    return a.table == b.table && a.row == b.row;
+  }
+
+  std::string ToString() const;
+};
+
+struct ItemIdHash {
+  size_t operator()(const ItemId& item) const {
+    uint64_t h = (static_cast<uint64_t>(item.table) << 48) ^ item.row;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+enum class LockMode : uint8_t {
+  kIS = 0,
+  kIX,
+  kS,
+  kSIX,
+  kX,
+  kAssert,
+  kComp,
+};
+
+inline constexpr int kNumLockModes = 7;
+
+std::string_view LockModeName(LockMode mode);
+
+// True if the conventional mode `held` already grants every privilege of
+// `requested` (e.g. X covers S; SIX covers S and IX). Only meaningful for
+// the five conventional modes.
+bool ModeCovers(LockMode held, LockMode requested);
+
+// Least conventional mode granting the privileges of both (e.g. S+IX = SIX,
+// S+X = X). Only meaningful for the five conventional modes.
+LockMode ModeCombine(LockMode a, LockMode b);
+
+// Actor identities used by interference lookups. An actor is either a step
+// type (for conventional write requests, "which step wants to write") or a
+// transaction prefix (for assertional requests, "which steps has the holder
+// of this assertional lock already executed"). The two id spaces are
+// disjoint by convention of the registering layer (src/acc).
+using ActorId = uint32_t;
+using AssertionId = uint32_t;
+
+inline constexpr ActorId kNoActor = 0;
+inline constexpr AssertionId kNoAssertion = 0;
+
+// Per-request (and, once granted, per-holder) metadata consulted by the
+// conflict resolver.
+struct RequestContext {
+  // For conventional requests: the requesting step's type.
+  // For kAssert requests: the requesting transaction's executed prefix.
+  ActorId actor = kNoActor;
+
+  // For kAssert requests/holders: which assertion the lock protects.
+  AssertionId assertion = kNoAssertion;
+
+  // Distinguishes successive instances of the same assertion declaration
+  // held by one transaction (a loop step's invariant is re-instantiated per
+  // iteration; releasing the consumed instance must not drop the freshly
+  // granted one). Ignored by interference lookups.
+  uint32_t assertion_instance = 0;
+
+  // Run-time discriminator values (e.g. {warehouse_id, district_id} or
+  // {order_id}) used by kIfSameKey interference refinement. For conventional
+  // requests these describe the writing step's target; for kAssert they
+  // describe the assertion instance.
+  std::vector<int64_t> keys;
+
+  // True for requests issued by a compensating step. Compensating steps win
+  // deadlocks: if such a request closes a cycle, the other cycle members are
+  // aborted instead (Section 3.4).
+  bool for_compensation = false;
+
+  // False for legacy/ad-hoc transactions that have not been analyzed and
+  // decomposed. Non-analyzed requests conflict with foreign kComp locks so
+  // that they never observe intermediate results of multi-step transactions.
+  bool analyzed = true;
+};
+
+enum class Outcome : uint8_t {
+  kGranted,
+  kWaiting,
+  kAborted,  // The request closed a deadlock cycle and the requester lost.
+};
+
+std::string_view OutcomeName(Outcome outcome);
+
+}  // namespace accdb::lock
+
+#endif  // ACCDB_LOCK_TYPES_H_

@@ -1,0 +1,32 @@
+#include "lock/wait_for_graph.h"
+
+#include <unordered_set>
+
+namespace accdb::lock {
+
+namespace {
+
+// Depth-first search for a path back to `start`. `path` carries the nodes
+// from start to the current frontier (inclusive).
+bool Dfs(const CycleDetector::EdgeFn& edges, TxnId start, TxnId current,
+         std::unordered_set<TxnId>& visited, std::vector<TxnId>& path) {
+  for (TxnId next : edges(current)) {
+    if (next == start) return true;
+    if (!visited.insert(next).second) continue;
+    path.push_back(next);
+    if (Dfs(edges, start, next, visited, path)) return true;
+    path.pop_back();
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<TxnId> CycleDetector::FindCycle(TxnId start) const {
+  std::unordered_set<TxnId> visited{start};
+  std::vector<TxnId> path{start};
+  if (Dfs(edges_, start, start, visited, path)) return path;
+  return {};
+}
+
+}  // namespace accdb::lock

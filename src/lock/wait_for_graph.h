@@ -1,0 +1,37 @@
+// Deadlock detection over the waits-for relation.
+//
+// The lock manager enumerates, on demand, the transactions a given waiter is
+// blocked by; CycleDetector runs a depth-first search over that relation.
+// Detection is performed eagerly on every new wait (the paper's system
+// detects a deadlock "by finding a cycle in a wait-for graph and aborting
+// the step that completes the deadlock cycle").
+
+#ifndef ACCDB_LOCK_WAIT_FOR_GRAPH_H_
+#define ACCDB_LOCK_WAIT_FOR_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "lock/types.h"
+
+namespace accdb::lock {
+
+class CycleDetector {
+ public:
+  // Returns the transactions `start` waits for, directly.
+  using EdgeFn = std::function<std::vector<TxnId>(TxnId)>;
+
+  explicit CycleDetector(EdgeFn edges) : edges_(std::move(edges)) {}
+
+  // If `start` is on a cycle of the waits-for relation, returns the cycle as
+  // a list of transactions beginning with `start` (start -> c1 -> ... ->
+  // start). Returns an empty vector otherwise.
+  std::vector<TxnId> FindCycle(TxnId start) const;
+
+ private:
+  EdgeFn edges_;
+};
+
+}  // namespace accdb::lock
+
+#endif  // ACCDB_LOCK_WAIT_FOR_GRAPH_H_

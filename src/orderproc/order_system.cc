@@ -1,0 +1,166 @@
+#include "orderproc/order_system.h"
+
+#include <cassert>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace accdb::orderproc {
+
+using storage::ColumnType;
+using storage::Schema;
+using storage::Value;
+
+OrderSystem::OrderSystem(storage::Database* db_in) : db(db_in) {
+  // --- Schema ---
+  Schema orders_schema;
+  orders_schema.columns = {{"order_id", ColumnType::kInt64},
+                           {"customer_id", ColumnType::kInt64},
+                           {"num_distinct_items", ColumnType::kInt64},
+                           {"price", ColumnType::kMoney}};
+  orders_schema.key_columns = {0};
+  orders = db->CreateTable("orders", orders_schema);
+  o_order_id = 0;
+  o_customer_id = 1;
+  o_num_items = 2;
+  o_price = 3;
+
+  Schema stock_schema;
+  stock_schema.columns = {{"item_id", ColumnType::kInt64},
+                          {"s_level", ColumnType::kInt64}};
+  stock_schema.key_columns = {0};
+  stock = db->CreateTable("stock", stock_schema);
+  s_item_id = 0;
+  s_level = 1;
+
+  Schema prices_schema;
+  prices_schema.columns = {{"item_id", ColumnType::kInt64},
+                           {"price", ColumnType::kMoney}};
+  prices_schema.key_columns = {0};
+  prices = db->CreateTable("prices", prices_schema);
+  p_item_id = 0;
+  p_price = 1;
+
+  Schema orderlines_schema;
+  orderlines_schema.columns = {{"order_id", ColumnType::kInt64},
+                               {"item_id", ColumnType::kInt64},
+                               {"ordered", ColumnType::kInt64},
+                               {"filled", ColumnType::kInt64}};
+  orderlines_schema.key_columns = {0, 1};
+  orderlines = db->CreateTable("orderlines", orderlines_schema);
+  ol_order_id = 0;
+  ol_item_id = 1;
+  ol_ordered = 2;
+  ol_filled = 3;
+
+  order_counter = db->CreateVariable("current_order_number", 1);
+
+  // --- Design-time analysis products ---
+  step_no_create = catalog.RegisterStepType("new_order.create");
+  step_no_orderline = catalog.RegisterStepType("new_order.orderline");
+  step_no_compensate = catalog.RegisterStepType("new_order.compensate");
+  step_bill = catalog.RegisterStepType("bill.run");
+
+  prefix_no_empty = catalog.RegisterPrefix("new_order.prefix.empty");
+  prefix_no_partial = catalog.RegisterPrefix("new_order.prefix.partial");
+  prefix_bill_empty = catalog.RegisterPrefix("bill.prefix.empty");
+
+  assert_no_loop = catalog.RegisterAssertion("new_order.loop_invariant", 1);
+  assert_i1 = catalog.RegisterAssertion("I1", 1);
+
+  // Interference table (Section 4).
+  //
+  // "In the proof (3) of new_order, no inter-step assertion is interfered
+  // with by any step of another instance of new_order": each step touches
+  // only the order it created itself, and order ids are unique. The
+  // design-time analysis records this two ways:
+  //   * NO1 (counter increment + insert of a *fresh* order) provably never
+  //     invalidates either assertion, for any instance: kNone. This entry
+  //     must be unconditional — NO1's discriminators are unknown when it
+  //     starts, and the counter row it writes is shared by every
+  //     new_order.
+  //   * NO2 and compensation invalidate an instance only when they target
+  //     the same order: kIfSameKey (first key = order id). The one-level
+  //     ACC compares the run-time keys; the two-level design of [5] cannot
+  //     and must conservatively assume interference — the false-conflict
+  //     ablation flips exactly this refinement off.
+  interference.Set(step_no_create, assert_no_loop, acc::Interference::kNone);
+  interference.Set(step_no_create, assert_i1, acc::Interference::kNone);
+  for (lock::ActorId step : {step_no_orderline, step_no_compensate}) {
+    interference.Set(step, assert_no_loop, acc::Interference::kIfSameKey);
+    interference.Set(step, assert_i1, acc::Interference::kIfSameKey);
+  }
+  // bill writes only orders.price, which neither assertion mentions;
+  // same-order bills serialize on conventional row locks anyway.
+  interference.Set(step_bill, assert_no_loop, acc::Interference::kNone);
+  interference.Set(step_bill, assert_i1, acc::Interference::kNone);
+  // Prefixes: empty prefixes interfere with nothing. The one load-bearing
+  // conditional entry: a *partial* new_order has falsified I1 (and holds a
+  // loop-invariant lock) for its own order, so a transaction initiating
+  // with pre = I1^{o} (bill) must wait iff it names the same order.
+  for (lock::AssertionId a : {assert_no_loop, assert_i1}) {
+    interference.Set(prefix_no_empty, a, acc::Interference::kNone);
+    interference.Set(prefix_bill_empty, a, acc::Interference::kNone);
+  }
+  interference.Set(prefix_no_partial, assert_no_loop,
+                   acc::Interference::kNone);
+  interference.Set(prefix_no_partial, assert_i1,
+                   acc::Interference::kIfSameKey);
+}
+
+void OrderSystem::LoadItems(int64_t item_count, int64_t stock_level,
+                            int64_t price_cents) {
+  for (int64_t item = 1; item <= item_count; ++item) {
+    auto s = stock->Insert({Value(item), Value(stock_level)});
+    assert(s.ok());
+    (void)s;
+    auto p = prices->Insert({Value(item), Value(Money::FromCents(price_cents))});
+    assert(p.ok());
+    (void)p;
+  }
+}
+
+bool OrderSystem::CheckConsistency(std::string* violation) const {
+  auto fail = [violation](std::string message) {
+    if (violation != nullptr) *violation = std::move(message);
+    return false;
+  };
+  // Count orderlines per order.
+  std::map<int64_t, int64_t> line_counts;
+  for (storage::RowId id : orderlines->ScanAll()) {
+    const storage::Row& row = *orderlines->Get(id);
+    int64_t order_id = row[ol_order_id].AsInt64();
+    ++line_counts[order_id];
+    // Referential integrity: the order and the item must exist.
+    if (!orders->LookupPk(storage::Key(order_id)).has_value()) {
+      return fail(StrFormat("orderline for missing order %lld",
+                            static_cast<long long>(order_id)));
+    }
+    if (!stock->LookupPk(storage::Key(row[ol_item_id].AsInt64()))
+             .has_value()) {
+      return fail("orderline for missing item");
+    }
+  }
+  // I1: per-order line count matches num_distinct_items.
+  for (storage::RowId id : orders->ScanAll()) {
+    const storage::Row& row = *orders->Get(id);
+    int64_t order_id = row[o_order_id].AsInt64();
+    if (line_counts[order_id] != row[o_num_items].AsInt64()) {
+      return fail(StrFormat("I1 violated for order %lld: %lld lines vs "
+                            "num_distinct_items %lld",
+                            static_cast<long long>(order_id),
+                            static_cast<long long>(line_counts[order_id]),
+                            static_cast<long long>(
+                                row[o_num_items].AsInt64())));
+    }
+  }
+  // Every stock level must be non-negative.
+  for (storage::RowId id : stock->ScanAll()) {
+    if ((*stock->Get(id))[s_level].AsInt64() < 0) {
+      return fail("negative stock level");
+    }
+  }
+  return true;
+}
+
+}  // namespace accdb::orderproc

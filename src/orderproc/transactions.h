@@ -1,0 +1,103 @@
+// The two transaction programs of the Section 4 example: new_order
+// (decomposed, compensatable) and bill (single step, requires I1).
+
+#ifndef ACCDB_ORDERPROC_TRANSACTIONS_H_
+#define ACCDB_ORDERPROC_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acc/program.h"
+#include "acc/recovery.h"
+#include "acc/txn_context.h"
+#include "common/money.h"
+#include "orderproc/order_system.h"
+
+namespace accdb::orderproc {
+
+// new_order(cust_id, items[], quant[]) — Figure 1 of the paper.
+//
+// STEP 1 (NO1): allocate order number from current_order_number, insert the
+//   order tuple. STEP 2.. (NO2, one per item): fill the lesser of requested
+//   and in-stock, update stock, insert the orderline.
+//
+// Compensation returns filled quantities to stock and removes the order and
+// its orderlines — "semantically undoing" the forward steps; a concurrent
+// new_order may meanwhile have been refused stock that compensation later
+// returns, which is semantically correct though not serializable.
+class NewOrderTxn : public acc::TransactionProgram {
+ public:
+  struct ItemRequest {
+    int64_t item_id;
+    int64_t quantity;
+  };
+
+  // `abort_at_last_item` forces a voluntary abort while ordering the final
+  // item (exercises compensation, mirroring the TPC-C 1%-abort rule).
+  NewOrderTxn(OrderSystem* system, int64_t customer_id,
+              std::vector<ItemRequest> items, bool abort_at_last_item = false);
+
+  std::string_view name() const override { return "new_order"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+  bool has_compensation() const override { return true; }
+  lock::ActorId CompensationStepType() const override;
+  std::vector<int64_t> CompensationKeys() const override;
+  Status Compensate(acc::TxnContext& ctx, int completed_steps) override;
+  std::string SerializeWorkArea() const override;
+
+  // Results of the last execution.
+  int64_t order_id() const { return order_id_; }
+  int64_t total_filled() const { return total_filled_; }
+
+  // Client think time inserted after every forward step (between-step lock
+  // windows for experiments and deterministic interleaving in tests).
+  void set_pause_between_steps(double seconds) {
+    pause_between_steps_ = seconds;
+  }
+
+  // Compensation body shared with crash recovery: removes order `order_id`,
+  // returning filled stock. Registered via RegisterCompensators().
+  static Status CompensateOrder(acc::TxnContext& ctx, OrderSystem& system,
+                                int64_t order_id);
+
+ private:
+  OrderSystem* system_;
+  int64_t customer_id_;
+  std::vector<ItemRequest> items_;
+  bool abort_at_last_item_;
+
+  int64_t order_id_ = 0;
+  int64_t total_filled_ = 0;
+  double pause_between_steps_ = 0;
+};
+
+// bill(order_id): totals the order's lines, writes orders.price, "prints a
+// packing label and bills the customer". Single step; requires I1^{order}.
+class BillTxn : public acc::TransactionProgram {
+ public:
+  BillTxn(OrderSystem* system, int64_t order_id);
+
+  std::string_view name() const override { return "bill"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  acc::AssertionInstance InitialAssertion() const override;
+  Status Run(acc::TxnContext& ctx) override;
+
+  bool found() const { return found_; }
+  Money total() const { return total_; }
+
+ private:
+  OrderSystem* system_;
+  int64_t order_id_;
+  bool found_ = false;
+  Money total_;
+};
+
+// Registers the new_order crash-recovery compensator.
+void RegisterCompensators(OrderSystem* system,
+                          acc::CompensatorRegistry* registry);
+
+}  // namespace accdb::orderproc
+
+#endif  // ACCDB_ORDERPROC_TRANSACTIONS_H_

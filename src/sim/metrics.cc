@@ -1,0 +1,29 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace accdb::sim {
+
+void Accumulator::Add(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Accumulator::Merge(const Accumulator& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+std::string Accumulator::ToString() const {
+  return StrFormat("n=%llu mean=%.6f min=%.6f max=%.6f",
+                   static_cast<unsigned long long>(count_), mean(), min(),
+                   max());
+}
+
+}  // namespace accdb::sim

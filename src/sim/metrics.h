@@ -1,0 +1,36 @@
+// Lightweight statistics accumulators for experiments.
+
+#ifndef ACCDB_SIM_METRICS_H_
+#define ACCDB_SIM_METRICS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace accdb::sim {
+
+// Streaming mean/min/max accumulator.
+class Accumulator {
+ public:
+  void Add(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Merge(const Accumulator& other);
+
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace accdb::sim
+
+#endif  // ACCDB_SIM_METRICS_H_

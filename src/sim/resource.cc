@@ -1,0 +1,37 @@
+#include "sim/resource.h"
+
+#include <cassert>
+
+namespace accdb::sim {
+
+Resource::Resource(Simulation& sim, int capacity)
+    : sim_(sim), capacity_(capacity), available_(capacity) {
+  assert(capacity > 0);
+}
+
+void Resource::Acquire() {
+  if (available_ > 0 && queue_.empty()) {
+    --available_;
+    return;
+  }
+  auto cell = std::make_unique<Signal>(sim_);
+  Signal* signal = cell.get();
+  queue_.push_back(std::move(cell));
+  // Release() hands the slot directly to the front waiter (it does not
+  // increment available_), so when this wait returns the slot is ours.
+  sim_.WaitSignal(*signal);
+}
+
+void Resource::Release() {
+  if (queue_.empty()) {
+    ++available_;
+    assert(available_ <= capacity_);
+    return;
+  }
+  std::unique_ptr<Signal> front = std::move(queue_.front());
+  queue_.pop_front();
+  front->Notify();
+  // `front` is destroyed here; Notify has already scheduled the waiter.
+}
+
+}  // namespace accdb::sim

@@ -1,0 +1,63 @@
+// FIFO multi-server resource for the simulation kernel.
+//
+// Models the pool of database server processes: a transaction occupies one
+// server while executing a statement and releases it while waiting for
+// locks or thinking. Hand-off is direct: Release() passes the slot to the
+// longest-waiting process, preserving FIFO fairness and determinism.
+
+#ifndef ACCDB_SIM_RESOURCE_H_
+#define ACCDB_SIM_RESOURCE_H_
+
+#include <deque>
+#include <memory>
+
+#include "sim/simulation.h"
+
+namespace accdb::sim {
+
+class Resource {
+ public:
+  Resource(Simulation& sim, int capacity);
+
+  Resource(const Resource&) = delete;
+  Resource& operator=(const Resource&) = delete;
+
+  // Blocks (in virtual time) until a slot is available. FIFO.
+  void Acquire();
+
+  // Returns a slot; wakes the longest-waiting process, if any.
+  void Release();
+
+  int capacity() const { return capacity_; }
+  int available() const { return available_; }
+  size_t queue_length() const { return queue_.size(); }
+
+  // Total virtual time during which at least one slot was busy is not
+  // tracked here; utilization accounting lives in metrics.
+
+ private:
+  Simulation& sim_;
+  const int capacity_;
+  int available_;
+  // One Signal per waiting process: targeted hand-off.
+  std::deque<std::unique_ptr<Signal>> queue_;
+};
+
+// RAII slot guard.
+class ResourceGuard {
+ public:
+  explicit ResourceGuard(Resource& resource) : resource_(resource) {
+    resource_.Acquire();
+  }
+  ~ResourceGuard() { resource_.Release(); }
+
+  ResourceGuard(const ResourceGuard&) = delete;
+  ResourceGuard& operator=(const ResourceGuard&) = delete;
+
+ private:
+  Resource& resource_;
+};
+
+}  // namespace accdb::sim
+
+#endif  // ACCDB_SIM_RESOURCE_H_

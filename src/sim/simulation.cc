@@ -1,0 +1,137 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+
+namespace accdb::sim {
+
+namespace {
+
+// Internal unwind type for simulation teardown. Never escapes the kernel:
+// thrown by Yield when shutting down, caught by ProcessMain.
+struct ShutdownError {};
+
+}  // namespace
+
+void Signal::Notify() {
+  std::unique_lock<std::mutex> lock(sim_->mu_);
+  if (waiters_.empty()) return;
+  std::vector<uint64_t> to_wake;
+  to_wake.swap(waiters_);
+  for (uint64_t id : to_wake) sim_->ScheduleLocked(id, sim_->now_);
+}
+
+Simulation::Simulation() = default;
+
+Simulation::~Simulation() {
+  // Unwind every process that is still suspended.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  for (auto& p : processes_) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (p->finished) continue;
+    p->shutdown = true;
+    p->active = true;
+    running_ = p.get();
+    p->cv.notify_one();
+    scheduler_cv_.wait(lock, [&] { return !p->active; });
+    running_ = nullptr;
+  }
+  for (auto& p : processes_) {
+    if (p->thread.joinable()) p->thread.join();
+  }
+}
+
+void Simulation::Spawn(std::string name, std::function<void()> body) {
+  auto p = std::make_unique<Process>();
+  p->name = std::move(name);
+  p->body = std::move(body);
+  p->sim = this;
+  Process* raw = p.get();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    raw->id = processes_.size();
+    processes_.push_back(std::move(p));
+    ++live_processes_;
+    ScheduleLocked(raw->id, now_);
+  }
+  raw->thread = std::thread([this, raw] { ProcessMain(raw); });
+}
+
+void Simulation::ProcessMain(Process* p) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait to be dispatched for the first time.
+  p->cv.wait(lock, [&] { return p->active; });
+  if (!p->shutdown) {
+    lock.unlock();
+    try {
+      p->body();
+    } catch (const ShutdownError&) {
+      // Teardown unwind: fall through to finish bookkeeping.
+    }
+    lock.lock();
+  }
+  p->finished = true;
+  p->active = false;
+  --live_processes_;
+  scheduler_cv_.notify_all();
+}
+
+Time Simulation::Run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    Process* p = processes_[ev.process_id].get();
+    if (p->finished) continue;
+    assert(ev.time >= now_);
+    now_ = ev.time;
+    ++events_dispatched_;
+    p->active = true;
+    running_ = p;
+    p->cv.notify_one();
+    scheduler_cv_.wait(lock, [&] { return !p->active; });
+    running_ = nullptr;
+  }
+  return now_;
+}
+
+void Simulation::ScheduleLocked(uint64_t process_id, Time t) {
+  events_.push(Event{t, next_seq_++, process_id});
+}
+
+void Simulation::YieldLocked(Process& self,
+                             std::unique_lock<std::mutex>& lock) {
+  self.active = false;
+  scheduler_cv_.notify_all();
+  self.cv.wait(lock, [&] { return self.active; });
+  if (self.shutdown) throw ShutdownError{};
+}
+
+Simulation::Process& Simulation::CurrentProcess() {
+  assert(running_ != nullptr && "must be called from inside a process");
+  return *running_;
+}
+
+void Simulation::Delay(Time dt) {
+  assert(dt >= 0);
+  std::unique_lock<std::mutex> lock(mu_);
+  Process& self = CurrentProcess();
+  ScheduleLocked(self.id, now_ + dt);
+  YieldLocked(self, lock);
+}
+
+void Simulation::WaitSignal(Signal& signal) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Process& self = CurrentProcess();
+  signal.waiters_.push_back(self.id);
+  YieldLocked(self, lock);
+}
+
+const std::string& Simulation::CurrentProcessName() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return running_ != nullptr ? running_->name : empty_name_;
+}
+
+}  // namespace accdb::sim

@@ -1,0 +1,153 @@
+// Process-oriented discrete-event simulation kernel.
+//
+// Experiments in this repository run the *real* storage / lock / ACC code
+// under virtual time: simulated terminals are cooperative processes that
+// execute transaction programs; only the clock is simulated. The kernel
+// guarantees that exactly one process runs at any instant (strict handoff),
+// so the simulated system is deterministic given a seed and needs no
+// synchronization in the code under test — mirroring how a single-node DBMS
+// engine serializes at the latch level.
+//
+// Processes are backed by OS threads purely to get independent stacks; the
+// scheduler hands execution to one thread at a time, so this is concurrency
+// without parallelism.
+//
+// Blocking primitives available *inside* a process:
+//   * Delay(dt)        — advance virtual time.
+//   * WaitSignal(sig)  — sleep until sig.Notify() (targeted wake, no spurious
+//                        wakeups).
+// Teardown: when the Simulation is destroyed (or Stop() is called) while
+// processes are suspended, those processes are resumed with an internal
+// ShutdownError exception so their stacks unwind; this is the single
+// exception type used in the library and it never escapes the kernel.
+
+#ifndef ACCDB_SIM_SIMULATION_H_
+#define ACCDB_SIM_SIMULATION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace accdb::sim {
+
+// Virtual time, in seconds.
+using Time = double;
+
+class Simulation;
+
+// Targeted wake-up channel. A process calls sim.WaitSignal(signal); another
+// process (or simulation-driver code between events) calls signal.Notify()
+// to schedule all current waiters at the current virtual time, in FIFO
+// order.
+class Signal {
+ public:
+  explicit Signal(Simulation& sim) : sim_(&sim) {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  // Wakes every process currently waiting on this signal.
+  void Notify();
+
+  bool has_waiters() const { return !waiters_.empty(); }
+
+ private:
+  friend class Simulation;
+  Simulation* sim_;
+  std::vector<uint64_t> waiters_;  // Process ids, FIFO.
+};
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Creates a process; it becomes runnable at the current virtual time.
+  // `body` runs on its own stack and may use Delay/WaitSignal.
+  void Spawn(std::string name, std::function<void()> body);
+
+  // Runs until the event queue drains (every process has finished or is
+  // blocked on a signal nobody will fire). Returns the final virtual time.
+  Time Run();
+
+  Time Now() const { return now_; }
+
+  // --- Callable only from inside a process ---
+
+  // Suspends the calling process for `dt` of virtual time (>= 0).
+  void Delay(Time dt);
+
+  // Suspends the calling process until the signal fires.
+  void WaitSignal(Signal& signal);
+
+  // Name of the currently running process (empty outside processes).
+  const std::string& CurrentProcessName() const;
+
+  // Number of processes that have not finished.
+  int live_processes() const { return live_processes_; }
+
+  // Total events dispatched (diagnostics).
+  uint64_t events_dispatched() const { return events_dispatched_; }
+
+ private:
+  friend class Signal;
+
+  struct Process {
+    uint64_t id;
+    std::string name;
+    std::function<void()> body;
+    std::thread thread;
+    std::condition_variable cv;
+    bool active = false;     // True while this process owns execution.
+    bool finished = false;
+    bool shutdown = false;   // Resume should unwind the stack.
+    Simulation* sim;
+  };
+
+  struct Event {
+    Time time;
+    uint64_t seq;
+    uint64_t process_id;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  // Schedules a process to resume at time t.
+  void ScheduleLocked(uint64_t process_id, Time t);
+
+  // Yields from the running process back to the scheduler. Must be called
+  // with mu_ held; returns with mu_ held when the process is resumed.
+  // Throws ShutdownError when the simulation is tearing down.
+  void YieldLocked(Process& self, std::unique_lock<std::mutex>& lock);
+
+  Process& CurrentProcess();
+
+  void ProcessMain(Process* p);
+
+  mutable std::mutex mu_;
+  std::condition_variable scheduler_cv_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  Process* running_ = nullptr;
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  int live_processes_ = 0;
+  uint64_t events_dispatched_ = 0;
+  bool shutting_down_ = false;
+  std::string empty_name_;
+};
+
+}  // namespace accdb::sim
+
+#endif  // ACCDB_SIM_SIMULATION_H_

@@ -1,0 +1,58 @@
+#include "storage/database.h"
+
+#include <cassert>
+
+namespace accdb::storage {
+
+Table* Database::CreateTable(const std::string& name, Schema schema) {
+  assert(!by_name_.contains(name) && "duplicate table name");
+  TableId id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  by_name_.emplace(name, id);
+  return tables_.back().get();
+}
+
+Table* Database::GetTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+const Table* Database::GetTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : tables_[it->second].get();
+}
+
+Table* Database::GetTable(TableId id) {
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+const Table* Database::GetTable(TableId id) const {
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+Table* Database::CreateVariable(const std::string& name, int64_t initial) {
+  Schema schema;
+  schema.columns = {{"id", ColumnType::kInt64}, {"value", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  Table* table = CreateTable(name, std::move(schema));
+  auto inserted = table->Insert({int64_t{0}, initial});
+  assert(inserted.ok());
+  assert(*inserted == kVariableRowId);
+  (void)inserted;
+  return table;
+}
+
+int64_t Database::ReadVariable(const Table& var) const {
+  const Row* row = var.Get(kVariableRowId);
+  assert(row != nullptr);
+  return (*row)[1].AsInt64();
+}
+
+std::vector<const Table*> Database::AllTables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& t : tables_) out.push_back(t.get());
+  return out;
+}
+
+}  // namespace accdb::storage

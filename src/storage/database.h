@@ -1,0 +1,55 @@
+// Database catalog: a named collection of tables plus named scalar
+// variables (the paper's example uses a database variable
+// `current_order_number` acting as a counter).
+
+#ifndef ACCDB_STORAGE_DATABASE_H_
+#define ACCDB_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace accdb::storage {
+
+class Database {
+ public:
+  Database() = default;
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // Creates a table; the returned pointer stays valid for the database's
+  // lifetime. Dies on duplicate names (schema setup is programmer error).
+  Table* CreateTable(const std::string& name, Schema schema);
+
+  // nullptr when absent.
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  Table* GetTable(TableId id);
+  const Table* GetTable(TableId id) const;
+
+  size_t table_count() const { return tables_.size(); }
+
+  // Scalar database variables are modelled as single-row tables so that they
+  // participate uniformly in locking and undo. The row has one INT64 column
+  // "value" and primary key column "id" (always 0).
+  Table* CreateVariable(const std::string& name, int64_t initial);
+  int64_t ReadVariable(const Table& var) const;
+
+  std::vector<const Table*> AllTables() const;
+
+ private:
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableId> by_name_;
+};
+
+// The RowId of a variable table's single row (inserted first, so always 1).
+inline constexpr RowId kVariableRowId = 1;
+
+}  // namespace accdb::storage
+
+#endif  // ACCDB_STORAGE_DATABASE_H_

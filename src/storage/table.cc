@@ -1,0 +1,238 @@
+#include "storage/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace accdb::storage {
+
+int Schema::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+CompositeKey Schema::KeyOf(const Row& row) const {
+  CompositeKey key;
+  key.reserve(key_columns.size());
+  for (int c : key_columns) key.push_back(row[c]);
+  return key;
+}
+
+Status Schema::Validate(const Row& row) const {
+  if (row.size() != columns.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row arity %zu != schema arity %zu", row.size(),
+                  columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (row[i].type() != columns[i].type) {
+      return Status::InvalidArgument(
+          StrFormat("column %s: expected %s, got %s", columns[i].name.c_str(),
+                    std::string(ColumnTypeName(columns[i].type)).c_str(),
+                    std::string(ColumnTypeName(row[i].type())).c_str()));
+    }
+  }
+  return Status::Ok();
+}
+
+Table::Table(TableId id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
+  assert(!schema_.key_columns.empty() && "table requires a primary key");
+}
+
+IndexId Table::AddIndex(std::string name, std::vector<int> columns) {
+  assert(rows_.empty() && "indexes must be created before inserts");
+  indexes_.push_back(SecondaryIndex{std::move(name), std::move(columns), {}});
+  return static_cast<IndexId>(indexes_.size() - 1);
+}
+
+CompositeKey Table::IndexKeyOf(const SecondaryIndex& index,
+                               const Row& row) const {
+  CompositeKey key;
+  key.reserve(index.columns.size());
+  for (int c : index.columns) key.push_back(row[c]);
+  return key;
+}
+
+void Table::IndexInsert(RowId id, const Row& row) {
+  for (auto& index : indexes_) {
+    index.entries.emplace(IndexKeyOf(index, row), id);
+  }
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  for (auto& index : indexes_) {
+    auto [lo, hi] = index.entries.equal_range(IndexKeyOf(index, row));
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == id) {
+        index.entries.erase(it);
+        break;
+      }
+    }
+  }
+}
+
+Result<RowId> Table::Insert(const Row& row) {
+  ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
+  CompositeKey key = schema_.KeyOf(row);
+  if (pk_index_.contains(key)) {
+    return Status::AlreadyExists(name_ + " pk " + CompositeKeyToString(key));
+  }
+  RowId id = next_row_id_++;
+  pk_index_.emplace(std::move(key), id);
+  IndexInsert(id, row);
+  rows_.emplace(id, row);
+  return id;
+}
+
+Status Table::InsertWithId(RowId id, const Row& row) {
+  ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
+  if (rows_.contains(id)) {
+    return Status::AlreadyExists(StrFormat("row id %llu live",
+                                           static_cast<unsigned long long>(id)));
+  }
+  CompositeKey key = schema_.KeyOf(row);
+  if (pk_index_.contains(key)) {
+    return Status::AlreadyExists(name_ + " pk " + CompositeKeyToString(key));
+  }
+  pk_index_.emplace(std::move(key), id);
+  IndexInsert(id, row);
+  rows_.emplace(id, row);
+  next_row_id_ = std::max(next_row_id_, id + 1);
+  return Status::Ok();
+}
+
+const Row* Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Status Table::Update(RowId id, const Row& row) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
+  if (schema_.KeyOf(row) != schema_.KeyOf(it->second)) {
+    return Status::InvalidArgument("primary key update not supported");
+  }
+  IndexErase(id, it->second);
+  it->second = row;
+  IndexInsert(id, it->second);
+  return Status::Ok();
+}
+
+Status Table::UpdateColumns(
+    RowId id, const std::vector<std::pair<int, Value>>& updates) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  // Reject key-column updates; secondary-indexed column updates go through
+  // the index-maintaining path.
+  bool touches_index = false;
+  for (const auto& [col, value] : updates) {
+    if (col < 0 || col >= static_cast<int>(schema_.columns.size())) {
+      return Status::InvalidArgument(StrFormat("bad column %d", col));
+    }
+    if (value.type() != schema_.columns[col].type) {
+      return Status::InvalidArgument(
+          StrFormat("column %s type mismatch",
+                    schema_.columns[col].name.c_str()));
+    }
+    if (std::find(schema_.key_columns.begin(), schema_.key_columns.end(),
+                  col) != schema_.key_columns.end()) {
+      return Status::InvalidArgument("primary key update not supported");
+    }
+    for (const auto& index : indexes_) {
+      if (std::find(index.columns.begin(), index.columns.end(), col) !=
+          index.columns.end()) {
+        touches_index = true;
+      }
+    }
+  }
+  if (touches_index) IndexErase(id, it->second);
+  for (const auto& [col, value] : updates) it->second[col] = value;
+  if (touches_index) IndexInsert(id, it->second);
+  return Status::Ok();
+}
+
+Status Table::Delete(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  pk_index_.erase(schema_.KeyOf(it->second));
+  IndexErase(id, it->second);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<RowId> Table::LookupPk(const CompositeKey& key) const {
+  auto it = pk_index_.find(key);
+  if (it == pk_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::IsPrefix(const CompositeKey& prefix, const CompositeKey& full) {
+  if (prefix.size() > full.size()) return false;
+  for (size_t i = 0; i < prefix.size(); ++i) {
+    if (!(prefix[i] == full[i])) return false;
+  }
+  return true;
+}
+
+std::vector<RowId> Table::ScanPkPrefix(const CompositeKey& prefix) const {
+  std::vector<RowId> out;
+  for (auto it = pk_index_.lower_bound(prefix);
+       it != pk_index_.end() && IsPrefix(prefix, it->first); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::optional<RowId> Table::MinPkPrefix(const CompositeKey& prefix) const {
+  auto it = pk_index_.lower_bound(prefix);
+  if (it == pk_index_.end() || !IsPrefix(prefix, it->first)) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::vector<RowId> Table::LookupIndex(IndexId index,
+                                      const CompositeKey& key) const {
+  assert(index < indexes_.size());
+  std::vector<RowId> out;
+  auto [lo, hi] = indexes_[index].entries.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> Table::ScanIndexPrefix(IndexId index,
+                                          const CompositeKey& prefix) const {
+  assert(index < indexes_.size());
+  std::vector<RowId> out;
+  const auto& entries = indexes_[index].entries;
+  for (auto it = entries.lower_bound(prefix);
+       it != entries.end() && IsPrefix(prefix, it->first); ++it) {
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<RowId> Table::ScanAll() const {
+  std::vector<RowId> out;
+  out.reserve(rows_.size());
+  for (const auto& [id, row] : rows_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace accdb::storage

@@ -1,0 +1,138 @@
+// In-memory relational table with a primary-key index and optional ordered
+// secondary indexes.
+//
+// Rows are addressed by a stable RowId assigned at insert time; RowIds are
+// never reused while the table lives (deleted ids stay dead), which makes
+// them safe identities for the lock manager to attach locks to. Restoring a
+// deleted row under its original RowId is supported for undo/compensation.
+//
+// The table itself performs no concurrency control and no logging; those are
+// the responsibility of the transaction layer above it (src/acc). All
+// methods are single-threaded from the storage engine's point of view — the
+// simulation kernel guarantees one active process at a time.
+
+#ifndef ACCDB_STORAGE_TABLE_H_
+#define ACCDB_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace accdb::storage {
+
+using TableId = uint32_t;
+using RowId = uint64_t;
+using IndexId = uint32_t;
+
+inline constexpr RowId kInvalidRowId = 0;
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type;
+};
+
+// Row representation: one Value per schema column.
+using Row = std::vector<Value>;
+
+// Table schema: columns plus the (ordered) list of column positions forming
+// the primary key.
+struct Schema {
+  std::vector<ColumnDef> columns;
+  std::vector<int> key_columns;
+
+  // Index of the named column, or -1.
+  int ColumnIndex(std::string_view name) const;
+  // Extracts the primary key of `row` per key_columns.
+  CompositeKey KeyOf(const Row& row) const;
+  // Validates that `row` matches the schema (arity and types).
+  Status Validate(const Row& row) const;
+};
+
+class Table {
+ public:
+  Table(TableId id, std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  TableId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  // Adds an ordered secondary index over the given column positions.
+  // Must be called before rows are inserted (asserted).
+  IndexId AddIndex(std::string name, std::vector<int> columns);
+
+  // Inserts a row; fails with kAlreadyExists on a duplicate primary key.
+  Result<RowId> Insert(const Row& row);
+
+  // Re-inserts a previously deleted row under its original id (undo path).
+  Status InsertWithId(RowId id, const Row& row);
+
+  // nullptr if the id is not live.
+  const Row* Get(RowId id) const;
+
+  // Replaces the whole row. Key columns must not change (use Delete+Insert
+  // for key updates). Fails with kNotFound for dead ids.
+  Status Update(RowId id, const Row& row);
+
+  // Updates a subset of (non-key, non-secondary-indexed) columns in place.
+  Status UpdateColumns(RowId id,
+                       const std::vector<std::pair<int, Value>>& updates);
+
+  Status Delete(RowId id);
+
+  // Primary-key point lookup.
+  std::optional<RowId> LookupPk(const CompositeKey& key) const;
+
+  // All live rows whose primary key has `prefix` as a prefix, in key order.
+  std::vector<RowId> ScanPkPrefix(const CompositeKey& prefix) const;
+
+  // First (smallest-key) row matching the primary-key prefix, if any.
+  std::optional<RowId> MinPkPrefix(const CompositeKey& prefix) const;
+
+  // All live rows whose secondary-index key equals `key`, in RowId order.
+  std::vector<RowId> LookupIndex(IndexId index, const CompositeKey& key) const;
+
+  // All live rows in index-key order whose index key has `prefix` as a
+  // prefix.
+  std::vector<RowId> ScanIndexPrefix(IndexId index,
+                                     const CompositeKey& prefix) const;
+
+  // Full scan in RowId order (tests / consistency checks only).
+  std::vector<RowId> ScanAll() const;
+
+ private:
+  struct SecondaryIndex {
+    std::string name;
+    std::vector<int> columns;
+    std::multimap<CompositeKey, RowId, CompositeKeyCompare> entries;
+  };
+
+  CompositeKey IndexKeyOf(const SecondaryIndex& index, const Row& row) const;
+  void IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  // True if `key` is a prefix of `full`.
+  static bool IsPrefix(const CompositeKey& prefix, const CompositeKey& full);
+
+  const TableId id_;
+  const std::string name_;
+  const Schema schema_;
+
+  std::unordered_map<RowId, Row> rows_;
+  std::map<CompositeKey, RowId, CompositeKeyCompare> pk_index_;
+  std::vector<SecondaryIndex> indexes_;
+  RowId next_row_id_ = 1;
+};
+
+}  // namespace accdb::storage
+
+#endif  // ACCDB_STORAGE_TABLE_H_

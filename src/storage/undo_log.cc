@@ -1,0 +1,49 @@
+#include "storage/undo_log.h"
+
+#include <cassert>
+
+namespace accdb::storage {
+
+void UndoLog::WillInsert(TableId table, RowId id) {
+  records_.push_back(Record{Op::kInsert, table, id, {}});
+}
+
+void UndoLog::WillUpdate(TableId table, RowId id, Row before) {
+  records_.push_back(Record{Op::kUpdate, table, id, std::move(before)});
+}
+
+void UndoLog::WillDelete(TableId table, RowId id, Row before) {
+  records_.push_back(Record{Op::kDelete, table, id, std::move(before)});
+}
+
+Status UndoLog::RollbackTo(Savepoint sp) {
+  assert(sp <= records_.size());
+  Status first_error;
+  while (records_.size() > sp) {
+    Record& rec = records_.back();
+    Table* table = db_->GetTable(rec.table);
+    assert(table != nullptr);
+    Status status;
+    switch (rec.op) {
+      case Op::kInsert:
+        status = table->Delete(rec.row_id);
+        break;
+      case Op::kUpdate:
+        status = table->Update(rec.row_id, rec.before);
+        break;
+      case Op::kDelete:
+        status = table->InsertWithId(rec.row_id, rec.before);
+        break;
+    }
+    if (!status.ok() && first_error.ok()) first_error = status;
+    records_.pop_back();
+  }
+  return first_error;
+}
+
+void UndoLog::ReleaseTo(Savepoint sp) {
+  assert(sp <= records_.size());
+  records_.resize(sp);
+}
+
+}  // namespace accdb::storage

@@ -1,0 +1,70 @@
+// Before-image undo log.
+//
+// Steps of a decomposed transaction are atomic: if a step is chosen as a
+// deadlock victim its partial effects must be erased physically. The
+// serializable baseline additionally needs whole-transaction physical
+// rollback. Both use this log: the transaction layer records a before-image
+// immediately before each mutation, takes savepoints at step boundaries, and
+// rolls back in reverse order.
+//
+// Note the contrast with compensation (src/acc): compensation *semantically*
+// undoes committed forward steps with new forward-executing code; the undo
+// log *physically* undoes an uncommitted step.
+
+#ifndef ACCDB_STORAGE_UNDO_LOG_H_
+#define ACCDB_STORAGE_UNDO_LOG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace accdb::storage {
+
+class UndoLog {
+ public:
+  using Savepoint = size_t;
+
+  explicit UndoLog(Database* db) : db_(db) {}
+
+  Savepoint Mark() const { return records_.size(); }
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  // Record-before-mutate API. Callers invoke these *before* performing the
+  // corresponding table operation.
+  void WillInsert(TableId table, RowId id);
+  void WillUpdate(TableId table, RowId id, Row before);
+  void WillDelete(TableId table, RowId id, Row before);
+
+  // Undoes all records after `sp` (most recent first) and truncates the log
+  // back to `sp`. Returns the first failure, if any (a failure indicates a
+  // logic bug; callers treat it as fatal).
+  Status RollbackTo(Savepoint sp);
+
+  // Undoes everything.
+  Status RollbackAll() { return RollbackTo(0); }
+
+  // Discards records after `sp` without undoing (commit of a step or
+  // transaction).
+  void ReleaseTo(Savepoint sp);
+  void ReleaseAll() { ReleaseTo(0); }
+
+ private:
+  enum class Op { kInsert, kUpdate, kDelete };
+
+  struct Record {
+    Op op;
+    TableId table;
+    RowId row_id;
+    Row before;  // Empty for kInsert.
+  };
+
+  Database* db_;
+  std::vector<Record> records_;
+};
+
+}  // namespace accdb::storage
+
+#endif  // ACCDB_STORAGE_UNDO_LOG_H_

@@ -1,0 +1,63 @@
+#include "storage/value.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace accdb::storage {
+
+std::string_view ColumnTypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64: return "INT64";
+    case ColumnType::kDouble: return "DOUBLE";
+    case ColumnType::kMoney: return "MONEY";
+    case ColumnType::kString: return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ColumnType::kInt64:
+      return StrFormat("%lld", static_cast<long long>(AsInt64()));
+    case ColumnType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case ColumnType::kMoney:
+      return "$" + AsMoney().ToString();
+    case ColumnType::kString:
+      return "\"" + AsString() + "\"";
+  }
+  return "?";
+}
+
+bool operator<(const Value& a, const Value& b) {
+  assert(a.type() == b.type() && "ordering values of different types");
+  switch (a.type()) {
+    case ColumnType::kInt64: return a.AsInt64() < b.AsInt64();
+    case ColumnType::kDouble: return a.AsDouble() < b.AsDouble();
+    case ColumnType::kMoney: return a.AsMoney() < b.AsMoney();
+    case ColumnType::kString: return a.AsString() < b.AsString();
+  }
+  return false;
+}
+
+bool CompositeKeyLess(const CompositeKey& a, const CompositeKey& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (a[i] < b[i]) return true;
+    if (b[i] < a[i]) return false;
+  }
+  return a.size() < b.size();
+}
+
+std::string CompositeKeyToString(const CompositeKey& key) {
+  std::string out = "(";
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += key[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace accdb::storage

@@ -1,0 +1,88 @@
+// Typed column values.
+//
+// The storage engine is schema-typed: every column has a declared ColumnType
+// and every Value stored in it must match. Supported types cover what the
+// TPC-C and order-processing schemas need: 64-bit integers, doubles (tax
+// rates / quantities), exact Money, and strings.
+
+#ifndef ACCDB_STORAGE_VALUE_H_
+#define ACCDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/money.h"
+
+namespace accdb::storage {
+
+enum class ColumnType { kInt64, kDouble, kMoney, kString };
+
+std::string_view ColumnTypeName(ColumnType type);
+
+class Value {
+ public:
+  Value() : v_(int64_t{0}) {}
+  Value(int64_t v) : v_(v) {}            // NOLINT(runtime/explicit)
+  Value(int v) : v_(int64_t{v}) {}       // NOLINT(runtime/explicit)
+  Value(double v) : v_(v) {}             // NOLINT(runtime/explicit)
+  Value(Money v) : v_(v) {}              // NOLINT(runtime/explicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(runtime/explicit)
+
+  ColumnType type() const {
+    switch (v_.index()) {
+      case 0: return ColumnType::kInt64;
+      case 1: return ColumnType::kDouble;
+      case 2: return ColumnType::kMoney;
+      default: return ColumnType::kString;
+    }
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(v_); }
+  double AsDouble() const { return std::get<double>(v_); }
+  Money AsMoney() const { return std::get<Money>(v_); }
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+
+  // Debug rendering, e.g. `42`, `"abc"`, `$12.34`.
+  std::string ToString() const;
+
+  // Equality requires identical types.
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+  // Ordering is defined only between same-typed values (asserted).
+  friend bool operator<(const Value& a, const Value& b);
+
+ private:
+  std::variant<int64_t, double, Money, std::string> v_;
+};
+
+// Composite key over an ordered set of column values; used by primary and
+// secondary indexes. Lexicographic ordering; a shorter key that is a prefix
+// of a longer one sorts first (this gives natural prefix range scans).
+using CompositeKey = std::vector<Value>;
+
+bool CompositeKeyLess(const CompositeKey& a, const CompositeKey& b);
+
+struct CompositeKeyCompare {
+  bool operator()(const CompositeKey& a, const CompositeKey& b) const {
+    return CompositeKeyLess(a, b);
+  }
+};
+
+std::string CompositeKeyToString(const CompositeKey& key);
+
+// Convenience builder: Key(1, 2, "abc").
+template <typename... Args>
+CompositeKey Key(Args&&... args) {
+  CompositeKey key;
+  key.reserve(sizeof...(args));
+  (key.emplace_back(Value(std::forward<Args>(args))), ...);
+  return key;
+}
+
+}  // namespace accdb::storage
+
+#endif  // ACCDB_STORAGE_VALUE_H_

@@ -1,0 +1,294 @@
+#include "tpcc/consistency.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace accdb::tpcc {
+
+namespace {
+
+using DistrictKey = std::pair<int64_t, int64_t>;           // (w, d).
+using OrderKey = std::tuple<int64_t, int64_t, int64_t>;    // (w, d, o).
+using CustomerKey = std::tuple<int64_t, int64_t, int64_t>;  // (w, d, c).
+
+}  // namespace
+
+ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
+  ConsistencyReport report;
+
+  // --- Gather aggregates in one pass per table ---
+  std::map<int64_t, Money> w_ytd;
+  for (storage::RowId id : db.warehouse->ScanAll()) {
+    const storage::Row& row = *db.warehouse->Get(id);
+    w_ytd[row[db.w_id].AsInt64()] = row[db.w_ytd].AsMoney();
+  }
+
+  std::map<DistrictKey, Money> d_ytd;
+  std::map<DistrictKey, int64_t> d_next;
+  for (storage::RowId id : db.district->ScanAll()) {
+    const storage::Row& row = *db.district->Get(id);
+    DistrictKey key{row[db.d_w_id].AsInt64(), row[db.d_id].AsInt64()};
+    d_ytd[key] = row[db.d_ytd].AsMoney();
+    d_next[key] = row[db.d_next_o_id].AsInt64();
+  }
+
+  std::map<DistrictKey, int64_t> max_o, order_count, sum_ol_cnt;
+  std::map<OrderKey, int64_t> o_ol_cnt, o_carrier;
+  for (storage::RowId id : db.orders->ScanAll()) {
+    const storage::Row& row = *db.orders->Get(id);
+    DistrictKey dk{row[db.o_w_id].AsInt64(), row[db.o_d_id].AsInt64()};
+    int64_t o = row[db.o_id].AsInt64();
+    max_o[dk] = std::max(max_o[dk], o);
+    ++order_count[dk];
+    sum_ol_cnt[dk] += row[db.o_ol_cnt].AsInt64();
+    OrderKey ok{dk.first, dk.second, o};
+    o_ol_cnt[ok] = row[db.o_ol_cnt].AsInt64();
+    o_carrier[ok] = row[db.o_carrier_id].AsInt64();
+  }
+
+  std::map<DistrictKey, int64_t> max_no, min_no, no_count;
+  std::map<OrderKey, bool> has_new_order;
+  for (storage::RowId id : db.new_order->ScanAll()) {
+    const storage::Row& row = *db.new_order->Get(id);
+    DistrictKey dk{row[db.no_w_id].AsInt64(), row[db.no_d_id].AsInt64()};
+    int64_t o = row[db.no_o_id].AsInt64();
+    if (!no_count.contains(dk)) {
+      min_no[dk] = o;
+      max_no[dk] = o;
+    }
+    min_no[dk] = std::min(min_no[dk], o);
+    max_no[dk] = std::max(max_no[dk], o);
+    ++no_count[dk];
+    has_new_order[OrderKey{dk.first, dk.second, o}] = true;
+  }
+
+  std::map<DistrictKey, int64_t> ol_count;
+  std::map<OrderKey, int64_t> lines_per_order;
+  std::map<OrderKey, int64_t> undelivered_lines;
+  std::map<CustomerKey, Money> delivered_amount;
+  // Delivered amounts credited to the ordering customer need the order's
+  // customer; collect per order first.
+  std::map<OrderKey, Money> order_delivered_amount;
+  for (storage::RowId id : db.order_line->ScanAll()) {
+    const storage::Row& row = *db.order_line->Get(id);
+    DistrictKey dk{row[db.ol_w_id].AsInt64(), row[db.ol_d_id].AsInt64()};
+    OrderKey ok{dk.first, dk.second, row[db.ol_o_id].AsInt64()};
+    ++ol_count[dk];
+    ++lines_per_order[ok];
+    if (row[db.ol_delivery_d].AsInt64() == 0) {
+      ++undelivered_lines[ok];
+    } else {
+      order_delivered_amount[ok] += row[db.ol_amount].AsMoney();
+    }
+  }
+  std::map<OrderKey, int64_t> order_customer;
+  for (storage::RowId id : db.orders->ScanAll()) {
+    const storage::Row& row = *db.orders->Get(id);
+    OrderKey ok{row[db.o_w_id].AsInt64(), row[db.o_d_id].AsInt64(),
+                row[db.o_id].AsInt64()};
+    order_customer[ok] = row[db.o_c_id].AsInt64();
+  }
+  for (const auto& [ok, amount] : order_delivered_amount) {
+    auto it = order_customer.find(ok);
+    if (it != order_customer.end()) {
+      delivered_amount[CustomerKey{std::get<0>(ok), std::get<1>(ok),
+                                   it->second}] += amount;
+    }
+  }
+
+  std::map<int64_t, Money> history_by_warehouse;
+  std::map<DistrictKey, Money> history_by_district;
+  std::map<CustomerKey, Money> history_by_customer;
+  for (storage::RowId id : db.history->ScanAll()) {
+    const storage::Row& row = *db.history->Get(id);
+    Money amount = row[db.h_amount].AsMoney();
+    history_by_warehouse[row[db.h_w_id].AsInt64()] += amount;
+    history_by_district[DistrictKey{row[db.h_w_id].AsInt64(),
+                                    row[db.h_d_id].AsInt64()}] += amount;
+    history_by_customer[CustomerKey{row[db.h_c_w_id].AsInt64(),
+                                    row[db.h_c_d_id].AsInt64(),
+                                    row[db.h_c_id].AsInt64()}] += amount;
+  }
+
+  // --- Condition 1: W_YTD = sum(D_YTD) ---
+  {
+    std::map<int64_t, Money> district_sums;
+    for (const auto& [dk, ytd] : d_ytd) district_sums[dk.first] += ytd;
+    for (const auto& [w, ytd] : w_ytd) {
+      if (district_sums[w] != ytd) {
+        report.Fail(StrFormat("C1: W_YTD %s != sum(D_YTD) %s for w=%lld",
+                              ytd.ToString().c_str(),
+                              district_sums[w].ToString().c_str(),
+                              static_cast<long long>(w)));
+      }
+    }
+  }
+
+  // --- Conditions 2 & 11: D_NEXT_O_ID vs max(O_ID) and order counts ---
+  for (const auto& [dk, next] : d_next) {
+    int64_t maximum = max_o.contains(dk) ? max_o[dk] : 0;
+    if (strict ? (next - 1 != maximum) : (next - 1 < maximum)) {
+      report.Fail(StrFormat("C2: d_next_o_id-1=%lld %s max(o_id)=%lld @(%lld,%lld)",
+                            static_cast<long long>(next - 1),
+                            strict ? "!=" : "<",
+                            static_cast<long long>(maximum),
+                            static_cast<long long>(dk.first),
+                            static_cast<long long>(dk.second)));
+    }
+    if (max_no.contains(dk) && max_no[dk] > maximum) {
+      report.Fail("C2b: max(NO_O_ID) > max(O_ID)");
+    }
+    int64_t orders_in_district = order_count.contains(dk) ? order_count[dk] : 0;
+    if (strict ? (orders_in_district != next - 1)
+               : (orders_in_district > next - 1)) {
+      report.Fail(StrFormat("C11: count(orders)=%lld %s d_next_o_id-1=%lld",
+                            static_cast<long long>(orders_in_district),
+                            strict ? "!=" : ">",
+                            static_cast<long long>(next - 1)));
+    }
+  }
+
+  // --- Condition 3: NEW-ORDER id contiguity ---
+  for (const auto& [dk, count] : no_count) {
+    int64_t span = max_no[dk] - min_no[dk] + 1;
+    if (strict ? (count != span) : (count > span)) {
+      report.Fail(StrFormat("C3: new_order count %lld %s span %lld",
+                            static_cast<long long>(count),
+                            strict ? "!=" : ">",
+                            static_cast<long long>(span)));
+    }
+  }
+
+  // --- Condition 4: sum(O_OL_CNT) = count(ORDER-LINE) per district ---
+  for (const auto& [dk, sum] : sum_ol_cnt) {
+    int64_t lines = ol_count.contains(dk) ? ol_count[dk] : 0;
+    if (sum != lines) {
+      report.Fail(StrFormat("C4: sum(o_ol_cnt)=%lld != order_lines=%lld "
+                            "@(%lld,%lld)",
+                            static_cast<long long>(sum),
+                            static_cast<long long>(lines),
+                            static_cast<long long>(dk.first),
+                            static_cast<long long>(dk.second)));
+    }
+  }
+
+  // --- Conditions 5, 6, 7 per order ---
+  for (const auto& [ok, cnt] : o_ol_cnt) {
+    bool has_no = has_new_order.contains(ok);
+    bool undelivered = o_carrier[ok] == 0;
+    // C5: carrier is unassigned iff a NEW-ORDER row exists.
+    if (has_no != undelivered) {
+      report.Fail(StrFormat("C5: order (%lld,%lld,%lld) carrier=%lld "
+                            "new_order=%d",
+                            static_cast<long long>(std::get<0>(ok)),
+                            static_cast<long long>(std::get<1>(ok)),
+                            static_cast<long long>(std::get<2>(ok)),
+                            static_cast<long long>(o_carrier[ok]),
+                            has_no ? 1 : 0));
+    }
+    // C6: O_OL_CNT = number of order lines (the paper's I1).
+    int64_t lines = lines_per_order.contains(ok) ? lines_per_order[ok] : 0;
+    if (cnt != lines) {
+      report.Fail(StrFormat("C6: order (%lld,%lld,%lld) o_ol_cnt=%lld "
+                            "lines=%lld",
+                            static_cast<long long>(std::get<0>(ok)),
+                            static_cast<long long>(std::get<1>(ok)),
+                            static_cast<long long>(std::get<2>(ok)),
+                            static_cast<long long>(cnt),
+                            static_cast<long long>(lines)));
+    }
+    // C7: OL_DELIVERY_D is unset iff the order is undelivered.
+    int64_t undelivered_cnt =
+        undelivered_lines.contains(ok) ? undelivered_lines[ok] : 0;
+    if (undelivered && undelivered_cnt != lines) {
+      report.Fail("C7: undelivered order has stamped lines");
+    }
+    if (!undelivered && undelivered_cnt != 0) {
+      report.Fail("C7: delivered order has unstamped lines");
+    }
+  }
+
+  // --- Conditions 8 & 9: YTD vs history sums ---
+  // The loader starts warehouses at $300000 and districts at $30000 with
+  // customers_per_district initial $10 history rows per district.
+  for (const auto& [w, ytd] : w_ytd) {
+    Money base = Money::FromDollars(300000);
+    Money hist = history_by_warehouse.contains(w) ? history_by_warehouse[w]
+                                                  : Money();
+    // Initial history rows: one $10 per customer of the warehouse.
+    // They are included in `hist`, and the loaded w_ytd excludes them, so:
+    // w_ytd = base + (hist - initial_hist). Compute initial from customer
+    // counts.
+    int64_t customers = 0;
+    for (storage::RowId id : db.customer->ScanAll()) {
+      if ((*db.customer->Get(id))[db.c_w_id].AsInt64() == w) ++customers;
+    }
+    Money initial_hist = Money::FromDollars(10) * customers;
+    if (ytd != base + hist - initial_hist) {
+      report.Fail(StrFormat("C8: w_ytd %s != 300000 + payments %s",
+                            ytd.ToString().c_str(),
+                            (hist - initial_hist).ToString().c_str()));
+    }
+  }
+  for (const auto& [dk, ytd] : d_ytd) {
+    Money base = Money::FromDollars(30000);
+    Money hist = history_by_district.contains(dk) ? history_by_district[dk]
+                                                  : Money();
+    int64_t customers = 0;
+    for (storage::RowId id : db.customer->ScanAll()) {
+      const storage::Row& row = *db.customer->Get(id);
+      if (row[db.c_w_id].AsInt64() == dk.first &&
+          row[db.c_d_id].AsInt64() == dk.second) {
+        ++customers;
+      }
+    }
+    Money initial_hist = Money::FromDollars(10) * customers;
+    if (ytd != base + hist - initial_hist) {
+      report.Fail(StrFormat("C9: d_ytd %s mismatch @(%lld,%lld)",
+                            ytd.ToString().c_str(),
+                            static_cast<long long>(dk.first),
+                            static_cast<long long>(dk.second)));
+    }
+  }
+
+  // --- Conditions 10 & 12 per customer ---
+  for (storage::RowId id : db.customer->ScanAll()) {
+    const storage::Row& row = *db.customer->Get(id);
+    CustomerKey ck{row[db.c_w_id].AsInt64(), row[db.c_d_id].AsInt64(),
+                   row[db.c_id].AsInt64()};
+    Money balance = row[db.c_balance].AsMoney();
+    Money ytd_payment = row[db.c_ytd_payment].AsMoney();
+    Money delivered = delivered_amount.contains(ck) ? delivered_amount[ck]
+                                                    : Money();
+    Money payments = history_by_customer.contains(ck)
+                         ? history_by_customer[ck]
+                         : Money();
+    // C10: C_BALANCE = sum(delivered OL_AMOUNT) - sum(H_AMOUNT).
+    if (balance != delivered - payments) {
+      report.Fail(StrFormat(
+          "C10: customer (%lld,%lld,%lld) balance %s != delivered %s - "
+          "payments %s",
+          static_cast<long long>(std::get<0>(ck)),
+          static_cast<long long>(std::get<1>(ck)),
+          static_cast<long long>(std::get<2>(ck)),
+          balance.ToString().c_str(), delivered.ToString().c_str(),
+          payments.ToString().c_str()));
+    }
+    // C12: C_BALANCE + C_YTD_PAYMENT = sum(delivered OL_AMOUNT).
+    if (balance + ytd_payment != delivered) {
+      report.Fail(StrFormat("C12: customer (%lld,%lld,%lld) balance+ytd %s "
+                            "!= delivered %s",
+                            static_cast<long long>(std::get<0>(ck)),
+                            static_cast<long long>(std::get<1>(ck)),
+                            static_cast<long long>(std::get<2>(ck)),
+                            (balance + ytd_payment).ToString().c_str(),
+                            delivered.ToString().c_str()));
+    }
+  }
+
+  return report;
+}
+
+}  // namespace accdb::tpcc

@@ -1,0 +1,35 @@
+// The TPC-C consistency conditions (clause 3.3.2) — the paper's database
+// consistency constraint I, "twelve components".
+//
+// Conditions are evaluated offline (quiesced database, no locks). Under the
+// ACC, compensated new-orders legitimately consume an order number without
+// leaving rows behind, so three conditions that assume every consumed id
+// has rows become inequalities unless `strict` is set (use strict for runs
+// with no compensation).
+
+#ifndef ACCDB_TPCC_CONSISTENCY_H_
+#define ACCDB_TPCC_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "tpcc/tpcc_db.h"
+
+namespace accdb::tpcc {
+
+struct ConsistencyReport {
+  bool ok = true;
+  std::vector<std::string> violations;
+
+  void Fail(std::string message) {
+    ok = false;
+    violations.push_back(std::move(message));
+  }
+};
+
+// Runs all twelve conditions; each violation is described in the report.
+ConsistencyReport CheckConsistency(const TpccDb& db, bool strict);
+
+}  // namespace accdb::tpcc
+
+#endif  // ACCDB_TPCC_CONSISTENCY_H_

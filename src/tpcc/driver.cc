@@ -1,0 +1,152 @@
+#include "tpcc/driver.h"
+
+#include <memory>
+
+#include "acc/conflict_resolver.h"
+#include "acc/sim_env.h"
+#include "common/string_util.h"
+#include "lock/conflict.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "storage/database.h"
+#include "tpcc/consistency.h"
+#include "tpcc/loader.h"
+#include "tpcc/tpcc_db.h"
+#include "tpcc/transactions.h"
+
+namespace accdb::tpcc {
+
+namespace {
+
+// One terminal: a closed loop of keying, transaction, thinking.
+class Terminal {
+ public:
+  Terminal(TpccDb* db, acc::Engine* engine, const WorkloadConfig& config,
+           sim::Simulation* sim, sim::Resource* servers, uint64_t seed,
+           WorkloadResult* result)
+      : db_(db),
+        engine_(engine),
+        config_(config),
+        sim_(sim),
+        env_(*sim, servers),
+        gen_(config.inputs, seed),
+        rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+        result_(result) {}
+
+  void Run() {
+    while (sim_->Now() < config_.sim_seconds) {
+      if (config_.keying_seconds > 0) sim_->Delay(config_.keying_seconds);
+      TxnType type = gen_.NextType();
+      double start = sim_->Now();
+      acc::ExecResult exec = RunOne(type);
+      double response = sim_->Now() - start;
+
+      result_->response_all.Add(response);
+      result_->response_by_type[static_cast<int>(type)].Add(response);
+      if (exec.status.ok()) {
+        ++result_->completed;
+      } else {
+        ++result_->aborted;
+      }
+      if (exec.compensated) ++result_->compensated;
+      result_->step_deadlock_retries += exec.step_deadlock_retries;
+      result_->txn_restarts += exec.txn_restarts;
+
+      if (config_.mean_think_seconds > 0) {
+        sim_->Delay(rng_.Exponential(config_.mean_think_seconds));
+      }
+    }
+    result_->total_lock_wait += env_.total_lock_wait();
+  }
+
+ private:
+  acc::ExecResult RunOne(TxnType type) {
+    acc::ExecMode mode = config_.decomposed ? acc::ExecMode::kAccDecomposed
+                                            : acc::ExecMode::kSerializable;
+    switch (type) {
+      case TxnType::kNewOrder: {
+        NewOrderTxn txn(db_, gen_.NextNewOrder(), config_.compute_seconds,
+                        config_.granularity);
+        return engine_->Execute(txn, env_, mode);
+      }
+      case TxnType::kPayment: {
+        PaymentTxn txn(db_, gen_.NextPayment(), config_.compute_seconds);
+        return engine_->Execute(txn, env_, mode);
+      }
+      case TxnType::kOrderStatus: {
+        OrderStatusTxn txn(db_, gen_.NextOrderStatus(),
+                           config_.compute_seconds);
+        return engine_->Execute(txn, env_, mode);
+      }
+      case TxnType::kDelivery: {
+        DeliveryTxn txn(db_, gen_.NextDelivery(), config_.compute_seconds);
+        return engine_->Execute(txn, env_, mode);
+      }
+      case TxnType::kStockLevel: {
+        StockLevelTxn txn(db_, gen_.NextStockLevel(),
+                          config_.compute_seconds);
+        return engine_->Execute(txn, env_, mode);
+      }
+    }
+    return acc::ExecResult{Status::Internal("bad type"), 0, 0, 0, false};
+  }
+
+  TpccDb* db_;
+  acc::Engine* engine_;
+  const WorkloadConfig& config_;
+  sim::Simulation* sim_;
+  acc::SimExecutionEnv env_;
+  InputGenerator gen_;
+  Rng rng_;
+  WorkloadResult* result_;
+};
+
+}  // namespace
+
+WorkloadResult RunWorkload(const WorkloadConfig& config) {
+  storage::Database database;
+  TpccDb db(&database);
+  LoadDatabase(db, config.inputs.scale, config.seed);
+  db.interference.set_key_refinement(config.key_refinement);
+
+  lock::MatrixConflictResolver matrix_resolver;
+  acc::AccConflictResolver acc_resolver(&db.interference);
+  const lock::ConflictResolver* resolver =
+      config.decomposed
+          ? static_cast<const lock::ConflictResolver*>(&acc_resolver)
+          : &matrix_resolver;
+  acc::EngineConfig engine_config = config.engine;
+  if (engine_config.two_level_dispatch &&
+      engine_config.dispatch_assertions.empty()) {
+    engine_config.dispatch_assertions = {db.assert_no_loop,
+                                         db.assert_order_complete,
+                                         db.assert_pay, db.assert_dlv};
+  }
+  acc::Engine engine(&database, resolver, engine_config);
+
+  WorkloadResult result;
+  {
+    sim::Simulation sim;
+    sim::Resource servers(sim, config.servers);
+    Rng seeder(config.seed * 7919 + 17);
+    std::vector<std::unique_ptr<Terminal>> terminals;
+    terminals.reserve(config.terminals);
+    for (int t = 0; t < config.terminals; ++t) {
+      terminals.push_back(std::make_unique<Terminal>(
+          &db, &engine, config, &sim, &servers, seeder.Next(), &result));
+      Terminal* terminal = terminals.back().get();
+      sim.Spawn(StrFormat("terminal-%d", t),
+                [terminal] { terminal->Run(); });
+    }
+    result.sim_seconds = sim.Run();
+    result.lock_stats = engine.lock_manager().stats();
+  }
+
+  ConsistencyReport consistency =
+      CheckConsistency(db, /*strict=*/result.compensated == 0);
+  result.consistent = consistency.ok;
+  if (!consistency.ok) result.first_violation = consistency.violations[0];
+  return result;
+}
+
+}  // namespace accdb::tpcc

@@ -1,0 +1,71 @@
+// Experiment driver: runs the TPC-C mix from simulated terminals against
+// either system (ACC or unmodified/serializable) and collects the metrics
+// the paper's figures are built from.
+//
+// The model follows Section 5.2:
+//   * terminals issue transactions in a closed loop with keying + think
+//     time; the degree of concurrency is the terminal count;
+//   * a pool of database server processes executes SQL statements (a
+//     transaction holds a server only while a statement runs, never while
+//     waiting for a lock or thinking);
+//   * knobs: district skew (hot spots), client compute time between
+//     statements, order size, server count.
+
+#ifndef ACCDB_TPCC_DRIVER_H_
+#define ACCDB_TPCC_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "acc/engine.h"
+#include "sim/metrics.h"
+#include "tpcc/input.h"
+#include "tpcc/transactions.h"
+
+namespace accdb::tpcc {
+
+struct WorkloadConfig {
+  // System under test.
+  bool decomposed = true;  // true: ACC; false: unmodified (strict 2PL).
+  acc::EngineConfig engine;
+  // Ablation knobs (DESIGN.md §7).
+  NewOrderGranularity granularity = NewOrderGranularity::kFine;
+  bool key_refinement = true;  // false: two-level-ACC conservatism.
+
+  // Load.
+  int terminals = 10;
+  int servers = 3;
+  double sim_seconds = 60;
+  uint64_t seed = 1;
+  double mean_think_seconds = 1.0;   // Exponential think time.
+  double keying_seconds = 0.5;       // Fixed keying time.
+  double compute_seconds = 0;        // Client compute per SQL statement.
+
+  InputGenConfig inputs;
+};
+
+struct WorkloadResult {
+  sim::Accumulator response_all;
+  sim::Accumulator response_by_type[kNumTxnTypes];
+  uint64_t completed = 0;
+  uint64_t aborted = 0;  // Voluntary (the 1% new-order rollbacks).
+  uint64_t compensated = 0;
+  uint64_t step_deadlock_retries = 0;
+  uint64_t txn_restarts = 0;
+  double total_lock_wait = 0;
+  double sim_seconds = 0;
+  lock::LockManager::Stats lock_stats;
+  bool consistent = false;
+  std::string first_violation;
+
+  double throughput() const {
+    return sim_seconds > 0 ? static_cast<double>(completed) / sim_seconds : 0;
+  }
+};
+
+// Builds a fresh database, loads it, runs the workload, checks consistency.
+WorkloadResult RunWorkload(const WorkloadConfig& config);
+
+}  // namespace accdb::tpcc
+
+#endif  // ACCDB_TPCC_DRIVER_H_

@@ -1,0 +1,135 @@
+#include "tpcc/input.h"
+
+#include <algorithm>
+
+#include "tpcc/loader.h"
+
+namespace accdb::tpcc {
+
+std::string_view TxnTypeName(TxnType type) {
+  switch (type) {
+    case TxnType::kNewOrder: return "new_order";
+    case TxnType::kPayment: return "payment";
+    case TxnType::kOrderStatus: return "order_status";
+    case TxnType::kDelivery: return "delivery";
+    case TxnType::kStockLevel: return "stock_level";
+  }
+  return "?";
+}
+
+InputGenerator::InputGenerator(InputGenConfig config, uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {}
+
+TxnType InputGenerator::NextType() {
+  double total = 0;
+  for (double w : config_.mix) total += w;
+  double u = rng_.UniformDouble() * total;
+  for (int t = 0; t < kNumTxnTypes; ++t) {
+    u -= config_.mix[t];
+    if (u < 0) return static_cast<TxnType>(t);
+  }
+  return TxnType::kStockLevel;
+}
+
+int64_t InputGenerator::PickWarehouse() {
+  return rng_.UniformInt(1, config_.scale.warehouses);
+}
+
+int64_t InputGenerator::PickDistrict() {
+  int64_t n = config_.scale.districts_per_warehouse;
+  if (config_.skew_districts) {
+    return 1 + HotSpotChoice(rng_, n,
+                             std::min<int64_t>(config_.hot_districts, n),
+                             config_.hot_fraction);
+  }
+  return rng_.UniformInt(1, n);
+}
+
+int64_t InputGenerator::PickCustomerId() {
+  return NuRand(rng_, 1023, 1, config_.scale.customers_per_district,
+                config_.nurand.c_id);
+}
+
+std::string InputGenerator::PickCustomerLastName() {
+  // Names are generated over the first min(999, customers) numbers, which
+  // the loader assigned sequentially.
+  int64_t limit =
+      std::min<int64_t>(999, config_.scale.customers_per_district) - 1;
+  int64_t number = NuRand(rng_, 255, 0, limit, config_.nurand.c_last);
+  return CustomerLastName(number);
+}
+
+NewOrderInput InputGenerator::NextNewOrder() {
+  NewOrderInput input;
+  input.w_id = PickWarehouse();
+  input.d_id = PickDistrict();
+  input.c_id = PickCustomerId();
+  int64_t count =
+      rng_.UniformInt(config_.min_order_lines, config_.max_order_lines);
+  input.lines.reserve(count);
+  for (int64_t i = 0; i < count; ++i) {
+    NewOrderInput::Line line;
+    line.item_id = NuRand(rng_, 8191, 1, config_.scale.item_count,
+                          config_.nurand.ol_i_id);
+    line.quantity = rng_.UniformInt(1, 10);
+    line.supply_w_id = input.w_id;
+    if (config_.scale.warehouses > 1 &&
+        rng_.Bernoulli(config_.remote_supply_fraction)) {
+      do {
+        line.supply_w_id = rng_.UniformInt(1, config_.scale.warehouses);
+      } while (line.supply_w_id == input.w_id);
+    }
+    input.lines.push_back(line);
+  }
+  input.rollback = rng_.Bernoulli(config_.rollback_fraction);
+  return input;
+}
+
+PaymentInput InputGenerator::NextPayment() {
+  PaymentInput input;
+  input.w_id = PickWarehouse();
+  input.d_id = PickDistrict();
+  input.c_w_id = input.w_id;
+  input.c_d_id = input.d_id;
+  // Clause 2.5.1.2: with several warehouses, 15% of payments are made by a
+  // customer of a remote warehouse.
+  if (config_.scale.warehouses > 1 &&
+      rng_.Bernoulli(config_.remote_payment_fraction)) {
+    do {
+      input.c_w_id = rng_.UniformInt(1, config_.scale.warehouses);
+    } while (input.c_w_id == input.w_id);
+    input.c_d_id = rng_.UniformInt(1, config_.scale.districts_per_warehouse);
+  }
+  input.by_last_name = rng_.Bernoulli(0.6);
+  if (input.by_last_name) {
+    input.c_last = PickCustomerLastName();
+  } else {
+    input.c_id = PickCustomerId();
+  }
+  input.amount = Money::FromCents(rng_.UniformInt(100, 500000));
+  return input;
+}
+
+OrderStatusInput InputGenerator::NextOrderStatus() {
+  OrderStatusInput input;
+  input.w_id = PickWarehouse();
+  input.d_id = PickDistrict();
+  input.by_last_name = rng_.Bernoulli(0.6);
+  if (input.by_last_name) {
+    input.c_last = PickCustomerLastName();
+  } else {
+    input.c_id = PickCustomerId();
+  }
+  return input;
+}
+
+DeliveryInput InputGenerator::NextDelivery() {
+  return DeliveryInput{PickWarehouse(), rng_.UniformInt(1, 10)};
+}
+
+StockLevelInput InputGenerator::NextStockLevel() {
+  return StockLevelInput{PickWarehouse(), PickDistrict(),
+                         rng_.UniformInt(10, 20)};
+}
+
+}  // namespace accdb::tpcc

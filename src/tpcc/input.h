@@ -1,0 +1,114 @@
+// Run-time input generation for the five TPC-C transaction types
+// (clauses 2.4.1, 2.5.1, 2.6.1, 2.7.1, 2.8.1), with the experiment knobs
+// of Section 5.2: skewed district selection (hot spots) and order size.
+
+#ifndef ACCDB_TPCC_INPUT_H_
+#define ACCDB_TPCC_INPUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "tpcc/config.h"
+
+namespace accdb::tpcc {
+
+enum class TxnType : int {
+  kNewOrder = 0,
+  kPayment,
+  kOrderStatus,
+  kDelivery,
+  kStockLevel,
+};
+inline constexpr int kNumTxnTypes = 5;
+
+std::string_view TxnTypeName(TxnType type);
+
+struct NewOrderInput {
+  int64_t w_id, d_id, c_id;
+  struct Line {
+    int64_t item_id;
+    int64_t quantity;
+    // Supplying warehouse; != w_id for ~1% of lines when scale.warehouses
+    // > 1 (clause 2.4.1.5.3).
+    int64_t supply_w_id = 0;
+  };
+  std::vector<Line> lines;
+  bool rollback = false;  // The spec-mandated 1%: abort at the final item.
+};
+
+struct PaymentInput {
+  int64_t w_id, d_id;
+  int64_t c_w_id, c_d_id;
+  bool by_last_name;
+  int64_t c_id = 0;
+  std::string c_last;
+  Money amount;
+};
+
+struct OrderStatusInput {
+  int64_t w_id, d_id;
+  bool by_last_name;
+  int64_t c_id = 0;
+  std::string c_last;
+};
+
+struct DeliveryInput {
+  int64_t w_id;
+  int64_t carrier_id;
+};
+
+struct StockLevelInput {
+  int64_t w_id, d_id;
+  int64_t threshold;
+};
+
+struct InputGenConfig {
+  ScaleConfig scale;
+  NuRandConstants nurand;
+  // Hot-spot knob (Figure 2): with probability hot_fraction the district is
+  // drawn from the first hot_districts districts.
+  bool skew_districts = false;
+  int hot_districts = 1;
+  double hot_fraction = 0.6;
+  // Order size knob (Section 5.2 "increasing the number of items in an
+  // order" lengthens lock duration).
+  int min_order_lines = 5;
+  int max_order_lines = 15;
+  // Fraction of new-orders that must abort while ordering the final item.
+  double rollback_fraction = 0.01;
+  // Multi-warehouse behaviour (only when scale.warehouses > 1): fraction of
+  // order lines supplied by a remote warehouse (clause 2.4.1.5.3) and of
+  // payments made for a remote customer (clause 2.5.1.2).
+  double remote_supply_fraction = 0.01;
+  double remote_payment_fraction = 0.15;
+  // Transaction mix (weights; spec-approximate mix by default).
+  double mix[kNumTxnTypes] = {0.45, 0.43, 0.04, 0.04, 0.04};
+};
+
+class InputGenerator {
+ public:
+  InputGenerator(InputGenConfig config, uint64_t seed);
+
+  TxnType NextType();
+  NewOrderInput NextNewOrder();
+  PaymentInput NextPayment();
+  OrderStatusInput NextOrderStatus();
+  DeliveryInput NextDelivery();
+  StockLevelInput NextStockLevel();
+
+ private:
+  int64_t PickWarehouse();
+  int64_t PickDistrict();
+  int64_t PickCustomerId();
+  std::string PickCustomerLastName();
+
+  InputGenConfig config_;
+  Rng rng_;
+};
+
+}  // namespace accdb::tpcc
+
+#endif  // ACCDB_TPCC_INPUT_H_

@@ -1,0 +1,234 @@
+#include "tpcc/tpcc_db.h"
+
+namespace accdb::tpcc {
+
+using storage::ColumnType;
+using storage::Schema;
+
+namespace {
+
+int Col(Schema& schema, const char* name, ColumnType type) {
+  schema.columns.push_back({name, type});
+  return static_cast<int>(schema.columns.size() - 1);
+}
+
+}  // namespace
+
+TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
+  // --- warehouse ---
+  {
+    Schema s;
+    w_id = Col(s, "w_id", ColumnType::kInt64);
+    w_name = Col(s, "w_name", ColumnType::kString);
+    w_tax = Col(s, "w_tax", ColumnType::kDouble);
+    w_ytd = Col(s, "w_ytd", ColumnType::kMoney);
+    s.key_columns = {w_id};
+    warehouse = db->CreateTable("warehouse", std::move(s));
+  }
+  // --- district ---
+  {
+    Schema s;
+    d_w_id = Col(s, "d_w_id", ColumnType::kInt64);
+    d_id = Col(s, "d_id", ColumnType::kInt64);
+    d_name = Col(s, "d_name", ColumnType::kString);
+    d_tax = Col(s, "d_tax", ColumnType::kDouble);
+    d_ytd = Col(s, "d_ytd", ColumnType::kMoney);
+    d_next_o_id = Col(s, "d_next_o_id", ColumnType::kInt64);
+    s.key_columns = {d_w_id, d_id};
+    district = db->CreateTable("district", std::move(s));
+  }
+  // --- customer ---
+  {
+    Schema s;
+    c_w_id = Col(s, "c_w_id", ColumnType::kInt64);
+    c_d_id = Col(s, "c_d_id", ColumnType::kInt64);
+    c_id = Col(s, "c_id", ColumnType::kInt64);
+    c_first = Col(s, "c_first", ColumnType::kString);
+    c_last = Col(s, "c_last", ColumnType::kString);
+    c_credit = Col(s, "c_credit", ColumnType::kString);
+    c_discount = Col(s, "c_discount", ColumnType::kDouble);
+    c_balance = Col(s, "c_balance", ColumnType::kMoney);
+    c_ytd_payment = Col(s, "c_ytd_payment", ColumnType::kMoney);
+    c_payment_cnt = Col(s, "c_payment_cnt", ColumnType::kInt64);
+    c_delivery_cnt = Col(s, "c_delivery_cnt", ColumnType::kInt64);
+    c_data = Col(s, "c_data", ColumnType::kString);
+    s.key_columns = {c_w_id, c_d_id, c_id};
+    customer = db->CreateTable("customer", std::move(s));
+    customer_by_last =
+        customer->AddIndex("customer_by_last", {c_w_id, c_d_id, c_last});
+  }
+  // --- history ---
+  {
+    Schema s;
+    h_c_w_id = Col(s, "h_c_w_id", ColumnType::kInt64);
+    h_c_d_id = Col(s, "h_c_d_id", ColumnType::kInt64);
+    h_c_id = Col(s, "h_c_id", ColumnType::kInt64);
+    h_seq = Col(s, "h_seq", ColumnType::kInt64);
+    h_d_id = Col(s, "h_d_id", ColumnType::kInt64);
+    h_w_id = Col(s, "h_w_id", ColumnType::kInt64);
+    h_amount = Col(s, "h_amount", ColumnType::kMoney);
+    s.key_columns = {h_c_w_id, h_c_d_id, h_c_id, h_seq};
+    history = db->CreateTable("history", std::move(s));
+  }
+  // --- new_order ---
+  {
+    Schema s;
+    no_w_id = Col(s, "no_w_id", ColumnType::kInt64);
+    no_d_id = Col(s, "no_d_id", ColumnType::kInt64);
+    no_o_id = Col(s, "no_o_id", ColumnType::kInt64);
+    s.key_columns = {no_w_id, no_d_id, no_o_id};
+    new_order = db->CreateTable("new_order", std::move(s));
+  }
+  // --- orders ---
+  {
+    Schema s;
+    o_w_id = Col(s, "o_w_id", ColumnType::kInt64);
+    o_d_id = Col(s, "o_d_id", ColumnType::kInt64);
+    o_id = Col(s, "o_id", ColumnType::kInt64);
+    o_c_id = Col(s, "o_c_id", ColumnType::kInt64);
+    o_entry_d = Col(s, "o_entry_d", ColumnType::kInt64);
+    o_carrier_id = Col(s, "o_carrier_id", ColumnType::kInt64);
+    o_ol_cnt = Col(s, "o_ol_cnt", ColumnType::kInt64);
+    o_all_local = Col(s, "o_all_local", ColumnType::kInt64);
+    s.key_columns = {o_w_id, o_d_id, o_id};
+    orders = db->CreateTable("orders", std::move(s));
+    orders_by_customer =
+        orders->AddIndex("orders_by_customer", {o_w_id, o_d_id, o_c_id, o_id});
+  }
+  // --- order_line ---
+  {
+    Schema s;
+    ol_w_id = Col(s, "ol_w_id", ColumnType::kInt64);
+    ol_d_id = Col(s, "ol_d_id", ColumnType::kInt64);
+    ol_o_id = Col(s, "ol_o_id", ColumnType::kInt64);
+    ol_number = Col(s, "ol_number", ColumnType::kInt64);
+    ol_i_id = Col(s, "ol_i_id", ColumnType::kInt64);
+    ol_supply_w_id = Col(s, "ol_supply_w_id", ColumnType::kInt64);
+    ol_delivery_d = Col(s, "ol_delivery_d", ColumnType::kInt64);
+    ol_quantity = Col(s, "ol_quantity", ColumnType::kInt64);
+    ol_amount = Col(s, "ol_amount", ColumnType::kMoney);
+    s.key_columns = {ol_w_id, ol_d_id, ol_o_id, ol_number};
+    order_line = db->CreateTable("order_line", std::move(s));
+  }
+  // --- item ---
+  {
+    Schema s;
+    i_id = Col(s, "i_id", ColumnType::kInt64);
+    i_im_id = Col(s, "i_im_id", ColumnType::kInt64);
+    i_name = Col(s, "i_name", ColumnType::kString);
+    i_price = Col(s, "i_price", ColumnType::kMoney);
+    i_data = Col(s, "i_data", ColumnType::kString);
+    s.key_columns = {i_id};
+    item = db->CreateTable("item", std::move(s));
+  }
+  // --- stock ---
+  {
+    Schema s;
+    s_w_id = Col(s, "s_w_id", ColumnType::kInt64);
+    s_i_id = Col(s, "s_i_id", ColumnType::kInt64);
+    s_quantity = Col(s, "s_quantity", ColumnType::kInt64);
+    s_ytd = Col(s, "s_ytd", ColumnType::kInt64);
+    s_order_cnt = Col(s, "s_order_cnt", ColumnType::kInt64);
+    s_remote_cnt = Col(s, "s_remote_cnt", ColumnType::kInt64);
+    s_data = Col(s, "s_data", ColumnType::kString);
+    s.key_columns = {s_w_id, s_i_id};
+    stock = db->CreateTable("stock", std::move(s));
+  }
+
+  // --- Step types, prefixes, assertions ---
+  step_no1 = catalog.RegisterStepType("tpcc.no1");
+  step_no2 = catalog.RegisterStepType("tpcc.no2");
+  step_no3 = catalog.RegisterStepType("tpcc.no3");
+  step_p1 = catalog.RegisterStepType("tpcc.p1");
+  step_p2 = catalog.RegisterStepType("tpcc.p2");
+  step_p3 = catalog.RegisterStepType("tpcc.p3");
+  step_d1 = catalog.RegisterStepType("tpcc.d1");
+  step_d2 = catalog.RegisterStepType("tpcc.d2");
+  step_d3 = catalog.RegisterStepType("tpcc.d3");
+  step_os1 = catalog.RegisterStepType("tpcc.os1");
+  step_sl1 = catalog.RegisterStepType("tpcc.sl1");
+  step_cs_no = catalog.RegisterStepType("tpcc.cs_no");
+  step_cs_p = catalog.RegisterStepType("tpcc.cs_p");
+  step_cs_d = catalog.RegisterStepType("tpcc.cs_d");
+
+  prefix_empty = catalog.RegisterPrefix("tpcc.prefix.empty");
+  prefix_no_partial = catalog.RegisterPrefix("tpcc.prefix.no_partial");
+  prefix_p_partial = catalog.RegisterPrefix("tpcc.prefix.p_partial");
+  prefix_d_partial = catalog.RegisterPrefix("tpcc.prefix.d_partial");
+
+  assert_no_loop = catalog.RegisterAssertion("tpcc.no.loop", 3);
+  assert_order_complete = catalog.RegisterAssertion("tpcc.order_complete", 3);
+  assert_pay = catalog.RegisterAssertion("tpcc.pay", 3);
+  assert_dlv = catalog.RegisterAssertion("tpcc.dlv", 1);
+
+  // --- Interference table ---
+  //
+  // Every analyzed (step, assertion) pair gets an explicit entry; anything
+  // else (legacy/ad-hoc writers) hits the conservative kAlways default.
+  const lock::ActorId all_steps[] = {step_no1, step_no2, step_no3, step_p1,
+                                     step_p2, step_p3, step_d1, step_d2,
+                                     step_d3, step_os1, step_sl1, step_cs_no,
+                                     step_cs_p, step_cs_d};
+  const lock::AssertionId all_asserts[] = {assert_no_loop,
+                                           assert_order_complete, assert_pay,
+                                           assert_dlv};
+  // Base analysis: TPC-C steps touch disjoint logical state (their own
+  // order, commuting ytd/balance increments, the order-number counter which
+  // only grows), so the default among analyzed steps is "no interference".
+  // This single fact is what lets new-order and payment interleave in the
+  // same district (the d_next_o_id vs d_ytd field-level insight).
+  for (lock::ActorId step : all_steps) {
+    for (lock::AssertionId a : all_asserts) {
+      interference.Set(step, a, acc::Interference::kNone);
+    }
+  }
+  // Exceptions, from the proofs:
+  //  * D2 (delivery of order o) invalidates the construction invariant of
+  //    the same order, and it consumes state that the order's compensation
+  //    would reverse — so it also interferes with the same order's
+  //    completeness/post assertion, which new-order holds until commit
+  //    ("the need for compensation limits step decomposition": results a
+  //    compensating step might undo must not be consumed by steps whose
+  //    effects would survive the compensation).
+  //  * CS_NO (removal of order o) invalidates both for the same order.
+  interference.Set(step_d2, assert_no_loop, acc::Interference::kIfSameKey);
+  interference.Set(step_d2, assert_order_complete,
+                   acc::Interference::kIfSameKey);
+  interference.Set(step_cs_no, assert_no_loop,
+                   acc::Interference::kIfSameKey);
+  interference.Set(step_cs_no, assert_order_complete,
+                   acc::Interference::kIfSameKey);
+
+  // Prefixes: an empty prefix has changed nothing. A partial new-order has
+  // falsified the completeness conjunct for its own order — the entry that
+  // delays order-status (and any reader requiring the conjunct) on an
+  // in-flight order. Partial payments/deliveries falsify only ytd-sum
+  // conjuncts, which none of these assertions require.
+  for (lock::AssertionId a : all_asserts) {
+    interference.Set(prefix_empty, a, acc::Interference::kNone);
+    interference.Set(prefix_no_partial, a, acc::Interference::kNone);
+    interference.Set(prefix_p_partial, a, acc::Interference::kNone);
+    interference.Set(prefix_d_partial, a, acc::Interference::kNone);
+  }
+  interference.Set(prefix_no_partial, assert_order_complete,
+                   acc::Interference::kIfSameKey);
+}
+
+lock::ItemId TpccDb::DistrictItem(int64_t w, int64_t d) const {
+  auto row = district->LookupPk(storage::Key(w, d));
+  return lock::ItemId::Row(district->id(), row.value_or(0));
+}
+
+lock::ItemId TpccDb::WarehouseItem(int64_t w) const {
+  auto row = warehouse->LookupPk(storage::Key(w));
+  return lock::ItemId::Row(warehouse->id(), row.value_or(0));
+}
+
+std::optional<lock::ItemId> TpccDb::OrderItem(int64_t w, int64_t d,
+                                              int64_t o) const {
+  auto row = orders->LookupPk(storage::Key(w, d, o));
+  if (!row.has_value()) return std::nullopt;
+  return lock::ItemId::Row(orders->id(), *row);
+}
+
+}  // namespace accdb::tpcc

@@ -1,0 +1,180 @@
+// The five TPC-C transaction programs, decomposed per DESIGN.md §5.
+//
+// Every program runs under both disciplines: steps are real steps under
+// ExecMode::kAccDecomposed and plain inline code under kSerializable (the
+// unmodified-system baseline). `compute_seconds` injects client compute
+// time before each SQL statement — the lock-duration knob of Figure 3.
+
+#ifndef ACCDB_TPCC_TRANSACTIONS_H_
+#define ACCDB_TPCC_TRANSACTIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "acc/program.h"
+#include "acc/recovery.h"
+#include "acc/txn_context.h"
+#include "common/money.h"
+#include "tpcc/input.h"
+#include "tpcc/tpcc_db.h"
+
+namespace accdb::tpcc {
+
+// Base for the five programs: shared compute-time injection.
+class TpccTxn : public acc::TransactionProgram {
+ public:
+  TpccTxn(TpccDb* db, double compute_seconds)
+      : db_(db), compute_seconds_(compute_seconds) {}
+
+ protected:
+  // Client compute time before a statement (no-op when configured to 0).
+  void Think(acc::TxnContext& ctx) const {
+    if (compute_seconds_ > 0) ctx.Compute(compute_seconds_);
+  }
+
+  TpccDb* db_;
+  double compute_seconds_;
+};
+
+// Decomposition granularity for new-order (the ablation of DESIGN.md §7:
+// step size vs residual interference/overhead).
+enum class NewOrderGranularity {
+  kFine,    // NO1 + one NO2 per line + NO3 (the paper's decomposition).
+  kCoarse,  // NO1 + a single NO2 covering every line + NO3.
+  kSingle,  // One step: behaves like an undecomposed transaction.
+};
+
+// new-order (clause 2.4): NO1, NO2 per line, NO3; compensation CS_NO.
+class NewOrderTxn : public TpccTxn {
+ public:
+  NewOrderTxn(TpccDb* db, NewOrderInput input, double compute_seconds = 0,
+              NewOrderGranularity granularity = NewOrderGranularity::kFine);
+
+  std::string_view name() const override { return "tpcc.new_order"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+  bool has_compensation() const override { return true; }
+  lock::ActorId CompensationStepType() const override;
+  std::vector<int64_t> CompensationKeys() const override;
+  Status Compensate(acc::TxnContext& ctx, int completed_steps) override;
+  std::string SerializeWorkArea() const override;
+
+  int64_t order_id() const { return o_id_; }
+  Money total() const { return total_; }
+
+  // Shared with crash recovery: removes order (w, d, o), restoring stock.
+  static Status CompensateOrder(acc::TxnContext& ctx, TpccDb& db, int64_t w,
+                                int64_t d, int64_t o);
+
+ private:
+  // The three phases of the transaction, shared by all granularities.
+  Status Phase1(acc::TxnContext& ctx, double* w_tax, double* d_tax);
+  Status PhaseLine(acc::TxnContext& ctx, size_t index, Money* sum);
+  Status Phase3(acc::TxnContext& ctx, double w_tax, double d_tax, Money sum);
+
+  NewOrderInput input_;
+  NewOrderGranularity granularity_;
+  int64_t o_id_ = 0;
+  Money total_;
+};
+
+// payment (clause 2.5): P1 (w_ytd), P2 (d_ytd), P3 (customer + history);
+// compensation CS_P reverses the completed prefix.
+class PaymentTxn : public TpccTxn {
+ public:
+  PaymentTxn(TpccDb* db, PaymentInput input, double compute_seconds = 0);
+
+  std::string_view name() const override { return "tpcc.payment"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+  bool has_compensation() const override { return true; }
+  lock::ActorId CompensationStepType() const override;
+  std::vector<int64_t> CompensationKeys() const override;
+  Status Compensate(acc::TxnContext& ctx, int completed_steps) override;
+  std::string SerializeWorkArea() const override;
+
+  int64_t resolved_customer() const { return resolved_c_id_; }
+
+ private:
+  PaymentInput input_;
+  int64_t resolved_c_id_ = 0;
+};
+
+// delivery (clause 2.7): D1, D2 per district, D3; compensation CS_D.
+class DeliveryTxn : public TpccTxn {
+ public:
+  DeliveryTxn(TpccDb* db, DeliveryInput input, double compute_seconds = 0);
+
+  std::string_view name() const override { return "tpcc.delivery"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+  bool has_compensation() const override { return true; }
+  lock::ActorId CompensationStepType() const override;
+  std::vector<int64_t> CompensationKeys() const override;
+  Status Compensate(acc::TxnContext& ctx, int completed_steps) override;
+  std::string SerializeWorkArea() const override;
+
+  int delivered_count() const { return static_cast<int>(delivered_.size()); }
+  int skipped_districts() const { return skipped_; }
+
+ private:
+  struct Delivered {
+    int64_t d, o, c;
+    Money sum;
+  };
+
+  DeliveryInput input_;
+  std::vector<Delivered> delivered_;
+  int skipped_ = 0;
+};
+
+// order-status (clause 2.6): read-only single step OS1. Requires the
+// completeness conjunct of the order it reads; acquired dynamically once
+// the customer's last order is located.
+class OrderStatusTxn : public TpccTxn {
+ public:
+  OrderStatusTxn(TpccDb* db, OrderStatusInput input,
+                 double compute_seconds = 0);
+
+  std::string_view name() const override { return "tpcc.order_status"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+
+  bool found_order() const { return found_order_; }
+  int64_t last_order_id() const { return last_order_id_; }
+  int line_count() const { return line_count_; }
+  int64_t order_line_count_field() const { return ol_cnt_field_; }
+
+ private:
+  OrderStatusInput input_;
+  bool found_order_ = false;
+  int64_t last_order_id_ = 0;
+  int line_count_ = 0;
+  int64_t ol_cnt_field_ = 0;
+};
+
+// stock-level (clause 2.8): read-only single step SL1 at read-committed
+// isolation (step atomicity gives exactly that).
+class StockLevelTxn : public TpccTxn {
+ public:
+  StockLevelTxn(TpccDb* db, StockLevelInput input,
+                double compute_seconds = 0);
+
+  std::string_view name() const override { return "tpcc.stock_level"; }
+  lock::ActorId PrefixActor(int completed_steps) const override;
+  Status Run(acc::TxnContext& ctx) override;
+
+  int64_t low_stock() const { return low_stock_; }
+
+ private:
+  StockLevelInput input_;
+  int64_t low_stock_ = 0;
+};
+
+// Registers crash-recovery compensators for all three multi-step types.
+void RegisterTpccCompensators(TpccDb* db, acc::CompensatorRegistry* registry);
+
+}  // namespace accdb::tpcc
+
+#endif  // ACCDB_TPCC_TRANSACTIONS_H_

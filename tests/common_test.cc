@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/money.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace accdb {
+namespace {
+
+// --- Money ---
+
+TEST(MoneyTest, DefaultIsZero) {
+  EXPECT_EQ(Money().cents(), 0);
+  EXPECT_EQ(Money().ToString(), "0.00");
+}
+
+TEST(MoneyTest, FromDollarsAndCents) {
+  EXPECT_EQ(Money::FromDollars(3).cents(), 300);
+  EXPECT_EQ(Money::FromCents(12345).ToString(), "123.45");
+}
+
+TEST(MoneyTest, FromDoubleRounds) {
+  EXPECT_EQ(Money::FromDouble(1.0051).cents(), 101);
+  EXPECT_EQ(Money::FromDouble(-1.0051).cents(), -101);
+  EXPECT_EQ(Money::FromDouble(2.499).cents(), 250);
+  // 0.1 + 0.2 != 0.3 in binary; rounding absorbs the representation error.
+  EXPECT_EQ(Money::FromDouble(0.1 + 0.2).cents(), 30);
+}
+
+TEST(MoneyTest, Arithmetic) {
+  Money a = Money::FromCents(150);
+  Money b = Money::FromCents(75);
+  EXPECT_EQ((a + b).cents(), 225);
+  EXPECT_EQ((a - b).cents(), 75);
+  EXPECT_EQ((a * 3).cents(), 450);
+  EXPECT_EQ((-a).cents(), -150);
+  a += b;
+  EXPECT_EQ(a.cents(), 225);
+  a -= b;
+  EXPECT_EQ(a.cents(), 150);
+}
+
+TEST(MoneyTest, Comparisons) {
+  EXPECT_LT(Money::FromCents(1), Money::FromCents(2));
+  EXPECT_EQ(Money::FromCents(2), Money::FromCents(2));
+  EXPECT_GT(Money::FromCents(3), Money::FromCents(2));
+}
+
+TEST(MoneyTest, NegativeToString) {
+  EXPECT_EQ(Money::FromCents(-5).ToString(), "-0.05");
+  EXPECT_EQ(Money::FromCents(-12300).ToString(), "-123.00");
+}
+
+// --- Status / Result ---
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, CodesAndMessages) {
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: thing");
+  EXPECT_EQ(Status::Deadlock("x").code(), StatusCode::kDeadlock);
+  EXPECT_EQ(Status::Aborted("x").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::WouldBlock("x").code(), StatusCode::kWouldBlock);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status Propagates(bool fail) {
+  ACCDB_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::Ok());
+  return Status::Ok();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_EQ(Propagates(true).code(), StatusCode::kInternal);
+}
+
+Status AssignOrReturn(bool fail, int* out) {
+  auto make = [&]() -> Result<int> {
+    if (fail) return Status::NotFound("no");
+    return 7;
+  };
+  ACCDB_ASSIGN_OR_RETURN(int v, make());
+  *out = v;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(AssignOrReturn(false, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(AssignOrReturn(true, &out).code(), StatusCode::kNotFound);
+}
+
+// --- Rng ---
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-3, 12);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 12);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, UniformDoubleInUnit) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng a(21);
+  Rng b = a.Fork();
+  // The fork advanced `a`; streams should differ.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, AlnumStringLengths) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    std::string s = rng.AlnumString(4, 8);
+    EXPECT_GE(s.size(), 4u);
+    EXPECT_LE(s.size(), 8u);
+  }
+}
+
+TEST(NuRandTest, StaysInRange) {
+  Rng rng(31);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = NuRand(rng, 255, 0, 999, 123);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 999);
+  }
+}
+
+TEST(NuRandTest, IsNonUniform) {
+  // NURand concentrates mass; the most popular value should appear far more
+  // often than 1/n.
+  Rng rng(33);
+  std::map<int64_t, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[NuRand(rng, 255, 0, 999, 7)];
+  int max_count = 0;
+  for (const auto& [v, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 3 * n / 1000);
+}
+
+TEST(HotSpotTest, SkewConcentratesOnHotSet) {
+  Rng rng(37);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (HotSpotChoice(rng, 10, 2, 0.8) < 2) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.8, 0.01);
+}
+
+TEST(HotSpotTest, UniformWhenAllHot) {
+  Rng rng(39);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[HotSpotChoice(rng, 5, 5, 0.9)];
+  EXPECT_EQ(counts.size(), 5u);
+}
+
+TEST(ZipfTest, MonotoneDecreasingMass) {
+  Rng rng(41);
+  ZipfGenerator zipf(100, 0.9);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Next(rng)];
+  EXPECT_GT(counts[0], counts[50]);
+  EXPECT_GT(counts[0], 5 * counts[99]);
+}
+
+// --- String utils ---
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("x=%d y=%s", 3, "ab"), "x=3 y=ab");
+  EXPECT_EQ(StrFormat("%05.1f", 2.25), "002.2");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+}  // namespace
+}  // namespace accdb

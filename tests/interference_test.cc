@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "acc/catalog.h"
+#include "acc/conflict_resolver.h"
+#include "acc/interference.h"
+#include "lock/types.h"
+
+namespace accdb::acc {
+namespace {
+
+using lock::HolderView;
+using lock::LockMode;
+using lock::RequestContext;
+using lock::RequestView;
+
+// --- Catalog ---
+
+TEST(CatalogTest, RegistersDistinctIds) {
+  Catalog catalog;
+  lock::ActorId s1 = catalog.RegisterStepType("s1");
+  lock::ActorId p1 = catalog.RegisterPrefix("p1");
+  lock::AssertionId a1 = catalog.RegisterAssertion("a1", 2);
+  EXPECT_NE(s1, lock::kNoActor);
+  EXPECT_NE(s1, p1);
+  EXPECT_EQ(catalog.ActorName(s1), "s1");
+  EXPECT_EQ(catalog.ActorName(p1), "p1");
+  EXPECT_EQ(catalog.AssertionName(a1), "a1");
+  EXPECT_EQ(catalog.AssertionKeyArity(a1), 2);
+  EXPECT_TRUE(catalog.IsStepType(s1));
+  EXPECT_FALSE(catalog.IsStepType(p1));
+}
+
+// --- InterferenceTable ---
+
+class InterferenceTableTest : public ::testing::Test {
+ protected:
+  InterferenceTableTest() {
+    step_ = catalog_.RegisterStepType("writer");
+    other_step_ = catalog_.RegisterStepType("other");
+    assertion_ = catalog_.RegisterAssertion("inv", 1);
+  }
+
+  Catalog catalog_;
+  InterferenceTable table_;
+  lock::ActorId step_, other_step_;
+  lock::AssertionId assertion_;
+};
+
+TEST_F(InterferenceTableTest, DefaultIsConservative) {
+  EXPECT_EQ(table_.Get(step_, assertion_), Interference::kAlways);
+  EXPECT_TRUE(table_.Interferes(step_, {1}, assertion_, {2}));
+}
+
+TEST_F(InterferenceTableTest, NoneNeverInterferes) {
+  table_.Set(step_, assertion_, Interference::kNone);
+  EXPECT_FALSE(table_.Interferes(step_, {1}, assertion_, {1}));
+  // Other steps stay conservative.
+  EXPECT_TRUE(table_.Interferes(other_step_, {1}, assertion_, {1}));
+}
+
+TEST_F(InterferenceTableTest, SameKeyRefinement) {
+  table_.Set(step_, assertion_, Interference::kIfSameKey);
+  EXPECT_TRUE(table_.Interferes(step_, {7}, assertion_, {7}));
+  EXPECT_FALSE(table_.Interferes(step_, {7}, assertion_, {8}));
+}
+
+TEST_F(InterferenceTableTest, PrefixComparisonOverCommonLength) {
+  table_.Set(step_, assertion_, Interference::kIfSameKey);
+  // Writer keys {w, d}; assertion keys {w, d, o}: same district conflicts.
+  EXPECT_TRUE(table_.Interferes(step_, {1, 2}, assertion_, {1, 2, 99}));
+  EXPECT_FALSE(table_.Interferes(step_, {1, 3}, assertion_, {1, 2, 99}));
+}
+
+TEST_F(InterferenceTableTest, EmptyKeysCannotRefine) {
+  table_.Set(step_, assertion_, Interference::kIfSameKey);
+  EXPECT_TRUE(table_.Interferes(step_, {}, assertion_, {1}));
+  EXPECT_TRUE(table_.Interferes(step_, {1}, assertion_, {}));
+}
+
+TEST_F(InterferenceTableTest, RefinementDisableDowngradesToAlways) {
+  table_.Set(step_, assertion_, Interference::kIfSameKey);
+  table_.set_key_refinement(false);
+  EXPECT_EQ(table_.Get(step_, assertion_), Interference::kAlways);
+  EXPECT_TRUE(table_.Interferes(step_, {7}, assertion_, {8}));
+  table_.set_key_refinement(true);
+  EXPECT_FALSE(table_.Interferes(step_, {7}, assertion_, {8}));
+}
+
+// --- AccConflictResolver ---
+
+class AccResolverTest : public ::testing::Test {
+ protected:
+  AccResolverTest() : resolver_(&table_) {
+    step_ = catalog_.RegisterStepType("writer");
+    prefix_ = catalog_.RegisterPrefix("partial");
+    assertion_ = catalog_.RegisterAssertion("inv", 1);
+    table_.Set(step_, assertion_, Interference::kIfSameKey);
+    table_.Set(prefix_, assertion_, Interference::kIfSameKey);
+  }
+
+  RequestContext AssertCtx(int64_t key, lock::ActorId prefix) {
+    RequestContext ctx;
+    ctx.actor = prefix;
+    ctx.assertion = assertion_;
+    ctx.keys = {key};
+    return ctx;
+  }
+
+  RequestContext WriterCtx(int64_t key) {
+    RequestContext ctx;
+    ctx.actor = step_;
+    ctx.keys = {key};
+    return ctx;
+  }
+
+  Catalog catalog_;
+  InterferenceTable table_;
+  AccConflictResolver resolver_;
+  lock::ActorId step_, prefix_;
+  lock::AssertionId assertion_;
+};
+
+TEST_F(AccResolverTest, WriteVsAssertSameKeyConflicts) {
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext req_ctx = WriterCtx(7);
+  EXPECT_TRUE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kX, &req_ctx, false}));
+}
+
+TEST_F(AccResolverTest, WriteVsAssertDifferentKeyPasses) {
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext req_ctx = WriterCtx(8);
+  EXPECT_FALSE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kX, &req_ctx, false}));
+}
+
+TEST_F(AccResolverTest, UnknownWriterStepConflicts) {
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext legacy;  // actor = kNoActor: not in the table.
+  EXPECT_TRUE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kX, &legacy, false}));
+}
+
+TEST_F(AccResolverTest, ReadNeverConflictsWithAssert) {
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext req_ctx = WriterCtx(7);
+  EXPECT_FALSE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kS, &req_ctx, false}));
+}
+
+TEST_F(AccResolverTest, CompensationWithCompMarkerBypassesAssert) {
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext comp_ctx = WriterCtx(7);
+  comp_ctx.for_compensation = true;
+  // Without the kComp marker on the item, interference applies.
+  EXPECT_TRUE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kX, &comp_ctx, false}));
+  // With the marker (the compensating txn's forward steps wrote the item),
+  // the compensating step never waits for assertional locks.
+  EXPECT_FALSE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kX, &comp_ctx, true}));
+}
+
+TEST_F(AccResolverTest, AssertRequestChecksHolderPrefix) {
+  // Holder: assertional lock whose owner's prefix interferes (same key).
+  RequestContext holder_ctx = AssertCtx(7, prefix_);
+  RequestContext req_ctx = AssertCtx(7, lock::kNoActor);
+  EXPECT_TRUE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kAssert, &req_ctx, false}));
+  // Different key: the initiation check passes.
+  RequestContext req_other = AssertCtx(8, lock::kNoActor);
+  EXPECT_FALSE(resolver_.Conflicts(
+      HolderView{1, LockMode::kAssert, &holder_ctx},
+      RequestView{2, LockMode::kAssert, &req_other, false}));
+}
+
+TEST_F(AccResolverTest, AssertRequestVsMidStepWriter) {
+  RequestContext holder_ctx = WriterCtx(7);  // Mid-step X holder.
+  RequestContext req_ctx = AssertCtx(7, lock::kNoActor);
+  EXPECT_TRUE(resolver_.Conflicts(
+      HolderView{1, LockMode::kX, &holder_ctx},
+      RequestView{2, LockMode::kAssert, &req_ctx, false}));
+  RequestContext req_other = AssertCtx(9, lock::kNoActor);
+  EXPECT_FALSE(resolver_.Conflicts(
+      HolderView{1, LockMode::kX, &holder_ctx},
+      RequestView{2, LockMode::kAssert, &req_other, false}));
+}
+
+TEST_F(AccResolverTest, ConventionalFallsThroughToMatrix) {
+  RequestContext a, b;
+  EXPECT_TRUE(resolver_.Conflicts(HolderView{1, LockMode::kX, &a},
+                                  RequestView{2, LockMode::kS, &b, false}));
+  EXPECT_FALSE(resolver_.Conflicts(HolderView{1, LockMode::kS, &a},
+                                   RequestView{2, LockMode::kS, &b, false}));
+}
+
+}  // namespace
+}  // namespace accdb::acc

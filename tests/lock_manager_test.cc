@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lock/conflict.h"
+#include "lock/lock_manager.h"
+#include "lock/types.h"
+#include "lock/wait_for_graph.h"
+
+namespace accdb::lock {
+namespace {
+
+class RecordingListener : public LockManager::Listener {
+ public:
+  void OnGranted(TxnId txn) override { granted.push_back(txn); }
+  void OnWaiterAborted(TxnId txn) override { aborted.push_back(txn); }
+
+  std::vector<TxnId> granted;
+  std::vector<TxnId> aborted;
+};
+
+class LockManagerTest : public ::testing::Test {
+ protected:
+  LockManagerTest() : lm_(&resolver_) { lm_.set_listener(&listener_); }
+
+  Outcome Req(TxnId txn, ItemId item, LockMode mode,
+              RequestContext ctx = {}) {
+    return lm_.Request(txn, item, mode, std::move(ctx));
+  }
+
+  MatrixConflictResolver resolver_;
+  LockManager lm_;
+  RecordingListener listener_;
+  ItemId item_ = ItemId::Row(1, 10);
+  ItemId item2_ = ItemId::Row(1, 20);
+};
+
+// --- Mode helpers ---
+
+TEST(LockModeTest, Covers) {
+  EXPECT_TRUE(ModeCovers(LockMode::kX, LockMode::kS));
+  EXPECT_TRUE(ModeCovers(LockMode::kX, LockMode::kIX));
+  EXPECT_TRUE(ModeCovers(LockMode::kSIX, LockMode::kS));
+  EXPECT_TRUE(ModeCovers(LockMode::kSIX, LockMode::kIX));
+  EXPECT_TRUE(ModeCovers(LockMode::kS, LockMode::kIS));
+  EXPECT_FALSE(ModeCovers(LockMode::kS, LockMode::kX));
+  EXPECT_FALSE(ModeCovers(LockMode::kIX, LockMode::kS));
+}
+
+TEST(LockModeTest, Combine) {
+  EXPECT_EQ(ModeCombine(LockMode::kS, LockMode::kIX), LockMode::kSIX);
+  EXPECT_EQ(ModeCombine(LockMode::kS, LockMode::kX), LockMode::kX);
+  EXPECT_EQ(ModeCombine(LockMode::kIS, LockMode::kIX), LockMode::kIX);
+  EXPECT_EQ(ModeCombine(LockMode::kS, LockMode::kS), LockMode::kS);
+}
+
+// --- Basic compatibility ---
+
+TEST_F(LockManagerTest, SharedLocksCoexist) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(lm_.HolderCount(item_), 2u);
+}
+
+TEST_F(LockManagerTest, ExclusiveBlocksShared) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+  EXPECT_TRUE(lm_.IsWaiting(2));
+  EXPECT_EQ(lm_.BlockedBy(2), std::vector<TxnId>{1});
+}
+
+TEST_F(LockManagerTest, IntentLocksCompatible) {
+  EXPECT_EQ(Req(1, item_, LockMode::kIS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kIX), Outcome::kGranted);
+  EXPECT_EQ(Req(3, item_, LockMode::kIX), Outcome::kGranted);
+  EXPECT_EQ(Req(4, item_, LockMode::kS), Outcome::kWaiting);  // S vs IX.
+}
+
+TEST_F(LockManagerTest, ReleaseGrantsWaiter) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{2});
+  EXPECT_TRUE(lm_.Holds(2, item_, LockMode::kX));
+}
+
+TEST_F(LockManagerTest, FifoFairnessReaderBehindWriter) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  // A reader arriving after a queued writer must queue behind it.
+  EXPECT_EQ(Req(3, item_, LockMode::kS), Outcome::kWaiting);
+  lm_.ReleaseAll(1);
+  // Writer first, reader still queued.
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{2});
+  lm_.ReleaseAll(2);
+  EXPECT_EQ(listener_.granted, (std::vector<TxnId>{2, 3}));
+}
+
+TEST_F(LockManagerTest, RereqestCoveredModeIsFree) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(lm_.HolderCount(item_), 1u);
+}
+
+TEST_F(LockManagerTest, BatchGrantOfCompatibleWaiters) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+  EXPECT_EQ(Req(3, item_, LockMode::kS), Outcome::kWaiting);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(listener_.granted, (std::vector<TxnId>{2, 3}));
+}
+
+// --- Upgrades ---
+
+TEST_F(LockManagerTest, UpgradeGrantedWhenAlone) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_TRUE(lm_.Holds(1, item_, LockMode::kX));
+  EXPECT_EQ(lm_.stats().upgrades, 1u);
+}
+
+TEST_F(LockManagerTest, UpgradeWaitsForOtherReader) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kWaiting);
+  lm_.ReleaseAll(2);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{1});
+  EXPECT_TRUE(lm_.Holds(1, item_, LockMode::kX));
+}
+
+TEST_F(LockManagerTest, UpgradeJumpsQueue) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(3, item_, LockMode::kX), Outcome::kWaiting);
+  // Txn 2's upgrade goes ahead of txn 3.
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{2});
+  EXPECT_TRUE(lm_.Holds(2, item_, LockMode::kX));
+}
+
+TEST_F(LockManagerTest, DualUpgradeIsDeadlock) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kAborted);
+  EXPECT_EQ(lm_.stats().deadlocks, 1u);
+  // Txn 2 still holds its S lock; once it releases, txn 1 upgrades.
+  lm_.ReleaseAll(2);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{1});
+}
+
+// --- Deadlock detection ---
+
+TEST_F(LockManagerTest, TwoPartyCycleAbortsRequester) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item2_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kAborted);
+  EXPECT_FALSE(lm_.IsWaiting(2));
+  // Txn 1 is still waiting; when 2 releases, it gets the lock.
+  lm_.ReleaseAll(2);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{1});
+}
+
+TEST_F(LockManagerTest, ThreePartyCycleDetected) {
+  ItemId item3 = ItemId::Row(1, 30);
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(3, item3, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item2_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(2, item3, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(3, item_, LockMode::kX), Outcome::kAborted);
+}
+
+TEST_F(LockManagerTest, NoFalseDeadlockOnSharedChain) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+  EXPECT_EQ(Req(3, item_, LockMode::kS), Outcome::kWaiting);
+  EXPECT_EQ(lm_.stats().deadlocks, 0u);
+}
+
+TEST_F(LockManagerTest, WaiterOnWaiterEdgeClosesCycle) {
+  // T1 holds S on item; T2 queues an X behind it. T3's S queues behind
+  // T2's X (FIFO). If T1 then needs something T3 holds, cycle through the
+  // waiter edge must be found.
+  EXPECT_EQ(Req(3, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(3, item_, LockMode::kS), Outcome::kWaiting);  // Behind T2.
+  // T2 blocked by T1 (holder); T3 blocked by T2 (earlier waiter).
+  EXPECT_EQ(Req(1, item2_, LockMode::kX), Outcome::kAborted);  // 1->3->2->1.
+}
+
+// --- Compensation priority (Section 3.4) ---
+
+TEST_F(LockManagerTest, CompensatingRequesterAbortsCycleMembers) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  RequestContext comp;
+  comp.for_compensation = true;
+  // Txn 1's compensating request closes the cycle; txn 2 must be the
+  // victim instead of txn 1.
+  Outcome outcome = Req(1, item2_, LockMode::kX, comp);
+  EXPECT_EQ(listener_.aborted, std::vector<TxnId>{2});
+  EXPECT_EQ(lm_.stats().compensation_priority_aborts, 1u);
+  // Txn 2's pending request was cancelled but it still holds item2; the
+  // compensating request waits for the (rolled back) txn 2 to release.
+  EXPECT_EQ(outcome, Outcome::kWaiting);
+  lm_.ReleaseAll(2);  // Txn 2's rollback.
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{1});
+}
+
+// A deadlock cycle can be *closed* by an unconditional assertional grant,
+// with no new lock request to trigger the eager check: T1 waits for T9's X;
+// T2 waits for T1's X; then T2's A-lock lands (unconditionally) on the item
+// T1 waits on. ResolveAllDeadlocks must catch it.
+TEST_F(LockManagerTest, LateEdgeDeadlockResolvedOnUnconditionalGrant) {
+  ItemId item_a = ItemId::Row(1, 100);
+  ItemId item_b = ItemId::Row(1, 200);
+  EXPECT_EQ(Req(9, item_a, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_b, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_b, LockMode::kX), Outcome::kWaiting);  // T2 -> T1.
+  EXPECT_EQ(Req(1, item_a, LockMode::kX), Outcome::kWaiting);  // T1 -> T9.
+  EXPECT_EQ(lm_.stats().deadlocks, 0u);
+  // T2's assertional lock lands on item_a: now T1 -> {T9, T2} and
+  // T2 -> T1 — a cycle with no triggering request.
+  RequestContext actx;
+  actx.assertion = 5;
+  lm_.GrantUnconditional(2, item_a, LockMode::kAssert, actx);
+  EXPECT_EQ(lm_.stats().deadlocks, 1u);
+  // One of the two waiters was aborted, breaking the cycle.
+  EXPECT_EQ(listener_.aborted.size(), 1u);
+  TxnId victim = listener_.aborted[0];
+  EXPECT_FALSE(lm_.IsWaiting(victim));
+}
+
+// Same late-edge closure, but the stranded waiter is a compensating step:
+// the OTHER cycle member must be the victim (Section 3.4).
+TEST_F(LockManagerTest, LateEdgeDeadlockSparesCompensatingStep) {
+  ItemId item_a = ItemId::Row(1, 100);
+  ItemId item_b = ItemId::Row(1, 200);
+  EXPECT_EQ(Req(9, item_a, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_b, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_b, LockMode::kX), Outcome::kWaiting);  // T2 -> T1.
+  RequestContext comp;
+  comp.for_compensation = true;
+  EXPECT_EQ(Req(1, item_a, LockMode::kX, comp), Outcome::kWaiting);
+  RequestContext actx;
+  actx.assertion = 5;
+  lm_.GrantUnconditional(2, item_a, LockMode::kAssert, actx);
+  // T1 (compensating) survives; T2's request was aborted.
+  EXPECT_EQ(listener_.aborted, std::vector<TxnId>{2});
+  EXPECT_TRUE(lm_.IsWaiting(1));
+}
+
+// --- Assertional and compensation modes (matrix resolver semantics) ---
+
+TEST_F(LockManagerTest, AssertBlocksForeignWriteByDefault) {
+  RequestContext actx;
+  actx.assertion = 5;
+  lm_.GrantUnconditional(1, item_, LockMode::kAssert, actx);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(3, item_, LockMode::kX), Outcome::kWaiting);
+}
+
+TEST_F(LockManagerTest, AssertRequestBlockedByForeignWriter) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  RequestContext actx;
+  actx.assertion = 5;
+  EXPECT_EQ(Req(2, item_, LockMode::kAssert, actx), Outcome::kWaiting);
+}
+
+TEST_F(LockManagerTest, AssertLocksCoexist) {
+  RequestContext a1;
+  a1.assertion = 5;
+  RequestContext a2;
+  a2.assertion = 6;
+  EXPECT_EQ(Req(1, item_, LockMode::kAssert, a1), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kAssert, a2), Outcome::kGranted);
+  EXPECT_TRUE(lm_.HoldsAssertion(1, item_, 5));
+  EXPECT_TRUE(lm_.HoldsAssertion(2, item_, 6));
+}
+
+TEST_F(LockManagerTest, ReleaseAssertionIsInstanceSpecific) {
+  RequestContext first;
+  first.assertion = 5;
+  first.assertion_instance = 1;
+  RequestContext second;
+  second.assertion = 5;
+  second.assertion_instance = 2;
+  lm_.GrantUnconditional(1, item_, LockMode::kAssert, first);
+  lm_.GrantUnconditional(1, item_, LockMode::kAssert, second);
+  lm_.ReleaseAssertion(1, 5, 1);
+  EXPECT_TRUE(lm_.HoldsAssertion(1, item_, 5));  // Instance 2 survives.
+  lm_.ReleaseAssertion(1, 5, 2);
+  EXPECT_FALSE(lm_.HoldsAssertion(1, item_, 5));
+}
+
+TEST_F(LockManagerTest, ReleaseConventionalKeepsAssertional) {
+  RequestContext actx;
+  actx.assertion = 5;
+  lm_.GrantUnconditional(1, item_, LockMode::kAssert, actx);
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  lm_.ReleaseConventional(1);
+  EXPECT_FALSE(lm_.Holds(1, item_, LockMode::kX));
+  EXPECT_TRUE(lm_.HoldsAssertion(1, item_, 5));
+}
+
+TEST_F(LockManagerTest, CompLockInvisibleToAnalyzedVisibleToLegacy) {
+  EXPECT_EQ(Req(1, item_, LockMode::kComp), Outcome::kGranted);
+  RequestContext analyzed;  // analyzed = true by default.
+  EXPECT_EQ(Req(2, item_, LockMode::kS, analyzed), Outcome::kGranted);
+  RequestContext legacy;
+  legacy.analyzed = false;
+  EXPECT_EQ(Req(3, item_, LockMode::kS, legacy), Outcome::kWaiting);
+  lm_.ReleaseAll(1);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{3});
+}
+
+TEST_F(LockManagerTest, CancelWaiterUnblocksThoseBehind) {
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(3, item_, LockMode::kS), Outcome::kWaiting);
+  lm_.CancelWaiter(2);
+  EXPECT_EQ(listener_.granted, std::vector<TxnId>{3});
+}
+
+TEST_F(LockManagerTest, StatsCountBasics) {
+  Req(1, item_, LockMode::kS);
+  Req(2, item_, LockMode::kX);
+  lm_.ReleaseAll(1);
+  const LockManager::Stats& stats = lm_.stats();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.immediate_grants, 1u);
+  EXPECT_EQ(stats.waits, 1u);
+}
+
+// --- CycleDetector unit ---
+
+TEST(CycleDetectorTest, FindsSimpleCycle) {
+  CycleDetector detector([](TxnId t) -> std::vector<TxnId> {
+    if (t == 1) return {2};
+    if (t == 2) return {3};
+    if (t == 3) return {1};
+    return {};
+  });
+  EXPECT_EQ(detector.FindCycle(1), (std::vector<TxnId>{1, 2, 3}));
+}
+
+TEST(CycleDetectorTest, NoCycleReturnsEmpty) {
+  CycleDetector detector([](TxnId t) -> std::vector<TxnId> {
+    if (t == 1) return {2, 3};
+    return {};
+  });
+  EXPECT_TRUE(detector.FindCycle(1).empty());
+}
+
+TEST(CycleDetectorTest, IgnoresCycleNotThroughStart) {
+  // 1 -> 2 <-> 3 : a cycle exists but not through 1.
+  CycleDetector detector([](TxnId t) -> std::vector<TxnId> {
+    if (t == 1) return {2};
+    if (t == 2) return {3};
+    if (t == 3) return {2};
+    return {};
+  });
+  EXPECT_TRUE(detector.FindCycle(1).empty());
+}
+
+}  // namespace
+}  // namespace accdb::lock

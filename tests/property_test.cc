@@ -1,0 +1,271 @@
+// Property-based tests: randomized concurrent schedules swept over seeds
+// with TEST_P. The invariants:
+//   * semantic correctness — after any mix of decomposed transactions
+//     (including the forced 1% aborts and their compensations), the
+//     database consistency constraint holds;
+//   * serializable runs satisfy the strict versions of the constraints;
+//   * the lock table drains (no leaked locks, no stuck transactions);
+//   * same seed => identical execution (determinism).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acc/conflict_resolver.h"
+#include "acc/engine.h"
+#include "acc/sim_env.h"
+#include "common/rng.h"
+#include "lock/conflict.h"
+#include "orderproc/order_system.h"
+#include "orderproc/transactions.h"
+#include "sim/resource.h"
+#include "sim/simulation.h"
+#include "storage/database.h"
+#include "tpcc/driver.h"
+
+namespace accdb {
+namespace {
+
+// --- Order-processing random schedules ---
+
+struct OrderProcRunStats {
+  uint64_t committed = 0;
+  uint64_t compensated = 0;
+  uint64_t deadlock_retries = 0;
+  int64_t final_counter = 0;
+  bool consistent = false;
+  std::string violation;
+};
+
+OrderProcRunStats RunRandomOrderProc(uint64_t seed, bool decomposed,
+                                     int terminals, double horizon) {
+  storage::Database database;
+  orderproc::OrderSystem sys(&database);
+  sys.LoadItems(/*item_count=*/15, /*stock_level=*/40, /*price_cents=*/100);
+
+  lock::MatrixConflictResolver matrix;
+  acc::AccConflictResolver acc_resolver(&sys.interference);
+  acc::EngineConfig config;
+  config.charge_acc_overheads = false;
+  acc::Engine engine(&database,
+                     decomposed ? static_cast<const lock::ConflictResolver*>(
+                                      &acc_resolver)
+                                : &matrix,
+                     config);
+  acc::ExecMode mode = decomposed ? acc::ExecMode::kAccDecomposed
+                                  : acc::ExecMode::kSerializable;
+
+  OrderProcRunStats stats;
+  {
+    sim::Simulation sim;
+    sim::Resource servers(sim, 2);
+    Rng seeder(seed);
+    struct Terminal {
+      Rng rng;
+      acc::SimExecutionEnv env;
+      Terminal(uint64_t s, sim::Simulation& sim, sim::Resource& servers)
+          : rng(s), env(sim, &servers) {}
+    };
+    std::vector<std::unique_ptr<Terminal>> terminals_vec;
+    for (int t = 0; t < terminals; ++t) {
+      terminals_vec.push_back(
+          std::make_unique<Terminal>(seeder.Next(), sim, servers));
+      Terminal* term = terminals_vec.back().get();
+      sim.Spawn("t", [&, term] {
+        while (sim.Now() < horizon) {
+          sim.Delay(term->rng.Exponential(0.05));
+          if (term->rng.Bernoulli(0.75)) {
+            // new_order, 10% of them aborting at the last item.
+            std::vector<orderproc::NewOrderTxn::ItemRequest> items;
+            int n = static_cast<int>(term->rng.UniformInt(2, 6));
+            for (int i = 0; i < n; ++i) {
+              items.push_back({term->rng.UniformInt(1, 15),
+                               term->rng.UniformInt(1, 5)});
+            }
+            orderproc::NewOrderTxn txn(&sys, term->rng.UniformInt(1, 50),
+                                       items,
+                                       term->rng.Bernoulli(0.1));
+            acc::ExecResult r = engine.Execute(txn, term->env, mode);
+            ASSERT_NE(r.status.code(), StatusCode::kInternal)
+                << r.status.ToString();
+            if (r.status.ok()) ++stats.committed;
+            if (r.compensated) ++stats.compensated;
+            stats.deadlock_retries += r.step_deadlock_retries;
+          } else {
+            int64_t counter = database.ReadVariable(*sys.order_counter);
+            if (counter <= 1) continue;
+            orderproc::BillTxn txn(&sys, term->rng.UniformInt(1, counter - 1));
+            acc::ExecResult r = engine.Execute(txn, term->env, mode);
+            if (r.status.ok()) ++stats.committed;
+          }
+        }
+      });
+    }
+    sim.Run();
+    // Every process must have finished (no undetected deadlock wedges).
+    EXPECT_EQ(sim.live_processes(), 0)
+        << engine.lock_manager().DumpWaiters();
+  }
+  stats.final_counter = database.ReadVariable(*sys.order_counter);
+  stats.consistent = sys.CheckConsistency(&stats.violation);
+  return stats;
+}
+
+class OrderProcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderProcPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+TEST_P(OrderProcPropertyTest, AccSchedulesAreSemanticallyCorrect) {
+  OrderProcRunStats stats =
+      RunRandomOrderProc(GetParam(), /*decomposed=*/true, /*terminals=*/12,
+                         /*horizon=*/5.0);
+  EXPECT_TRUE(stats.consistent) << stats.violation;
+  EXPECT_GT(stats.committed, 50u);
+  // Forced aborts happened and were compensated.
+  EXPECT_GT(stats.compensated, 0u);
+}
+
+TEST_P(OrderProcPropertyTest, SerializableSchedulesAreConsistent) {
+  OrderProcRunStats stats =
+      RunRandomOrderProc(GetParam(), /*decomposed=*/false, /*terminals=*/12,
+                         /*horizon=*/5.0);
+  EXPECT_TRUE(stats.consistent) << stats.violation;
+  EXPECT_GT(stats.committed, 50u);
+}
+
+TEST_P(OrderProcPropertyTest, DeterministicExecution) {
+  OrderProcRunStats a =
+      RunRandomOrderProc(GetParam(), true, /*terminals=*/8, /*horizon=*/2.0);
+  OrderProcRunStats b =
+      RunRandomOrderProc(GetParam(), true, /*terminals=*/8, /*horizon=*/2.0);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.compensated, b.compensated);
+  EXPECT_EQ(a.deadlock_retries, b.deadlock_retries);
+  EXPECT_EQ(a.final_counter, b.final_counter);
+}
+
+// The two-level conservatism (key refinement off) must still be *correct*
+// — only slower. Sweep seeds with refinement disabled.
+class TwoLevelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoLevelPropertyTest,
+                         ::testing::Values(7, 11, 19, 23));
+
+TEST_P(TwoLevelPropertyTest, ConservativeModeStaysCorrect) {
+  storage::Database database;
+  orderproc::OrderSystem sys(&database);
+  sys.LoadItems(10, 50, 100);
+  sys.interference.set_key_refinement(false);
+  acc::AccConflictResolver resolver(&sys.interference);
+  acc::EngineConfig config;
+  config.charge_acc_overheads = false;
+  acc::Engine engine(&database, &resolver, config);
+  {
+    sim::Simulation sim;
+    std::vector<std::unique_ptr<acc::SimExecutionEnv>> envs;
+    Rng seeder(GetParam());
+    for (int t = 0; t < 10; ++t) {
+      envs.push_back(std::make_unique<acc::SimExecutionEnv>(sim, nullptr));
+      acc::SimExecutionEnv* env = envs.back().get();
+      uint64_t term_seed = seeder.Next();
+      sim.Spawn("t", [&, env, term_seed] {
+        Rng rng(term_seed);
+        for (int i = 0; i < 30; ++i) {
+          sim.Delay(rng.Exponential(0.02));
+          std::vector<orderproc::NewOrderTxn::ItemRequest> items;
+          int n = static_cast<int>(rng.UniformInt(2, 5));
+          for (int k = 0; k < n; ++k) {
+            items.push_back({rng.UniformInt(1, 10), rng.UniformInt(1, 3)});
+          }
+          orderproc::NewOrderTxn txn(&sys, rng.UniformInt(1, 20), items,
+                                     rng.Bernoulli(0.1));
+          txn.set_pause_between_steps(0.005);
+          acc::ExecResult r = engine.Execute(
+              txn, *env, acc::ExecMode::kAccDecomposed);
+          ASSERT_NE(r.status.code(), StatusCode::kInternal)
+              << r.status.ToString();
+        }
+      });
+    }
+    sim.Run();
+    EXPECT_EQ(sim.live_processes(), 0)
+        << engine.lock_manager().DumpWaiters();
+  }
+  std::string violation;
+  EXPECT_TRUE(sys.CheckConsistency(&violation)) << violation;
+}
+
+// --- TPC-C workload sweeps ---
+
+class TpccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpccPropertyTest,
+                         ::testing::Values(101, 202, 303));
+
+TEST_P(TpccPropertyTest, AccWorkloadConsistent) {
+  tpcc::WorkloadConfig config;
+  config.decomposed = true;
+  config.terminals = 12;
+  config.servers = 2;
+  config.sim_seconds = 20;
+  config.seed = GetParam();
+  config.mean_think_seconds = 0.1;
+  config.keying_seconds = 0.02;
+  config.inputs.scale = tpcc::ScaleConfig::Test();
+  config.engine.charge_acc_overheads = false;
+  tpcc::WorkloadResult result = tpcc::RunWorkload(config);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+  EXPECT_GT(result.completed, 100u);
+}
+
+TEST_P(TpccPropertyTest, SerializableWorkloadStrictlyConsistent) {
+  tpcc::WorkloadConfig config;
+  config.decomposed = false;
+  config.terminals = 12;
+  config.servers = 2;
+  config.sim_seconds = 20;
+  config.seed = GetParam();
+  config.mean_think_seconds = 0.1;
+  config.keying_seconds = 0.02;
+  config.inputs.scale = tpcc::ScaleConfig::Test();
+  tpcc::WorkloadResult result = tpcc::RunWorkload(config);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+}
+
+TEST_P(TpccPropertyTest, SkewedWorkloadConsistent) {
+  tpcc::WorkloadConfig config;
+  config.decomposed = true;
+  config.terminals = 16;
+  config.servers = 2;
+  config.sim_seconds = 15;
+  config.seed = GetParam();
+  config.mean_think_seconds = 0.05;
+  config.keying_seconds = 0.01;
+  config.inputs.scale = tpcc::ScaleConfig::Test();
+  config.inputs.skew_districts = true;
+  config.inputs.hot_districts = 1;
+  config.inputs.hot_fraction = 0.8;
+  config.engine.charge_acc_overheads = false;
+  tpcc::WorkloadResult result = tpcc::RunWorkload(config);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+}
+
+TEST_P(TpccPropertyTest, CoarseGranularityConsistent) {
+  tpcc::WorkloadConfig config;
+  config.decomposed = true;
+  config.granularity = tpcc::NewOrderGranularity::kCoarse;
+  config.terminals = 10;
+  config.servers = 2;
+  config.sim_seconds = 15;
+  config.seed = GetParam();
+  config.mean_think_seconds = 0.1;
+  config.keying_seconds = 0.02;
+  config.inputs.scale = tpcc::ScaleConfig::Test();
+  tpcc::WorkloadResult result = tpcc::RunWorkload(config);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+}
+
+}  // namespace
+}  // namespace accdb

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "acc/recovery_log.h"
+
+namespace accdb::acc {
+namespace {
+
+TEST(RecoveryLogTest, EmptyLogHasNothingInFlight) {
+  RecoveryLog log;
+  EXPECT_TRUE(log.FindInFlight().empty());
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(RecoveryLogTest, CommittedTransactionIsNotInFlight) {
+  RecoveryLog log;
+  log.Begin(1, "p");
+  log.EndOfStep(1, 1, "wa1");
+  log.EndOfStep(1, 2, "wa2");
+  log.Commit(1);
+  EXPECT_TRUE(log.FindInFlight().empty());
+}
+
+TEST(RecoveryLogTest, CompensatedTransactionIsNotInFlight) {
+  RecoveryLog log;
+  log.Begin(1, "p");
+  log.EndOfStep(1, 1, "wa");
+  log.Compensated(1);
+  EXPECT_TRUE(log.FindInFlight().empty());
+}
+
+TEST(RecoveryLogTest, BegunButNoStepsIsNotInFlight) {
+  // Nothing durable happened: the transaction evaporates, no compensation.
+  RecoveryLog log;
+  log.Begin(1, "p");
+  EXPECT_TRUE(log.FindInFlight().empty());
+}
+
+TEST(RecoveryLogTest, InFlightCarriesLatestWorkArea) {
+  RecoveryLog log;
+  log.Begin(7, "new_order");
+  log.EndOfStep(7, 1, "after step 1");
+  log.EndOfStep(7, 2, "after step 2");
+  std::vector<InFlightTxn> in_flight = log.FindInFlight();
+  ASSERT_EQ(in_flight.size(), 1u);
+  EXPECT_EQ(in_flight[0].txn, 7u);
+  EXPECT_EQ(in_flight[0].program, "new_order");
+  EXPECT_EQ(in_flight[0].completed_steps, 2);
+  EXPECT_EQ(in_flight[0].work_area, "after step 2");
+}
+
+TEST(RecoveryLogTest, InFlightOrderedMostRecentFirst) {
+  RecoveryLog log;
+  log.Begin(1, "a");
+  log.EndOfStep(1, 1, "");
+  log.Begin(2, "b");
+  log.EndOfStep(2, 1, "");
+  log.Begin(3, "c");
+  log.EndOfStep(3, 1, "");
+  log.Commit(2);
+  std::vector<InFlightTxn> in_flight = log.FindInFlight();
+  ASSERT_EQ(in_flight.size(), 2u);
+  EXPECT_EQ(in_flight[0].program, "c");  // Most recent begin first.
+  EXPECT_EQ(in_flight[1].program, "a");
+}
+
+TEST(RecoveryLogTest, InterleavedTransactionsTrackedIndependently) {
+  RecoveryLog log;
+  log.Begin(1, "a");
+  log.Begin(2, "b");
+  log.EndOfStep(1, 1, "a1");
+  log.EndOfStep(2, 1, "b1");
+  log.EndOfStep(1, 2, "a2");
+  log.Commit(1);
+  std::vector<InFlightTxn> in_flight = log.FindInFlight();
+  ASSERT_EQ(in_flight.size(), 1u);
+  EXPECT_EQ(in_flight[0].program, "b");
+  EXPECT_EQ(in_flight[0].work_area, "b1");
+}
+
+TEST(RecoveryLogTest, RecordsPreservedVerbatim) {
+  RecoveryLog log;
+  log.Begin(5, "prog");
+  log.EndOfStep(5, 1, "area");
+  ASSERT_EQ(log.records().size(), 2u);
+  EXPECT_EQ(log.records()[0].type, LogRecordType::kBegin);
+  EXPECT_EQ(log.records()[0].program, "prog");
+  EXPECT_EQ(log.records()[1].type, LogRecordType::kEndOfStep);
+  EXPECT_EQ(log.records()[1].step_index, 1);
+  EXPECT_EQ(log.records()[1].work_area, "area");
+}
+
+}  // namespace
+}  // namespace accdb::acc

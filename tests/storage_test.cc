@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace accdb::storage {
+namespace {
+
+Schema TwoColSchema() {
+  Schema schema;
+  schema.columns = {{"id", ColumnType::kInt64}, {"name", ColumnType::kString}};
+  schema.key_columns = {0};
+  return schema;
+}
+
+// --- Value / CompositeKey ---
+
+TEST(ValueTest, Types) {
+  EXPECT_EQ(Value(int64_t{5}).type(), ColumnType::kInt64);
+  EXPECT_EQ(Value(1.5).type(), ColumnType::kDouble);
+  EXPECT_EQ(Value(Money::FromCents(3)).type(), ColumnType::kMoney);
+  EXPECT_EQ(Value("abc").type(), ColumnType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(7).AsInt64(), 7);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value(Money::FromCents(10)).AsMoney().cents(), 10);
+  EXPECT_EQ(Value(std::string("x")).AsString(), "x");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_FALSE(Value(3) == Value(4));
+  EXPECT_FALSE(Value(3) == Value("3"));
+  EXPECT_LT(Value(3), Value(4));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Value(Money::FromCents(150)).ToString(), "$1.50");
+}
+
+TEST(CompositeKeyTest, LexicographicOrder) {
+  EXPECT_TRUE(CompositeKeyLess(Key(1, 2), Key(1, 3)));
+  EXPECT_TRUE(CompositeKeyLess(Key(1, 9), Key(2, 0)));
+  EXPECT_FALSE(CompositeKeyLess(Key(2, 0), Key(1, 9)));
+}
+
+TEST(CompositeKeyTest, PrefixSortsFirst) {
+  EXPECT_TRUE(CompositeKeyLess(Key(1), Key(1, 0)));
+  EXPECT_FALSE(CompositeKeyLess(Key(1, 0), Key(1)));
+}
+
+// --- Schema ---
+
+TEST(SchemaTest, ColumnIndex) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(s.ColumnIndex("id"), 0);
+  EXPECT_EQ(s.ColumnIndex("name"), 1);
+  EXPECT_EQ(s.ColumnIndex("missing"), -1);
+}
+
+TEST(SchemaTest, ValidateArity) {
+  Schema s = TwoColSchema();
+  EXPECT_TRUE(s.Validate({Value(1), Value("a")}).ok());
+  EXPECT_FALSE(s.Validate({Value(1)}).ok());
+}
+
+TEST(SchemaTest, ValidateTypes) {
+  Schema s = TwoColSchema();
+  EXPECT_FALSE(s.Validate({Value("bad"), Value("a")}).ok());
+}
+
+// --- Table ---
+
+TEST(TableTest, InsertAndGet) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("one")});
+  ASSERT_TRUE(id.ok());
+  const Row* row = t.Get(*id);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].AsString(), "one");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TableTest, DuplicatePkRejected) {
+  Table t(0, "t", TwoColSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value("a")}).ok());
+  auto dup = t.Insert({Value(1), Value("b")});
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(TableTest, LookupPk) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(5), Value("five")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(t.LookupPk(Key(5)), *id);
+  EXPECT_FALSE(t.LookupPk(Key(6)).has_value());
+}
+
+TEST(TableTest, UpdateReplacesRow) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(t.Update(*id, {Value(1), Value("b")}).ok());
+  EXPECT_EQ((*t.Get(*id))[1].AsString(), "b");
+}
+
+TEST(TableTest, UpdateCannotChangeKey) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(t.Update(*id, {Value(2), Value("a")}).ok());
+}
+
+TEST(TableTest, UpdateColumns) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(t.UpdateColumns(*id, {{1, Value("z")}}).ok());
+  EXPECT_EQ((*t.Get(*id))[1].AsString(), "z");
+  // Key column updates are rejected.
+  EXPECT_FALSE(t.UpdateColumns(*id, {{0, Value(9)}}).ok());
+  // Type mismatches are rejected.
+  EXPECT_FALSE(t.UpdateColumns(*id, {{1, Value(9)}}).ok());
+}
+
+TEST(TableTest, DeleteRemovesRowAndIndex) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(t.Delete(*id).ok());
+  EXPECT_EQ(t.Get(*id), nullptr);
+  EXPECT_FALSE(t.LookupPk(Key(1)).has_value());
+  EXPECT_FALSE(t.Delete(*id).ok());
+}
+
+TEST(TableTest, RowIdsNotReused) {
+  Table t(0, "t", TwoColSchema());
+  auto id1 = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(t.Delete(*id1).ok());
+  auto id2 = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id1, *id2);
+}
+
+TEST(TableTest, InsertWithIdRestoresRow) {
+  Table t(0, "t", TwoColSchema());
+  auto id = t.Insert({Value(1), Value("a")});
+  ASSERT_TRUE(id.ok());
+  Row saved = *t.Get(*id);
+  ASSERT_TRUE(t.Delete(*id).ok());
+  ASSERT_TRUE(t.InsertWithId(*id, saved).ok());
+  EXPECT_EQ(t.LookupPk(Key(1)), *id);
+}
+
+Schema CompositeSchema() {
+  Schema schema;
+  schema.columns = {{"a", ColumnType::kInt64},
+                    {"b", ColumnType::kInt64},
+                    {"v", ColumnType::kInt64}};
+  schema.key_columns = {0, 1};
+  return schema;
+}
+
+TEST(TableTest, ScanPkPrefix) {
+  Table t(0, "t", CompositeSchema());
+  for (int a = 1; a <= 3; ++a) {
+    for (int b = 1; b <= 4; ++b) {
+      ASSERT_TRUE(t.Insert({Value(a), Value(b), Value(a * 10 + b)}).ok());
+    }
+  }
+  std::vector<RowId> hits = t.ScanPkPrefix(Key(2));
+  ASSERT_EQ(hits.size(), 4u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ((*t.Get(hits[i]))[0].AsInt64(), 2);
+    EXPECT_EQ((*t.Get(hits[i]))[1].AsInt64(), static_cast<int64_t>(i + 1));
+  }
+  EXPECT_TRUE(t.ScanPkPrefix(Key(9)).empty());
+}
+
+TEST(TableTest, MinPkPrefix) {
+  Table t(0, "t", CompositeSchema());
+  ASSERT_TRUE(t.Insert({Value(1), Value(7), Value(0)}).ok());
+  ASSERT_TRUE(t.Insert({Value(1), Value(3), Value(0)}).ok());
+  ASSERT_TRUE(t.Insert({Value(2), Value(1), Value(0)}).ok());
+  auto min1 = t.MinPkPrefix(Key(1));
+  ASSERT_TRUE(min1.has_value());
+  EXPECT_EQ((*t.Get(*min1))[1].AsInt64(), 3);
+  EXPECT_FALSE(t.MinPkPrefix(Key(5)).has_value());
+}
+
+TEST(TableTest, SecondaryIndexLookup) {
+  Table t(0, "t", TwoColSchema());
+  IndexId by_name = t.AddIndex("by_name", {1});
+  auto id1 = t.Insert({Value(1), Value("bob")});
+  auto id2 = t.Insert({Value(2), Value("bob")});
+  auto id3 = t.Insert({Value(3), Value("eve")});
+  ASSERT_TRUE(id1.ok() && id2.ok() && id3.ok());
+  std::vector<RowId> bobs = t.LookupIndex(by_name, Key("bob"));
+  EXPECT_EQ(bobs, (std::vector<RowId>{*id1, *id2}));
+  EXPECT_TRUE(t.LookupIndex(by_name, Key("zed")).empty());
+}
+
+TEST(TableTest, SecondaryIndexMaintainedOnUpdateDelete) {
+  Table t(0, "t", TwoColSchema());
+  IndexId by_name = t.AddIndex("by_name", {1});
+  auto id = t.Insert({Value(1), Value("bob")});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(t.UpdateColumns(*id, {{1, Value("eve")}}).ok());
+  EXPECT_TRUE(t.LookupIndex(by_name, Key("bob")).empty());
+  EXPECT_EQ(t.LookupIndex(by_name, Key("eve")).size(), 1u);
+  ASSERT_TRUE(t.Delete(*id).ok());
+  EXPECT_TRUE(t.LookupIndex(by_name, Key("eve")).empty());
+}
+
+TEST(TableTest, ScanIndexPrefix) {
+  Table t(0, "t", CompositeSchema());
+  IndexId by_b = t.AddIndex("by_b", {1, 0});
+  for (int a = 1; a <= 3; ++a) {
+    ASSERT_TRUE(t.Insert({Value(a), Value(a % 2), Value(0)}).ok());
+  }
+  EXPECT_EQ(t.ScanIndexPrefix(by_b, Key(1)).size(), 2u);  // a = 1 and 3.
+  EXPECT_EQ(t.ScanIndexPrefix(by_b, Key(0)).size(), 1u);  // a = 2.
+}
+
+// --- Database ---
+
+TEST(DatabaseTest, CreateAndLookup) {
+  Database db;
+  Table* t = db.CreateTable("orders", TwoColSchema());
+  EXPECT_EQ(db.GetTable("orders"), t);
+  EXPECT_EQ(db.GetTable(t->id()), t);
+  EXPECT_EQ(db.GetTable("missing"), nullptr);
+  EXPECT_EQ(db.table_count(), 1u);
+}
+
+TEST(DatabaseTest, Variables) {
+  Database db;
+  Table* counter = db.CreateVariable("counter", 41);
+  EXPECT_EQ(db.ReadVariable(*counter), 41);
+  ASSERT_TRUE(
+      counter->UpdateColumns(kVariableRowId, {{1, Value(42)}}).ok());
+  EXPECT_EQ(db.ReadVariable(*counter), 42);
+}
+
+}  // namespace
+}  // namespace accdb::storage

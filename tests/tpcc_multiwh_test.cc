@@ -1,0 +1,167 @@
+// Multi-warehouse TPC-C: remote payments (clause 2.5.1.2) and remote
+// supplying warehouses (clause 2.4.1.5.3), and the workload at W=2.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "acc/conflict_resolver.h"
+#include "acc/engine.h"
+#include "storage/database.h"
+#include "tpcc/consistency.h"
+#include "tpcc/driver.h"
+#include "tpcc/loader.h"
+#include "tpcc/transactions.h"
+
+namespace accdb::tpcc {
+namespace {
+
+using acc::ExecMode;
+using storage::Key;
+using storage::Row;
+
+class MultiWarehouseTest : public ::testing::Test {
+ protected:
+  MultiWarehouseTest() : db_(&database_), resolver_(&db_.interference) {
+    scale_ = ScaleConfig::Test();
+    scale_.warehouses = 2;
+    LoadDatabase(db_, scale_, /*seed=*/5);
+    acc::EngineConfig config;
+    config.charge_acc_overheads = false;
+    engine_ = std::make_unique<acc::Engine>(&database_, &resolver_, config);
+  }
+
+  storage::Database database_;
+  TpccDb db_;
+  ScaleConfig scale_;
+  acc::AccConflictResolver resolver_;
+  std::unique_ptr<acc::Engine> engine_;
+  acc::ImmediateEnv env_;
+};
+
+TEST_F(MultiWarehouseTest, LoaderPopulatesBothWarehouses) {
+  EXPECT_EQ(db_.warehouse->size(), 2u);
+  EXPECT_EQ(db_.district->size(), 20u);
+  EXPECT_EQ(db_.stock->size(), static_cast<size_t>(2 * scale_.item_count));
+  ConsistencyReport report = CheckConsistency(db_, /*strict=*/true);
+  EXPECT_TRUE(report.ok) << (report.violations.empty()
+                                 ? ""
+                                 : report.violations[0]);
+}
+
+TEST_F(MultiWarehouseTest, RemoteSupplyLineUpdatesRemoteStock) {
+  NewOrderInput input;
+  input.w_id = 1;
+  input.d_id = 1;
+  input.c_id = 1;
+  input.lines = {{7, 5, /*supply_w_id=*/2}};
+  Row remote_before = *db_.stock->Get(*db_.stock->LookupPk(Key(2, 7)));
+  Row local_before = *db_.stock->Get(*db_.stock->LookupPk(Key(1, 7)));
+  NewOrderTxn txn(&db_, input);
+  ASSERT_TRUE(
+      engine_->Execute(txn, env_, ExecMode::kAccDecomposed).status.ok());
+  Row remote_after = *db_.stock->Get(*db_.stock->LookupPk(Key(2, 7)));
+  Row local_after = *db_.stock->Get(*db_.stock->LookupPk(Key(1, 7)));
+  // The remote warehouse's stock moved; s_remote_cnt counts the sale.
+  EXPECT_EQ(remote_after[db_.s_ytd].AsInt64(),
+            remote_before[db_.s_ytd].AsInt64() + 5);
+  EXPECT_EQ(remote_after[db_.s_remote_cnt].AsInt64(),
+            remote_before[db_.s_remote_cnt].AsInt64() + 1);
+  EXPECT_EQ(local_after[db_.s_ytd].AsInt64(),
+            local_before[db_.s_ytd].AsInt64());
+  // The order is flagged non-local and the line records the supplier.
+  Row order =
+      *db_.orders->Get(*db_.orders->LookupPk(Key(1, 1, txn.order_id())));
+  EXPECT_EQ(order[db_.o_all_local].AsInt64(), 0);
+  auto lines = db_.order_line->ScanPkPrefix(Key(1, 1, txn.order_id()));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ((*db_.order_line->Get(lines[0]))[db_.ol_supply_w_id].AsInt64(),
+            2);
+  EXPECT_TRUE(CheckConsistency(db_, /*strict=*/true).ok);
+}
+
+TEST_F(MultiWarehouseTest, RemoteSupplyCompensationRestoresRemoteStock) {
+  NewOrderInput input;
+  input.w_id = 1;
+  input.d_id = 2;
+  input.c_id = 1;
+  input.lines = {{7, 5, 2}, {8, 1, 1}};
+  input.rollback = true;  // Abort at the final item.
+  Row remote_before = *db_.stock->Get(*db_.stock->LookupPk(Key(2, 7)));
+  NewOrderTxn txn(&db_, input);
+  acc::ExecResult result =
+      engine_->Execute(txn, env_, ExecMode::kAccDecomposed);
+  EXPECT_EQ(result.status.code(), StatusCode::kAborted);
+  EXPECT_TRUE(result.compensated);
+  Row remote_after = *db_.stock->Get(*db_.stock->LookupPk(Key(2, 7)));
+  EXPECT_EQ(remote_after[db_.s_ytd].AsInt64(),
+            remote_before[db_.s_ytd].AsInt64());
+  EXPECT_EQ(remote_after[db_.s_remote_cnt].AsInt64(),
+            remote_before[db_.s_remote_cnt].AsInt64());
+  EXPECT_TRUE(CheckConsistency(db_, /*strict=*/false).ok);
+}
+
+TEST_F(MultiWarehouseTest, RemotePaymentCreditsRemoteCustomer) {
+  PaymentInput input;
+  input.w_id = 1;
+  input.d_id = 3;
+  input.c_w_id = 2;  // Remote customer.
+  input.c_d_id = 5;
+  input.by_last_name = false;
+  input.c_id = 4;
+  input.amount = Money::FromDollars(77);
+  Row cust_before = *db_.customer->Get(*db_.customer->LookupPk(Key(2, 5, 4)));
+  Money w1_before = (*db_.warehouse->Get(*db_.warehouse->LookupPk(Key(1))))
+      [db_.w_ytd].AsMoney();
+  PaymentTxn txn(&db_, input);
+  ASSERT_TRUE(
+      engine_->Execute(txn, env_, ExecMode::kAccDecomposed).status.ok());
+  // The paying warehouse's ytd moved; the remote customer's balance moved.
+  Money w1_after = (*db_.warehouse->Get(*db_.warehouse->LookupPk(Key(1))))
+      [db_.w_ytd].AsMoney();
+  EXPECT_EQ(w1_after, w1_before + input.amount);
+  Row cust_after = *db_.customer->Get(*db_.customer->LookupPk(Key(2, 5, 4)));
+  EXPECT_EQ(cust_after[db_.c_balance].AsMoney(),
+            cust_before[db_.c_balance].AsMoney() - input.amount);
+  EXPECT_TRUE(CheckConsistency(db_, /*strict=*/true).ok);
+}
+
+TEST(MultiWarehouseWorkloadTest, TwoWarehouseWorkloadConsistent) {
+  WorkloadConfig config;
+  config.decomposed = true;
+  config.terminals = 12;
+  config.servers = 2;
+  config.sim_seconds = 20;
+  config.seed = 88;
+  config.mean_think_seconds = 0.1;
+  config.keying_seconds = 0.02;
+  config.inputs.scale = ScaleConfig::Test();
+  config.inputs.scale.warehouses = 2;
+  config.engine.charge_acc_overheads = false;
+  WorkloadResult result = RunWorkload(config);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+  EXPECT_GT(result.completed, 100u);
+}
+
+TEST(MultiWarehouseWorkloadTest, InputGeneratorProducesRemoteTraffic) {
+  InputGenConfig config;
+  config.scale = ScaleConfig::Test();
+  config.scale.warehouses = 3;
+  InputGenerator gen(config, 99);
+  int remote_payments = 0;
+  int remote_lines = 0, total_lines = 0;
+  for (int i = 0; i < 5000; ++i) {
+    PaymentInput p = gen.NextPayment();
+    if (p.c_w_id != p.w_id) ++remote_payments;
+    NewOrderInput no = gen.NextNewOrder();
+    for (const auto& line : no.lines) {
+      ++total_lines;
+      if (line.supply_w_id != no.w_id) ++remote_lines;
+    }
+  }
+  EXPECT_NEAR(remote_payments / 5000.0, 0.15, 0.02);
+  EXPECT_NEAR(static_cast<double>(remote_lines) / total_lines, 0.01, 0.005);
+}
+
+}  // namespace
+}  // namespace accdb::tpcc

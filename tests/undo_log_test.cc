@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/undo_log.h"
+
+namespace accdb::storage {
+namespace {
+
+class UndoLogTest : public ::testing::Test {
+ protected:
+  UndoLogTest() : undo_(&db_) {
+    Schema schema;
+    schema.columns = {{"id", ColumnType::kInt64}, {"v", ColumnType::kInt64}};
+    schema.key_columns = {0};
+    table_ = db_.CreateTable("t", schema);
+  }
+
+  RowId MustInsert(int64_t id, int64_t v) {
+    auto r = table_->Insert({Value(id), Value(v)});
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  int64_t ValueOf(RowId id) { return (*table_->Get(id))[1].AsInt64(); }
+
+  Database db_;
+  Table* table_;
+  UndoLog undo_;
+};
+
+TEST_F(UndoLogTest, UndoInsert) {
+  RowId id = MustInsert(1, 10);
+  undo_.WillInsert(table_->id(), id);
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(table_->Get(id), nullptr);
+  EXPECT_TRUE(undo_.empty());
+}
+
+TEST_F(UndoLogTest, UndoUpdate) {
+  RowId id = MustInsert(1, 10);
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(99)}}).ok());
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(ValueOf(id), 10);
+}
+
+TEST_F(UndoLogTest, UndoDeleteRestoresOriginalRowId) {
+  RowId id = MustInsert(1, 10);
+  undo_.WillDelete(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->Delete(id).ok());
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(table_->LookupPk(Key(1)), id);
+  EXPECT_EQ(ValueOf(id), 10);
+}
+
+TEST_F(UndoLogTest, ReverseOrderRestoresChains) {
+  RowId id = MustInsert(1, 10);
+  // Two consecutive updates; rollback must land on the first before-image.
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(20)}}).ok());
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(30)}}).ok());
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(ValueOf(id), 10);
+}
+
+TEST_F(UndoLogTest, SavepointRollsBackSuffixOnly) {
+  RowId id = MustInsert(1, 10);
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(20)}}).ok());
+  UndoLog::Savepoint sp = undo_.Mark();
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(30)}}).ok());
+  ASSERT_TRUE(undo_.RollbackTo(sp).ok());
+  EXPECT_EQ(ValueOf(id), 20);
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(ValueOf(id), 10);
+}
+
+TEST_F(UndoLogTest, ReleaseDiscardsWithoutUndo) {
+  RowId id = MustInsert(1, 10);
+  undo_.WillUpdate(table_->id(), id, *table_->Get(id));
+  ASSERT_TRUE(table_->UpdateColumns(id, {{1, Value(20)}}).ok());
+  undo_.ReleaseAll();
+  EXPECT_TRUE(undo_.empty());
+  EXPECT_EQ(ValueOf(id), 20);
+}
+
+TEST_F(UndoLogTest, MixedSequence) {
+  RowId keep = MustInsert(1, 10);
+  // Insert a row, update the original, delete the original.
+  RowId fresh = MustInsert(2, 20);
+  undo_.WillInsert(table_->id(), fresh);
+  undo_.WillUpdate(table_->id(), keep, *table_->Get(keep));
+  ASSERT_TRUE(table_->UpdateColumns(keep, {{1, Value(11)}}).ok());
+  undo_.WillDelete(table_->id(), keep, *table_->Get(keep));
+  ASSERT_TRUE(table_->Delete(keep).ok());
+  ASSERT_TRUE(undo_.RollbackAll().ok());
+  EXPECT_EQ(ValueOf(keep), 10);
+  EXPECT_EQ(table_->Get(fresh), nullptr);
+  EXPECT_EQ(table_->size(), 1u);
+}
+
+}  // namespace
+}  // namespace accdb::storage
