@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_false_conflicts.dir/abl_false_conflicts.cc.o"
+  "CMakeFiles/abl_false_conflicts.dir/abl_false_conflicts.cc.o.d"
+  "abl_false_conflicts"
+  "abl_false_conflicts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_false_conflicts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_granularity.dir/abl_granularity.cc.o"
+  "CMakeFiles/abl_granularity.dir/abl_granularity.cc.o.d"
+  "abl_granularity"
+  "abl_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

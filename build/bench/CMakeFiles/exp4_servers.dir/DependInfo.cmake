@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/exp4_servers.cc" "bench/CMakeFiles/exp4_servers.dir/exp4_servers.cc.o" "gcc" "bench/CMakeFiles/exp4_servers.dir/exp4_servers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/acc_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/orderproc/CMakeFiles/acc_orderproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/acc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/acc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

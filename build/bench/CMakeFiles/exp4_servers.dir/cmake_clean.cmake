@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp4_servers.dir/exp4_servers.cc.o"
+  "CMakeFiles/exp4_servers.dir/exp4_servers.cc.o.d"
+  "exp4_servers"
+  "exp4_servers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp4_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_hotspots.dir/fig2_hotspots.cc.o"
+  "CMakeFiles/fig2_hotspots.dir/fig2_hotspots.cc.o.d"
+  "fig2_hotspots"
+  "fig2_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

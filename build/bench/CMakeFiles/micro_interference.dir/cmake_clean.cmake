@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_interference.dir/micro_interference.cc.o"
+  "CMakeFiles/micro_interference.dir/micro_interference.cc.o.d"
+  "micro_interference"
+  "micro_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_lock_overhead.dir/micro_lock_overhead.cc.o"
+  "CMakeFiles/micro_lock_overhead.dir/micro_lock_overhead.cc.o.d"
+  "micro_lock_overhead"
+  "micro_lock_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_lock_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acc/catalog.cc" "src/acc/CMakeFiles/acc_core.dir/catalog.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/catalog.cc.o.d"
+  "/root/repo/src/acc/conflict_resolver.cc" "src/acc/CMakeFiles/acc_core.dir/conflict_resolver.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/conflict_resolver.cc.o.d"
+  "/root/repo/src/acc/engine.cc" "src/acc/CMakeFiles/acc_core.dir/engine.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/engine.cc.o.d"
+  "/root/repo/src/acc/interference.cc" "src/acc/CMakeFiles/acc_core.dir/interference.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/interference.cc.o.d"
+  "/root/repo/src/acc/recovery.cc" "src/acc/CMakeFiles/acc_core.dir/recovery.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/recovery.cc.o.d"
+  "/root/repo/src/acc/recovery_log.cc" "src/acc/CMakeFiles/acc_core.dir/recovery_log.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/recovery_log.cc.o.d"
+  "/root/repo/src/acc/sim_env.cc" "src/acc/CMakeFiles/acc_core.dir/sim_env.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/sim_env.cc.o.d"
+  "/root/repo/src/acc/txn_context.cc" "src/acc/CMakeFiles/acc_core.dir/txn_context.cc.o" "gcc" "src/acc/CMakeFiles/acc_core.dir/txn_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/acc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

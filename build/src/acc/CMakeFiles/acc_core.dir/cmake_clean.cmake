@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_core.dir/catalog.cc.o"
+  "CMakeFiles/acc_core.dir/catalog.cc.o.d"
+  "CMakeFiles/acc_core.dir/conflict_resolver.cc.o"
+  "CMakeFiles/acc_core.dir/conflict_resolver.cc.o.d"
+  "CMakeFiles/acc_core.dir/engine.cc.o"
+  "CMakeFiles/acc_core.dir/engine.cc.o.d"
+  "CMakeFiles/acc_core.dir/interference.cc.o"
+  "CMakeFiles/acc_core.dir/interference.cc.o.d"
+  "CMakeFiles/acc_core.dir/recovery.cc.o"
+  "CMakeFiles/acc_core.dir/recovery.cc.o.d"
+  "CMakeFiles/acc_core.dir/recovery_log.cc.o"
+  "CMakeFiles/acc_core.dir/recovery_log.cc.o.d"
+  "CMakeFiles/acc_core.dir/sim_env.cc.o"
+  "CMakeFiles/acc_core.dir/sim_env.cc.o.d"
+  "CMakeFiles/acc_core.dir/txn_context.cc.o"
+  "CMakeFiles/acc_core.dir/txn_context.cc.o.d"
+  "libacc_core.a"
+  "libacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_common.dir/money.cc.o"
+  "CMakeFiles/acc_common.dir/money.cc.o.d"
+  "CMakeFiles/acc_common.dir/rng.cc.o"
+  "CMakeFiles/acc_common.dir/rng.cc.o.d"
+  "CMakeFiles/acc_common.dir/status.cc.o"
+  "CMakeFiles/acc_common.dir/status.cc.o.d"
+  "CMakeFiles/acc_common.dir/string_util.cc.o"
+  "CMakeFiles/acc_common.dir/string_util.cc.o.d"
+  "libacc_common.a"
+  "libacc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

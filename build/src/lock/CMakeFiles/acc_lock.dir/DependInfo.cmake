@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lock/conflict.cc" "src/lock/CMakeFiles/acc_lock.dir/conflict.cc.o" "gcc" "src/lock/CMakeFiles/acc_lock.dir/conflict.cc.o.d"
+  "/root/repo/src/lock/lock_manager.cc" "src/lock/CMakeFiles/acc_lock.dir/lock_manager.cc.o" "gcc" "src/lock/CMakeFiles/acc_lock.dir/lock_manager.cc.o.d"
+  "/root/repo/src/lock/types.cc" "src/lock/CMakeFiles/acc_lock.dir/types.cc.o" "gcc" "src/lock/CMakeFiles/acc_lock.dir/types.cc.o.d"
+  "/root/repo/src/lock/wait_for_graph.cc" "src/lock/CMakeFiles/acc_lock.dir/wait_for_graph.cc.o" "gcc" "src/lock/CMakeFiles/acc_lock.dir/wait_for_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_lock.dir/conflict.cc.o"
+  "CMakeFiles/acc_lock.dir/conflict.cc.o.d"
+  "CMakeFiles/acc_lock.dir/lock_manager.cc.o"
+  "CMakeFiles/acc_lock.dir/lock_manager.cc.o.d"
+  "CMakeFiles/acc_lock.dir/types.cc.o"
+  "CMakeFiles/acc_lock.dir/types.cc.o.d"
+  "CMakeFiles/acc_lock.dir/wait_for_graph.cc.o"
+  "CMakeFiles/acc_lock.dir/wait_for_graph.cc.o.d"
+  "libacc_lock.a"
+  "libacc_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orderproc/order_system.cc" "src/orderproc/CMakeFiles/acc_orderproc.dir/order_system.cc.o" "gcc" "src/orderproc/CMakeFiles/acc_orderproc.dir/order_system.cc.o.d"
+  "/root/repo/src/orderproc/transactions.cc" "src/orderproc/CMakeFiles/acc_orderproc.dir/transactions.cc.o" "gcc" "src/orderproc/CMakeFiles/acc_orderproc.dir/transactions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acc/CMakeFiles/acc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/acc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

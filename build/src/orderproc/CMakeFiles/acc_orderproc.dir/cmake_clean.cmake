@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_orderproc.dir/order_system.cc.o"
+  "CMakeFiles/acc_orderproc.dir/order_system.cc.o.d"
+  "CMakeFiles/acc_orderproc.dir/transactions.cc.o"
+  "CMakeFiles/acc_orderproc.dir/transactions.cc.o.d"
+  "libacc_orderproc.a"
+  "libacc_orderproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_orderproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libacc_orderproc.a"
+)

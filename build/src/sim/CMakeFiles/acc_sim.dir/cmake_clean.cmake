@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_sim.dir/metrics.cc.o"
+  "CMakeFiles/acc_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/acc_sim.dir/resource.cc.o"
+  "CMakeFiles/acc_sim.dir/resource.cc.o.d"
+  "CMakeFiles/acc_sim.dir/simulation.cc.o"
+  "CMakeFiles/acc_sim.dir/simulation.cc.o.d"
+  "libacc_sim.a"
+  "libacc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

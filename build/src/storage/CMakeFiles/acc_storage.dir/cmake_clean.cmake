@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_storage.dir/database.cc.o"
+  "CMakeFiles/acc_storage.dir/database.cc.o.d"
+  "CMakeFiles/acc_storage.dir/table.cc.o"
+  "CMakeFiles/acc_storage.dir/table.cc.o.d"
+  "CMakeFiles/acc_storage.dir/undo_log.cc.o"
+  "CMakeFiles/acc_storage.dir/undo_log.cc.o.d"
+  "CMakeFiles/acc_storage.dir/value.cc.o"
+  "CMakeFiles/acc_storage.dir/value.cc.o.d"
+  "libacc_storage.a"
+  "libacc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpcc/consistency.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/consistency.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/consistency.cc.o.d"
+  "/root/repo/src/tpcc/driver.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/driver.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/driver.cc.o.d"
+  "/root/repo/src/tpcc/input.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/input.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/input.cc.o.d"
+  "/root/repo/src/tpcc/loader.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/loader.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/loader.cc.o.d"
+  "/root/repo/src/tpcc/tpcc_db.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/tpcc_db.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/tpcc_db.cc.o.d"
+  "/root/repo/src/tpcc/txn_delivery.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_delivery.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_delivery.cc.o.d"
+  "/root/repo/src/tpcc/txn_new_order.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_new_order.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_new_order.cc.o.d"
+  "/root/repo/src/tpcc/txn_payment.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_payment.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_payment.cc.o.d"
+  "/root/repo/src/tpcc/txn_read_only.cc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_read_only.cc.o" "gcc" "src/tpcc/CMakeFiles/acc_tpcc.dir/txn_read_only.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/acc/CMakeFiles/acc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/acc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

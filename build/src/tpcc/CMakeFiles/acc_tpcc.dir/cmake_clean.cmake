@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acc_tpcc.dir/consistency.cc.o"
+  "CMakeFiles/acc_tpcc.dir/consistency.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/driver.cc.o"
+  "CMakeFiles/acc_tpcc.dir/driver.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/input.cc.o"
+  "CMakeFiles/acc_tpcc.dir/input.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/loader.cc.o"
+  "CMakeFiles/acc_tpcc.dir/loader.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/tpcc_db.cc.o"
+  "CMakeFiles/acc_tpcc.dir/tpcc_db.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/txn_delivery.cc.o"
+  "CMakeFiles/acc_tpcc.dir/txn_delivery.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/txn_new_order.cc.o"
+  "CMakeFiles/acc_tpcc.dir/txn_new_order.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/txn_payment.cc.o"
+  "CMakeFiles/acc_tpcc.dir/txn_payment.cc.o.d"
+  "CMakeFiles/acc_tpcc.dir/txn_read_only.cc.o"
+  "CMakeFiles/acc_tpcc.dir/txn_read_only.cc.o.d"
+  "libacc_tpcc.a"
+  "libacc_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acc_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

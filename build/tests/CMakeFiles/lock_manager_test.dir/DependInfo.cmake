@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/lock_manager_test.cc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o" "gcc" "tests/CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orderproc/CMakeFiles/acc_orderproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpcc/CMakeFiles/acc_tpcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/acc/CMakeFiles/acc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/acc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/lock/CMakeFiles/acc_lock.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/acc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/acc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

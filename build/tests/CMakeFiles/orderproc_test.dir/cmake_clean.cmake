@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orderproc_test.dir/orderproc_test.cc.o"
+  "CMakeFiles/orderproc_test.dir/orderproc_test.cc.o.d"
+  "orderproc_test"
+  "orderproc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orderproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_txn_test.dir/tpcc_txn_test.cc.o"
+  "CMakeFiles/tpcc_txn_test.dir/tpcc_txn_test.cc.o.d"
+  "tpcc_txn_test"
+  "tpcc_txn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_txn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

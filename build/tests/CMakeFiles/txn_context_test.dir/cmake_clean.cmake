@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_context_test.dir/txn_context_test.cc.o"
+  "CMakeFiles/txn_context_test.dir/txn_context_test.cc.o.d"
+  "txn_context_test"
+  "txn_context_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_context_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
