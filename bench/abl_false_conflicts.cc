@@ -15,9 +15,13 @@
 // baseline for reference.
 
 #include <cstdio>
+#include <functional>
 #include <memory>
+#include <vector>
 
 #include "acc/conflict_resolver.h"
+#include "bench/harness.h"
+#include "common/thread_pool.h"
 #include "acc/engine.h"
 #include "acc/sim_env.h"
 #include "common/rng.h"
@@ -145,7 +149,12 @@ MiniResult RunOrderProc(Mode mode, int terminals, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  using accdb::bench::BenchOptions;
+  using accdb::bench::BenchReport;
+  BenchOptions options =
+      accdb::bench::ParseBenchOptions("abl_false_conflicts", argc, argv);
+  BenchReport report(options);
   std::printf(
       "# Ablation: one-level run-time key refinement vs two-level "
       "conservatism\n"
@@ -154,14 +163,43 @@ int main() {
   std::printf("%-10s %12s %14s %14s %12s | %9s %9s %9s\n", "terminals",
               "one-level", "no-refinement", "two-level", "2PL", "waits(1L)",
               "waits(NR)", "waits(2L)");
-  for (int terminals : {10, 20, 40}) {
-    MiniResult one = RunOrderProc(Mode::kOneLevel, terminals, 111);
-    MiniResult norefine = RunOrderProc(Mode::kNoRefinement, terminals, 111);
-    MiniResult two = RunOrderProc(Mode::kTwoLevelDispatch, terminals, 111);
-    MiniResult base = RunOrderProc(Mode::kBaseline, terminals, 111);
+
+  const std::vector<int> terminal_counts = {10, 20, 40};
+  const Mode modes[4] = {Mode::kOneLevel, Mode::kNoRefinement,
+                         Mode::kTwoLevelDispatch, Mode::kBaseline};
+  const char* mode_labels[4] = {"one_level", "no_refinement", "two_level",
+                                "2pl"};
+  // Every (terminal count, mode) cell is an independent simulation.
+  MiniResult results[3][4];
+  std::vector<std::function<void()>> tasks;
+  for (size_t t = 0; t < terminal_counts.size(); ++t) {
+    for (int m = 0; m < 4; ++m) {
+      MiniResult* slot = &results[t][m];
+      int terminals = terminal_counts[t];
+      Mode mode = modes[m];
+      tasks.push_back(
+          [slot, mode, terminals] { *slot = RunOrderProc(mode, terminals, 111); });
+    }
+  }
+  accdb::RunTasks(options.jobs, std::move(tasks));
+
+  accdb::Json sweeps = accdb::Json::Array();
+  for (int m = 0; m < 4; ++m) {
+    accdb::Json entry = accdb::Json::Object();
+    entry["label"] = mode_labels[m];
+    entry["x_axis"] = "terminals";
+    entry["points"] = accdb::Json::Array();
+    sweeps.Append(std::move(entry));
+  }
+  for (size_t t = 0; t < terminal_counts.size(); ++t) {
+    const MiniResult& one = results[t][0];
+    const MiniResult& norefine = results[t][1];
+    const MiniResult& two = results[t][2];
+    const MiniResult& base = results[t][3];
     std::printf("%-10d %12.4f %14.4f %14.4f %12.4f | %9llu %9llu %9llu\n",
-                terminals, one.response.mean(), norefine.response.mean(),
-                two.response.mean(), base.response.mean(),
+                terminal_counts[t], one.response.mean(),
+                norefine.response.mean(), two.response.mean(),
+                base.response.mean(),
                 static_cast<unsigned long long>(one.waits),
                 static_cast<unsigned long long>(norefine.waits),
                 static_cast<unsigned long long>(two.waits));
@@ -170,6 +208,16 @@ int main() {
                 static_cast<unsigned long long>(norefine.completed),
                 static_cast<unsigned long long>(two.completed),
                 static_cast<unsigned long long>(base.completed));
+    for (int m = 0; m < 4; ++m) {
+      accdb::Json point = accdb::Json::Object();
+      point["x"] = terminal_counts[t];
+      point["response_mean"] = results[t][m].response.mean();
+      point["completed"] = results[t][m].completed;
+      point["waits"] = results[t][m].waits;
+      sweeps.at(m)["points"].Append(std::move(point));
+    }
   }
+  report.root()["sweeps"] = std::move(sweeps);
+  report.Write();
   return 0;
 }

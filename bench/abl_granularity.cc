@@ -8,39 +8,64 @@
 // price of more per-step overhead.
 
 #include <cstdio>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accdb::bench;
   using accdb::tpcc::NewOrderGranularity;
+  BenchOptions options = ParseBenchOptions("abl_granularity", argc, argv);
+  BenchReport report(options);
   PrintTitle(
       "Ablation: new-order decomposition granularity — mean response time "
       "(seconds) under the ACC, vs the 2PL baseline");
-  std::printf("%-10s %12s %12s %12s %12s\n", "terminals", "single-step",
-              "coarse(3)", "fine(paper)", "2PL");
 
   accdb::tpcc::WorkloadConfig base = BaseConfig(/*seed=*/60250706);
   base.compute_seconds = 0.0005;  // Contention regime.
 
-  for (int terminals : {20, 40, 60}) {
-    double response[3] = {0, 0, 0};
-    NewOrderGranularity levels[3] = {NewOrderGranularity::kSingle,
-                                     NewOrderGranularity::kCoarse,
-                                     NewOrderGranularity::kFine};
+  const std::vector<int> terminal_counts = {20, 40, 60};
+  const NewOrderGranularity levels[3] = {NewOrderGranularity::kSingle,
+                                         NewOrderGranularity::kCoarse,
+                                         NewOrderGranularity::kFine};
+  // Per terminal count: three granularities + the 2PL baseline, all
+  // independent grid jobs. Flattened in row-major order.
+  std::vector<accdb::tpcc::WorkloadConfig> configs;
+  for (int terminals : terminal_counts) {
     for (int g = 0; g < 3; ++g) {
       accdb::tpcc::WorkloadConfig config = base;
       config.decomposed = true;
       config.granularity = levels[g];
       config.terminals = terminals;
-      response[g] = accdb::tpcc::RunWorkload(config).response_all.mean();
+      configs.push_back(config);
     }
     accdb::tpcc::WorkloadConfig baseline = base;
     baseline.decomposed = false;
     baseline.terminals = terminals;
-    double ser = accdb::tpcc::RunWorkload(baseline).response_all.mean();
-    std::printf("%-10d %12.4f %12.4f %12.4f %12.4f\n", terminals, response[0],
-                response[1], response[2], ser);
+    configs.push_back(baseline);
   }
+
+  std::vector<accdb::tpcc::WorkloadResult> results =
+      RunConfigs(options.jobs, configs);
+
+  std::printf("%-10s %12s %12s %12s %12s\n", "terminals", "single-step",
+              "coarse(3)", "fine(paper)", "2PL");
+  const char* labels[4] = {"single_step", "coarse", "fine", "2pl"};
+  std::vector<std::pair<int, accdb::tpcc::WorkloadResult>> sweeps[4];
+  for (size_t row = 0; row < terminal_counts.size(); ++row) {
+    const accdb::tpcc::WorkloadResult* r = &results[row * 4];
+    std::printf("%-10d %12.4f %12.4f %12.4f %12.4f\n", terminal_counts[row],
+                r[0].response_all.mean(), r[1].response_all.mean(),
+                r[2].response_all.mean(), r[3].response_all.mean());
+    for (int col = 0; col < 4; ++col) {
+      sweeps[col].emplace_back(terminal_counts[row], r[col]);
+    }
+  }
+
+  for (int col = 0; col < 4; ++col) {
+    report.AddRunSweep(labels[col], "terminals", sweeps[col]);
+  }
+  report.Write();
   return 0;
 }

@@ -8,24 +8,28 @@
 #include "bench/harness.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   using namespace accdb::bench;
+  BenchOptions options = ParseBenchOptions("calibrate", argc, argv);
+  BenchReport report(options);
   accdb::tpcc::WorkloadConfig base = BaseConfig(/*seed=*/424242);
+
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, {base}, {4, 20, 40, 60});
+
   std::printf(
       "term |  resp(ACC)  resp(2PL)  ratio | wait(ACC) wait(2PL) | "
       "thru(ACC) thru(2PL) | restarts A/S\n");
-  for (int terminals : {4, 20, 40, 60}) {
-    PairResult pair = RunPair(base, terminals);
+  for (const PairResult& pair : grid[0]) {
     std::printf(
-        "%4d | %9.4f %9.4f %6.3f | %8.1f %8.1f | %8.1f %8.1f | %llu/%llu\n",
-        terminals, pair.acc.response_all.mean(),
+        "%4d | %9.4f %9.4f %6.3f | %8.1f %8.1f | %8.1f %8.1f | %llu/%llu%s\n",
+        pair.terminals, pair.acc.response_all.mean(),
         pair.non_acc.response_all.mean(), pair.ResponseRatio(),
         pair.acc.total_lock_wait, pair.non_acc.total_lock_wait,
         pair.acc.throughput(), pair.non_acc.throughput(),
         static_cast<unsigned long long>(pair.acc.txn_restarts +
                                         pair.acc.step_deadlock_retries),
-        static_cast<unsigned long long>(pair.non_acc.txn_restarts));
+        static_cast<unsigned long long>(pair.non_acc.txn_restarts),
+        DegenerateMark(pair));
     if (!pair.acc.consistent) {
       std::printf("  !! ACC inconsistent: %s\n",
                   pair.acc.first_violation.c_str());
@@ -35,5 +39,8 @@ int main(int argc, char** argv) {
                   pair.non_acc.first_violation.c_str());
     }
   }
+
+  report.AddPairSweep("calibration", "terminals", grid[0]);
+  report.Write();
   return 0;
 }

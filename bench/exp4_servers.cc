@@ -8,24 +8,45 @@
 // shown in figures 2-4."
 
 #include <cstdio>
+#include <vector>
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accdb::bench;
+  BenchOptions options = ParseBenchOptions("exp4_servers", argc, argv);
+  BenchReport report(options);
   PrintTitle(
       "Experiment 4: Effect of the number of database servers "
       "(60 terminals; ratios are Non-ACC / ACC)");
-  std::printf("%-8s %14s %12s %12s %12s\n", "servers", "response_time",
-              "throughput", "tps(ACC)", "tps(2PL)");
 
-  for (int servers : {1, 2, 3, 4, 6}) {
+  // The sweep knob is the server count, so each server count becomes its
+  // own config and the terminal axis is the single point 60.
+  const std::vector<int> server_counts = {1, 2, 3, 4, 6};
+  std::vector<accdb::tpcc::WorkloadConfig> configs;
+  for (int servers : server_counts) {
     accdb::tpcc::WorkloadConfig config = BaseConfig(/*seed=*/50250706);
     config.servers = servers;
-    PairResult pair = RunPair(config, /*terminals=*/60);
-    std::printf("%-8d %14.3f %12.3f %12.2f %12.2f\n", servers,
-                pair.ResponseRatio(), pair.ThroughputRatio(),
-                pair.acc.throughput(), pair.non_acc.throughput());
+    configs.push_back(config);
   }
+
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, configs, {60});
+
+  std::printf("%-8s %14s %12s %12s %12s\n", "servers", "response_time",
+              "throughput", "tps(ACC)", "tps(2PL)");
+  std::vector<PairResult> sweep;
+  for (size_t i = 0; i < server_counts.size(); ++i) {
+    PairResult pair = grid[i][0];
+    pair.sweep_x = server_counts[i];
+    std::printf("%-8d %14.3f %12.3f %12.2f %12.2f%s\n", server_counts[i],
+                pair.ResponseRatio(), pair.ThroughputRatio(),
+                pair.acc.throughput(), pair.non_acc.throughput(),
+                DegenerateMark(pair));
+    sweep.push_back(std::move(pair));
+  }
+
+  report.AddPairSweep("servers", "servers", sweep);
+  report.Write();
   return 0;
 }

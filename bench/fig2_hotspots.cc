@@ -13,12 +13,13 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accdb::bench;
+  BenchOptions options = ParseBenchOptions("fig2_hotspots", argc, argv);
+  BenchReport report(options);
   PrintTitle(
       "Figure 2: The Effect of Hotspots — total average response time "
       "ratio (Non-ACC / ACC)");
-  std::printf("%-10s %10s %10s\n", "terminals", "standard", "skewed");
 
   accdb::tpcc::WorkloadConfig standard = BaseConfig(/*seed=*/20250706);
   accdb::tpcc::WorkloadConfig skewed = standard;
@@ -26,16 +27,26 @@ int main() {
   skewed.inputs.hot_districts = 1;
   skewed.inputs.hot_fraction = 0.5;
 
-  for (int terminals : TerminalSweep()) {
-    PairResult uniform_pair = RunPair(standard, terminals);
-    PairResult skewed_pair = RunPair(skewed, terminals);
-    std::printf("%-10d %10.3f %10.3f\n", terminals,
-                uniform_pair.ResponseRatio(), skewed_pair.ResponseRatio());
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, {standard, skewed}, TerminalSweep());
+
+  std::printf("%-10s %10s %10s\n", "terminals", "standard", "skewed");
+  for (size_t i = 0; i < grid[0].size(); ++i) {
+    const PairResult& uniform_pair = grid[0][i];
+    const PairResult& skewed_pair = grid[1][i];
+    std::printf("%-10d %10.3f %10.3f%s%s\n", uniform_pair.terminals,
+                uniform_pair.ResponseRatio(), skewed_pair.ResponseRatio(),
+                DegenerateMark(uniform_pair), DegenerateMark(skewed_pair));
     if (!uniform_pair.acc.consistent || !uniform_pair.non_acc.consistent ||
         !skewed_pair.acc.consistent || !skewed_pair.non_acc.consistent) {
-      std::printf("!! consistency violation at %d terminals\n", terminals);
+      std::printf("!! consistency violation at %d terminals\n",
+                  uniform_pair.terminals);
       return 1;
     }
   }
+
+  report.AddPairSweep("standard", "terminals", grid[0]);
+  report.AddPairSweep("skewed", "terminals", grid[1]);
+  report.Write();
   return 0;
 }

@@ -13,23 +13,33 @@
 
 #include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accdb::bench;
+  BenchOptions options = ParseBenchOptions("fig3_compute_time", argc, argv);
+  BenchReport report(options);
   PrintTitle(
       "Figure 3: The Effect of Transaction Duration — response time ratio "
       "(Non-ACC / ACC)");
-  std::printf("%-10s %14s %14s\n", "terminals", "w/o_compute",
-              "with_compute");
 
   accdb::tpcc::WorkloadConfig without = BaseConfig(/*seed=*/30250706);
   accdb::tpcc::WorkloadConfig with = without;
   with.compute_seconds = 0.0005;  // Per SQL statement.
 
-  for (int terminals : TerminalSweep()) {
-    PairResult base_pair = RunPair(without, terminals);
-    PairResult compute_pair = RunPair(with, terminals);
-    std::printf("%-10d %14.3f %14.3f\n", terminals,
-                base_pair.ResponseRatio(), compute_pair.ResponseRatio());
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, {without, with}, TerminalSweep());
+
+  std::printf("%-10s %14s %14s\n", "terminals", "w/o_compute",
+              "with_compute");
+  for (size_t i = 0; i < grid[0].size(); ++i) {
+    const PairResult& base_pair = grid[0][i];
+    const PairResult& compute_pair = grid[1][i];
+    std::printf("%-10d %14.3f %14.3f%s%s\n", base_pair.terminals,
+                base_pair.ResponseRatio(), compute_pair.ResponseRatio(),
+                DegenerateMark(base_pair), DegenerateMark(compute_pair));
   }
+
+  report.AddPairSweep("without_compute", "terminals", grid[0]);
+  report.AddPairSweep("with_compute", "terminals", grid[1]);
+  report.Write();
   return 0;
 }

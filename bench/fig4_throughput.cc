@@ -12,37 +12,48 @@
 
 namespace {
 
-void RunSweep(accdb::tpcc::WorkloadConfig config) {
+void PrintSweep(const std::vector<accdb::bench::PairResult>& sweep) {
   std::printf("%-10s %14s %12s %12s %12s\n", "terminals", "response_time",
               "throughput", "tps(ACC)", "tps(2PL)");
-  for (int terminals : accdb::bench::TerminalSweep()) {
-    accdb::bench::PairResult pair = accdb::bench::RunPair(config, terminals);
-    std::printf("%-10d %14.3f %12.3f %12.2f %12.2f\n", terminals,
+  for (const accdb::bench::PairResult& pair : sweep) {
+    std::printf("%-10d %14.3f %12.3f %12.2f %12.2f%s\n", pair.terminals,
                 pair.ResponseRatio(), pair.ThroughputRatio(),
-                pair.acc.throughput(), pair.non_acc.throughput());
+                pair.acc.throughput(), pair.non_acc.throughput(),
+                accdb::bench::DegenerateMark(pair));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace accdb::bench;
+  BenchOptions options = ParseBenchOptions("fig4_throughput", argc, argv);
+  BenchReport report(options);
   PrintTitle(
       "Figure 4: Response Time and Throughput — ratios (Non-ACC / ACC)");
 
   // Standard cycle (matches the Figure 2/3 configuration): the response
   // ratio's shape matches the paper; the throughput separation is muted
   // because think time dominates the closed-loop cycle.
-  std::printf("## standard think time (2.5 s)\n");
-  accdb::tpcc::WorkloadConfig config = BaseConfig(/*seed=*/40250706);
-  config.compute_seconds = 0.0005;
-  RunSweep(config);
+  accdb::tpcc::WorkloadConfig standard = BaseConfig(/*seed=*/40250706);
+  standard.compute_seconds = 0.0005;
 
   // Short-think variant: response time is a larger share of the cycle, so
   // the throughput ratio falls to the paper's ~0.8 at 60 terminals (the
   // response ratio overshoots correspondingly — see EXPERIMENTS.md).
+  accdb::tpcc::WorkloadConfig short_think = standard;
+  short_think.mean_think_seconds = 1.5;
+
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, {standard, short_think}, TerminalSweep());
+
+  std::printf("## standard think time (2.5 s)\n");
+  PrintSweep(grid[0]);
   std::printf("## short think time (1.5 s)\n");
-  config.mean_think_seconds = 1.5;
-  RunSweep(config);
+  PrintSweep(grid[1]);
+
+  report.AddPairSweep("standard_think", "terminals", grid[0]);
+  report.AddPairSweep("short_think", "terminals", grid[1]);
+  report.Write();
   return 0;
 }

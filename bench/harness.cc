@@ -1,6 +1,11 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace accdb::bench {
 
@@ -26,9 +31,14 @@ tpcc::WorkloadConfig BaseConfig(uint64_t seed) {
   return config;
 }
 
+const char* DegenerateMark(const PairResult& pair) {
+  return pair.degenerate() ? "  [degenerate: zero-sample run]" : "";
+}
+
 PairResult RunPair(tpcc::WorkloadConfig config, int terminals) {
   PairResult result;
   result.terminals = terminals;
+  result.sweep_x = terminals;
   config.terminals = terminals;
   config.decomposed = true;
   result.acc = tpcc::RunWorkload(config);
@@ -41,6 +51,194 @@ std::vector<int> TerminalSweep() { return {4, 12, 20, 28, 36, 44, 52, 60}; }
 
 void PrintTitle(const std::string& title) {
   std::printf("# %s\n", title.c_str());
+}
+
+namespace {
+
+[[noreturn]] void Usage(const std::string& name, const char* bad_arg) {
+  std::fprintf(stderr,
+               "%s: unknown argument '%s'\n"
+               "usage: %s [--jobs=N] [--json=PATH] [--no-json]\n"
+               "  --jobs=N     worker threads for the sweep grid\n"
+               "               (default: $ACCDB_BENCH_JOBS, else hardware "
+               "concurrency)\n"
+               "  --json=PATH  write the machine-readable report to PATH\n"
+               "               (default: BENCH_%s.json)\n"
+               "  --no-json    disable the report\n",
+               name.c_str(), bad_arg, name.c_str(), name.c_str());
+  std::exit(2);
+}
+
+int ParseJobsValue(const std::string& name, const char* text) {
+  char* end = nullptr;
+  long jobs = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || jobs < 1 || jobs > 4096) {
+    std::fprintf(stderr, "%s: bad --jobs value '%s'\n", name.c_str(), text);
+    std::exit(2);
+  }
+  return static_cast<int>(jobs);
+}
+
+}  // namespace
+
+BenchOptions ParseBenchOptions(const std::string& name, int argc,
+                               char** argv) {
+  BenchOptions options;
+  options.name = name;
+  options.json_path = "BENCH_" + name + ".json";
+
+  options.jobs = ThreadPool::HardwareDefault();
+  if (const char* env = std::getenv("ACCDB_BENCH_JOBS");
+      env != nullptr && *env != '\0') {
+    options.jobs = ParseJobsValue(name, env);
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = ParseJobsValue(name, argv[i] + strlen("--jobs="));
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      options.jobs = ParseJobsValue(name, argv[++i]);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = std::string(arg.substr(strlen("--json=")));
+    } else if (arg == "--json" && i + 1 < argc) {
+      options.json_path = argv[++i];
+    } else if (arg == "--no-json") {
+      options.json_path.clear();
+    } else {
+      Usage(name, argv[i]);
+    }
+  }
+  return options;
+}
+
+std::vector<std::vector<PairResult>> RunPairGrid(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs,
+    const std::vector<int>& terminals) {
+  std::vector<std::vector<PairResult>> grid(configs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size() * terminals.size() * 2);
+  for (size_t c = 0; c < configs.size(); ++c) {
+    grid[c].resize(terminals.size());
+    for (size_t t = 0; t < terminals.size(); ++t) {
+      PairResult& slot = grid[c][t];
+      slot.terminals = terminals[t];
+      slot.sweep_x = terminals[t];
+      // One job per (grid point, system): the two sides of a pair are
+      // themselves independent simulations.
+      tpcc::WorkloadConfig config = configs[c];
+      config.terminals = terminals[t];
+      config.decomposed = true;
+      tasks.push_back(
+          [config, &slot] { slot.acc = tpcc::RunWorkload(config); });
+      config.decomposed = false;
+      tasks.push_back(
+          [config, &slot] { slot.non_acc = tpcc::RunWorkload(config); });
+    }
+  }
+  RunTasks(jobs, std::move(tasks));
+  return grid;
+}
+
+std::vector<tpcc::WorkloadResult> RunConfigs(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs) {
+  std::vector<tpcc::WorkloadResult> results(configs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    const tpcc::WorkloadConfig& config = configs[i];
+    tpcc::WorkloadResult& slot = results[i];
+    tasks.push_back([&config, &slot] { slot = tpcc::RunWorkload(config); });
+  }
+  RunTasks(jobs, std::move(tasks));
+  return results;
+}
+
+Json WorkloadResultJson(const tpcc::WorkloadResult& result) {
+  Json out = Json::Object();
+  out["completed"] = result.completed;
+  out["aborted"] = result.aborted;
+  out["compensated"] = result.compensated;
+  out["step_deadlock_retries"] = result.step_deadlock_retries;
+  out["txn_restarts"] = result.txn_restarts;
+  out["response_mean"] = result.response_all.mean();
+  out["throughput"] = result.throughput();
+  out["total_lock_wait"] = result.total_lock_wait;
+  out["sim_seconds"] = result.sim_seconds;
+  out["consistent"] = result.consistent;
+  Json stats = Json::Object();
+  stats["requests"] = result.lock_stats.requests;
+  stats["immediate_grants"] = result.lock_stats.immediate_grants;
+  stats["waits"] = result.lock_stats.waits;
+  stats["deadlocks"] = result.lock_stats.deadlocks;
+  stats["compensation_priority_aborts"] =
+      result.lock_stats.compensation_priority_aborts;
+  stats["unconditional_grants"] = result.lock_stats.unconditional_grants;
+  stats["upgrades"] = result.lock_stats.upgrades;
+  stats["release_calls"] = result.lock_stats.release_calls;
+  out["lock_stats"] = std::move(stats);
+  return out;
+}
+
+BenchReport::BenchReport(const BenchOptions& options)
+    : path_(options.json_path), start_(std::chrono::steady_clock::now()) {
+  root_ = Json::Object();
+  root_["bench"] = options.name;
+  root_["jobs"] = options.jobs;
+  root_["sweeps"] = Json::Array();
+}
+
+void BenchReport::AddPairSweep(const std::string& label,
+                               const std::string& x_axis,
+                               const std::vector<PairResult>& sweep) {
+  Json entry = Json::Object();
+  entry["label"] = label;
+  entry["x_axis"] = x_axis;
+  Json points = Json::Array();
+  for (const PairResult& pair : sweep) {
+    Json point = Json::Object();
+    point["x"] = pair.sweep_x;
+    point["response_ratio"] = pair.ResponseRatio();
+    point["throughput_ratio"] = pair.ThroughputRatio();
+    point["degenerate"] = pair.degenerate();
+    point["acc"] = WorkloadResultJson(pair.acc);
+    point["non_acc"] = WorkloadResultJson(pair.non_acc);
+    points.Append(std::move(point));
+  }
+  entry["points"] = std::move(points);
+  root_["sweeps"].Append(std::move(entry));
+}
+
+void BenchReport::AddRunSweep(
+    const std::string& label, const std::string& x_axis,
+    const std::vector<std::pair<int, tpcc::WorkloadResult>>& sweep) {
+  Json entry = Json::Object();
+  entry["label"] = label;
+  entry["x_axis"] = x_axis;
+  Json points = Json::Array();
+  for (const auto& [x, result] : sweep) {
+    Json point = Json::Object();
+    point["x"] = x;
+    point["run"] = WorkloadResultJson(result);
+    points.Append(std::move(point));
+  }
+  entry["points"] = std::move(points);
+  root_["sweeps"].Append(std::move(entry));
+}
+
+bool BenchReport::Write() {
+  if (path_.empty()) return true;
+  double wall = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+  root_["wall_seconds"] = wall;
+  if (!WriteJsonFile(path_, root_)) {
+    std::fprintf(stderr, "!! failed to write %s\n", path_.c_str());
+    return false;
+  }
+  std::printf("# report: %s (wall %.1fs, jobs %lld)\n", path_.c_str(), wall,
+              static_cast<long long>(root_["jobs"].AsInt()));
+  return true;
 }
 
 }  // namespace accdb::bench

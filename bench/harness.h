@@ -5,14 +5,27 @@
 // the paper's ordinate: the ratio Non-ACC / ACC of the metric in question
 // (>1 means the ACC is better for response time; <1 means the ACC is
 // better for completed-transaction counts).
+//
+// Every sweep point is a fully self-contained simulation (RunWorkload
+// builds its own database, engine and virtual clock), so the harness fans
+// the (grid point x system) jobs out across a thread pool and collects the
+// results in deterministic sweep order: the printed tables are bit-identical
+// to a serial run, only the wall clock changes. Thread count comes from
+// --jobs=N / ACCDB_BENCH_JOBS, defaulting to the hardware concurrency.
+//
+// Each binary also emits a machine-readable report (BENCH_<name>.json, see
+// BenchReport) so the performance trajectory of the repo can be tracked
+// run over run.
 
 #ifndef ACCDB_BENCH_HARNESS_H_
 #define ACCDB_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "tpcc/driver.h"
 
 namespace accdb::bench {
@@ -25,28 +38,126 @@ tpcc::WorkloadConfig BaseConfig(uint64_t seed);
 
 struct PairResult {
   int terminals = 0;
+  // The sweep abscissa recorded in the JSON report. RunPairGrid sets it to
+  // the terminal count; sweeps over another knob (e.g. exp4's server count)
+  // overwrite it after the run.
+  int sweep_x = 0;
   tpcc::WorkloadResult acc;
   tpcc::WorkloadResult non_acc;
 
+  // A ratio is undefined when either side produced no samples (zero
+  // completed transactions / an empty response accumulator). The accessors
+  // are NaN-safe — they return 0 — and the degenerate flags let callers
+  // mark such rows instead of silently printing 0.
+  bool response_degenerate() const {
+    return !(acc.response_all.mean() > 0) ||
+           !(non_acc.response_all.mean() > 0);
+  }
+  bool throughput_degenerate() const {
+    return acc.completed == 0 || non_acc.completed == 0;
+  }
+  bool degenerate() const {
+    return response_degenerate() || throughput_degenerate();
+  }
+
   double ResponseRatio() const {
-    return acc.response_all.mean() > 0
-               ? non_acc.response_all.mean() / acc.response_all.mean()
-               : 0;
+    return response_degenerate()
+               ? 0
+               : non_acc.response_all.mean() / acc.response_all.mean();
   }
   double ThroughputRatio() const {
-    return acc.completed > 0 ? static_cast<double>(non_acc.completed) /
-                                   static_cast<double>(acc.completed)
-                             : 0;
+    return throughput_degenerate()
+               ? 0
+               : static_cast<double>(non_acc.completed) /
+                     static_cast<double>(acc.completed);
   }
 };
 
-// Runs the same configuration under both systems.
+// Suffix for a printed table row: " [degenerate]" when one side of the
+// pair produced no samples, "" otherwise.
+const char* DegenerateMark(const PairResult& pair);
+
+// Runs the same configuration under both systems, serially on the calling
+// thread. The parallel grid produces identical results (same seeds).
 PairResult RunPair(tpcc::WorkloadConfig config, int terminals);
 
 // The paper's abscissa: terminal counts from low to high concurrency.
 std::vector<int> TerminalSweep();
 
 void PrintTitle(const std::string& title);
+
+// --- Parallel fan-out ---
+
+// Command-line / environment configuration shared by all bench binaries.
+struct BenchOptions {
+  std::string name;       // e.g. "fig2_hotspots".
+  int jobs = 1;           // Worker threads for the grid fan-out.
+  std::string json_path;  // Report destination; empty disables the report.
+};
+
+// Parses --jobs=N (or --jobs N) and --json=PATH / --no-json from argv.
+// Precedence for jobs: flag > ACCDB_BENCH_JOBS > hardware concurrency.
+// The JSON report defaults to BENCH_<name>.json in the working directory.
+// Unknown arguments abort with a usage message.
+BenchOptions ParseBenchOptions(const std::string& name, int argc,
+                               char** argv);
+
+// Runs every (config x terminal) grid point under both systems, each
+// (point, system) pair an independent job on `jobs` threads. Results are
+// indexed [config][terminal] in the argument order — deterministic and
+// identical to the serial path. jobs <= 1 runs serially.
+std::vector<std::vector<PairResult>> RunPairGrid(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs,
+    const std::vector<int>& terminals);
+
+// Runs each fully-specified configuration (terminals already set) as one
+// independent job; results in argument order. For single-system sweeps
+// (ablations).
+std::vector<tpcc::WorkloadResult> RunConfigs(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs);
+
+// --- Machine-readable run reports (BENCH_<name>.json) ---
+//
+// Root schema:
+//   {
+//     "bench": "<name>", "jobs": N, "wall_seconds": W,
+//     "sweeps": [ {"label": L, "x_axis": A, "points": [...]} ... ]
+//   }
+// Pair-sweep points carry {"x", "response_ratio", "throughput_ratio",
+// "degenerate", "acc": {...}, "non_acc": {...}}; single-run points carry
+// {"x", "run": {...}}. Each workload object includes the response mean,
+// throughput, completion/abort/restart counters and the full
+// LockManager::Stats ("lock_stats").
+class BenchReport {
+ public:
+  explicit BenchReport(const BenchOptions& options);
+
+  // Appends a sweep of pair results under `label`.
+  void AddPairSweep(const std::string& label, const std::string& x_axis,
+                    const std::vector<PairResult>& sweep);
+
+  // Appends a sweep of single-system runs under `label`.
+  void AddRunSweep(const std::string& label, const std::string& x_axis,
+                   const std::vector<std::pair<int, tpcc::WorkloadResult>>&
+                       sweep);
+
+  // Escape hatch for benches with bespoke result shapes.
+  Json& root() { return root_; }
+
+  // Stamps the wall-clock time (since construction) and writes the report
+  // to options.json_path. No-op (returns true) when the path is empty;
+  // prints a diagnostic and returns false on I/O failure.
+  bool Write();
+
+ private:
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  Json root_;
+};
+
+// JSON object for one WorkloadResult (shared with BenchReport; exposed for
+// custom reports and tests).
+Json WorkloadResultJson(const tpcc::WorkloadResult& result);
 
 }  // namespace accdb::bench
 

@@ -14,6 +14,7 @@
 
 #include "acc/catalog.h"
 #include "acc/interference.h"
+#include "bench/micro_support.h"
 
 namespace accdb {
 namespace {
@@ -87,4 +88,6 @@ BENCHMARK(BM_PredicateIntersection)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace
 }  // namespace accdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return accdb::bench::RunMicroBenchmark("micro_interference", argc, argv);
+}

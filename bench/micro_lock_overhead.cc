@@ -8,6 +8,7 @@
 #include "acc/catalog.h"
 #include "acc/conflict_resolver.h"
 #include "acc/interference.h"
+#include "bench/micro_support.h"
 #include "lock/conflict.h"
 #include "lock/lock_manager.h"
 
@@ -118,7 +119,53 @@ void BM_ExclusiveThroughAssertionalHolders(benchmark::State& state) {
 }
 BENCHMARK(BM_ExclusiveThroughAssertionalHolders)->Arg(1)->Arg(4)->Arg(16);
 
+// Acquire N conventional locks and release them all at the end of the step
+// — the ReleaseConventional hot path driven by the per-transaction holder
+// index.
+void BM_ReleaseConventionalManyItems(benchmark::State& state) {
+  const int items = static_cast<int>(state.range(0));
+  lock::MatrixConflictResolver resolver;
+  LockManager lm(&resolver);
+  lock::TxnId txn = 1;
+  for (auto _ : state) {
+    for (int i = 0; i < items; ++i) {
+      lm.Request(txn, ItemId::Row(1, 1 + static_cast<uint64_t>(i)),
+                 LockMode::kS, {});
+    }
+    lm.ReleaseConventional(txn);
+    ++txn;
+  }
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ReleaseConventionalManyItems)->Arg(4)->Arg(16)->Arg(64);
+
+// Release one consumed assertion instance while the transaction holds
+// conventional locks on many other items: the per-transaction index lets
+// the release skip every item without an assertional entry.
+void BM_ReleaseAssertionSkipsConventionalItems(benchmark::State& state) {
+  const int conventional_items = static_cast<int>(state.range(0));
+  lock::MatrixConflictResolver resolver;
+  LockManager lm(&resolver);
+  lock::TxnId txn = 1;
+  RequestContext actx;
+  actx.assertion = 5;
+  for (auto _ : state) {
+    for (int i = 0; i < conventional_items; ++i) {
+      lm.Request(txn, ItemId::Row(1, 1 + static_cast<uint64_t>(i)),
+                 LockMode::kS, {});
+    }
+    actx.assertion_instance = static_cast<uint32_t>(txn);
+    lm.GrantUnconditional(txn, ItemId::Row(2, 1), LockMode::kAssert, actx);
+    lm.ReleaseAssertion(txn, /*assertion=*/5, actx.assertion_instance);
+    lm.ReleaseAll(txn);
+    ++txn;
+  }
+}
+BENCHMARK(BM_ReleaseAssertionSkipsConventionalItems)->Arg(16)->Arg(64);
+
 }  // namespace
 }  // namespace accdb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return accdb::bench::RunMicroBenchmark("micro_lock_overhead", argc, argv);
+}

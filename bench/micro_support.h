@@ -1,0 +1,45 @@
+// Shared main() body for the google-benchmark micro-benchmarks: like
+// BENCHMARK_MAIN(), but defaults --benchmark_out to BENCH_<name>.json
+// (JSON format) so every bench run leaves a machine-readable report for the
+// performance trajectory, matching the figure benches. Explicit
+// --benchmark_out flags win.
+
+#ifndef ACCDB_BENCH_MICRO_SUPPORT_H_
+#define ACCDB_BENCH_MICRO_SUPPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace accdb::bench {
+
+inline int RunMicroBenchmark(const std::string& name, int argc,
+                             char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_" + name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace accdb::bench
+
+#endif  // ACCDB_BENCH_MICRO_SUPPORT_H_

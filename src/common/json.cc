@@ -1,0 +1,394 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace accdb {
+
+double Json::AsDouble() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: return 0;
+  }
+}
+
+int64_t Json::AsInt() const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUint: return static_cast<int64_t>(uint_);
+    case Type::kDouble: return static_cast<int64_t>(double_);
+    default: return 0;
+  }
+}
+
+uint64_t Json::AsUint() const {
+  switch (type_) {
+    case Type::kInt: return static_cast<uint64_t>(int_);
+    case Type::kUint: return uint_;
+    case Type::kDouble: return static_cast<uint64_t>(double_);
+    default: return 0;
+  }
+}
+
+void Json::Append(Json value) {
+  type_ = Type::kArray;
+  items_.push_back(std::move(value));
+}
+
+size_t Json::size() const {
+  if (type_ == Type::kArray) return items_.size();
+  if (type_ == Type::kObject) return members_.size();
+  return 0;
+}
+
+Json& Json::operator[](std::string_view key) {
+  type_ = Type::kObject;
+  for (auto& [name, value] : members_) {
+    if (name == key) return value;
+  }
+  members_.emplace_back(std::string(key), Json());
+  return members_.back().second;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNewlineIndent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt:
+      out += StrFormat("%lld", static_cast<long long>(int_));
+      break;
+    case Type::kUint:
+      out += StrFormat("%llu", static_cast<unsigned long long>(uint_));
+      break;
+    case Type::kDouble:
+      if (std::isfinite(double_)) {
+        out += StrFormat("%.17g", double_);
+      } else {
+        out += "null";  // JSON has no NaN/Inf; emit null.
+      }
+      break;
+    case Type::kString: AppendEscaped(out, string_); break;
+    case Type::kArray: {
+      out += '[';
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        AppendNewlineIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (!items_.empty()) AppendNewlineIndent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        AppendNewlineIndent(out, indent, depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (!members_.empty()) AppendNewlineIndent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+// --- Parser (recursive descent) ---
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Json> Run(std::string* error) {
+    std::optional<Json> value = ParseValue();
+    if (value.has_value()) {
+      SkipSpace();
+      if (pos_ != text_.size()) Fail("trailing characters after document");
+    }
+    if (!error_.empty()) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  void Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = StrFormat("%s at offset %zu", what.c_str(), pos_);
+    }
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      std::optional<std::string> s = ParseString();
+      if (!s.has_value()) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (ConsumeWord("true")) return Json(true);
+    if (ConsumeWord("false")) return Json(false);
+    if (ConsumeWord("null")) return Json();
+    return ParseNumber();
+  }
+
+  std::optional<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipSpace();
+    if (Consume('}')) return obj;
+    for (;;) {
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        Fail("expected object key");
+        return std::nullopt;
+      }
+      std::optional<std::string> key = ParseString();
+      if (!key.has_value()) return std::nullopt;
+      if (!Consume(':')) {
+        Fail("expected ':'");
+        return std::nullopt;
+      }
+      std::optional<Json> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      obj[*key] = std::move(*value);
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      Fail("expected ',' or '}'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipSpace();
+    if (Consume(']')) return arr;
+    for (;;) {
+      std::optional<Json> value = ParseValue();
+      if (!value.has_value()) return std::nullopt;
+      arr.Append(std::move(*value));
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      Fail("expected ',' or ']'");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else {
+              Fail("bad \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Only BMP code points below 0x80 are emitted verbatim; the rest
+          // become UTF-8 (no surrogate-pair handling — the writer never
+          // emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          Fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    Fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_integer = true;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_integer = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      Fail("expected a value");
+      return std::nullopt;
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    errno = 0;
+    char* end = nullptr;
+    if (is_integer) {
+      if (token[0] == '-') {
+        long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(static_cast<int64_t>(v));
+        }
+      } else {
+        unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          return Json(static_cast<uint64_t>(v));
+        }
+      }
+    }
+    errno = 0;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      Fail("malformed number");
+      return std::nullopt;
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::Parse(std::string_view text, std::string* error) {
+  return Parser(text).Run(error);
+}
+
+bool WriteJsonFile(const std::string& path, const Json& doc, int indent) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string out = doc.Dump(indent);
+  out += '\n';
+  size_t written = std::fwrite(out.data(), 1, out.size(), f);
+  bool ok = written == out.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace accdb

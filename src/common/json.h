@@ -1,0 +1,97 @@
+// Minimal JSON document model: enough to emit the benchmark reports
+// (BENCH_<name>.json) deterministically and to re-parse them in tests. No
+// external dependencies. Not a general-purpose JSON library: numbers are
+// int64/uint64/double, objects preserve insertion order (deterministic
+// dumps), duplicate keys keep the first entry.
+
+#ifndef ACCDB_COMMON_JSON_H_
+#define ACCDB_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace accdb {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(uint64_t v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+
+  static Json Array() { Json j; j.type_ = Type::kArray; return j; }
+  static Json Object() { Json j; j.type_ = Type::kObject; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kUint ||
+           type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsDouble() const;
+  int64_t AsInt() const;
+  uint64_t AsUint() const;
+  const std::string& AsString() const { return string_; }
+
+  // --- Arrays ---
+  void Append(Json value);
+  size_t size() const;
+  const Json& at(size_t i) const { return items_[i]; }
+  Json& at(size_t i) { return items_[i]; }
+
+  // --- Objects ---
+  // Inserts the key with a null value if absent; returns the mapped value.
+  Json& operator[](std::string_view key);
+  // Null if the key is absent.
+  const Json* Find(std::string_view key) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  // Serializes the document. indent == 0 emits a single line; indent > 0
+  // pretty-prints with that many spaces per level.
+  std::string Dump(int indent = 0) const;
+
+  // Parses a complete JSON document (trailing garbage is an error). Returns
+  // nullopt and fills *error (if non-null) on malformed input.
+  static std::optional<Json> Parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  uint64_t uint_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> items_;                             // kArray
+  std::vector<std::pair<std::string, Json>> members_;   // kObject
+};
+
+// Writes `dump` output of `doc` to `path` (+ trailing newline). Returns
+// false on I/O failure.
+bool WriteJsonFile(const std::string& path, const Json& doc, int indent = 2);
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_JSON_H_

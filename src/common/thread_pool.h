@@ -1,0 +1,66 @@
+// A small fixed-size thread pool used by the experiment harness to fan
+// simulation grid points out across cores. Each submitted task is an
+// independent unit of work (a full RunWorkload builds its own database and
+// simulation), so the pool needs no work stealing or priorities — just a
+// FIFO queue, a Wait() barrier, and exception capture.
+
+#ifndef ACCDB_COMMON_THREAD_POOL_H_
+#define ACCDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace accdb {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(int threads);
+
+  // Drains the queue (Wait()) and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks may not Submit() to the same pool (no nested
+  // parallelism — a task blocking in Wait() would deadlock the pool).
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished. If any task threw, the
+  // first captured exception is rethrown here (remaining tasks still ran).
+  void Wait();
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  // std::thread::hardware_concurrency with a floor of 1 (the value is 0 on
+  // systems where the count is unknown).
+  static int HardwareDefault();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: queue or shutdown.
+  std::condition_variable idle_cv_;   // Signals Wait(): everything finished.
+  std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;
+  size_t in_flight_ = 0;  // Queued + currently executing tasks.
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs `tasks` to completion on `jobs` threads and returns when all are
+// done. jobs <= 1 runs everything inline on the calling thread, in order —
+// the serial reference path. Exceptions propagate (first one wins).
+void RunTasks(int jobs, std::vector<std::function<void()>> tasks);
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_THREAD_POOL_H_

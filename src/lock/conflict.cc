@@ -18,15 +18,7 @@ bool IsWriteIntent(LockMode mode) {
 }  // namespace
 
 bool MatrixConflictResolver::ConventionalCompatible(LockMode a, LockMode b) {
-  // Rows/cols: IS IX S SIX X.
-  static constexpr bool kCompat[5][5] = {
-      /* IS  */ {true, true, true, true, false},
-      /* IX  */ {true, true, false, false, false},
-      /* S   */ {true, false, true, false, false},
-      /* SIX */ {true, false, false, false, false},
-      /* X   */ {false, false, false, false, false},
-  };
-  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+  return !ConventionalModesConflict(a, b);
 }
 
 bool MatrixConflictResolver::Conflicts(const HolderView& holder,

@@ -40,6 +40,32 @@ struct RequestView {
   bool requester_holds_comp = false;
 };
 
+// Conflict mask over the five conventional modes, indexed by the *held*
+// mode: bit `r` of kConventionalConflictBits[h] is set iff a request for
+// mode `r` conflicts with a holder in mode `h`. This is the inverse of the
+// compatibility matrix in MatrixConflictResolver::ConventionalCompatible
+// (which delegates here — single source of truth) and is exposed so the
+// lock manager can decide pure conventional-vs-conventional cases with one
+// shift+AND instead of a virtual resolver dispatch.
+//
+//                                         X SIX  S IX IS
+inline constexpr uint8_t kConventionalConflictBits[5] = {
+    /* IS  */ 0b10000,
+    /* IX  */ 0b11100,
+    /* S   */ 0b11010,
+    /* SIX */ 0b11110,
+    /* X   */ 0b11111,
+};
+
+// True iff a request for conventional mode `requested` conflicts with a
+// holder in conventional mode `held`. Only meaningful for the five
+// conventional modes (kIS..kX).
+inline bool ConventionalModesConflict(LockMode held, LockMode requested) {
+  return (kConventionalConflictBits[static_cast<int>(held)] >>
+          static_cast<int>(requested)) &
+         1;
+}
+
 class ConflictResolver {
  public:
   virtual ~ConflictResolver() = default;
@@ -48,6 +74,15 @@ class ConflictResolver {
   // called with holder.txn == request.txn (own locks never conflict).
   virtual bool Conflicts(const HolderView& holder,
                          const RequestView& request) const = 0;
+
+  // True when this resolver decides conventional-vs-conventional pairs
+  // (both modes in kIS..kX) exactly per the standard compatibility matrix,
+  // independent of request context. The lock manager then short-circuits
+  // those pairs through ConventionalModesConflict() and dispatches to
+  // Conflicts() only when a kAssert/kComp holder or request is involved.
+  // Override to return false in resolvers with bespoke conventional
+  // semantics.
+  virtual bool UsesConventionalMatrix() const { return true; }
 };
 
 // Conventional matrix + conservative assertional semantics:

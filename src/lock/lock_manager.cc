@@ -14,6 +14,9 @@ bool IsConventional(LockMode mode) {
   return mode != LockMode::kAssert && mode != LockMode::kComp;
 }
 
+// Retained capacity of fully released items (see item_pool_).
+constexpr size_t kItemPoolCap = 256;
+
 }  // namespace
 
 bool LockManager::HoldsComp(const ItemState& state, TxnId txn) {
@@ -23,13 +26,26 @@ bool LockManager::HoldsComp(const ItemState& state, TxnId txn) {
   return false;
 }
 
+bool LockManager::HolderConflicts(TxnId holder_txn, LockMode holder_mode,
+                                  const RequestContext& holder_ctx,
+                                  const RequestView& request) const {
+  // Fast path: conventional-vs-conventional compatibility is a pure mode
+  // property (one shift+AND); the resolver is only consulted when an
+  // assertional or compensation lock is involved, i.e. when interference
+  // tables / key refinement can change the answer.
+  if (conventional_fast_path_ && IsConventional(holder_mode) &&
+      IsConventional(request.mode)) {
+    return ConventionalModesConflict(holder_mode, request.mode);
+  }
+  return resolver_->Conflicts(HolderView{holder_txn, holder_mode, &holder_ctx},
+                              request);
+}
+
 bool LockManager::ConflictsWithHolders(const ItemState& state,
                                        const RequestView& request) const {
   for (const Holder& h : state.holders) {
     if (h.txn == request.txn) continue;
-    if (resolver_->Conflicts(HolderView{h.txn, h.mode, &h.ctx}, request)) {
-      return true;
-    }
+    if (HolderConflicts(h.txn, h.mode, h.ctx, request)) return true;
   }
   return false;
 }
@@ -41,16 +57,40 @@ bool LockManager::ConflictsWithWaiters(const ItemState& state,
     const Waiter& w = state.queue[i];
     if (w.txn == request.txn) continue;
     // Treat the earlier waiter as a prospective holder for fairness.
-    if (resolver_->Conflicts(HolderView{w.txn, w.mode, &w.ctx}, request)) {
-      return true;
-    }
+    if (HolderConflicts(w.txn, w.mode, w.ctx, request)) return true;
   }
   return false;
 }
 
-void LockManager::InstallHolder(ItemState& state, TxnId txn, LockMode mode,
+LockManager::ItemState& LockManager::EnsureItem(ItemId item) {
+  auto [it, inserted] = items_.try_emplace(item);
+  if (inserted) {
+    if (!item_pool_.empty()) {
+      it->second = std::move(item_pool_.back());
+      item_pool_.pop_back();
+    } else {
+      it->second.holders.reserve(4);
+    }
+  }
+  return it->second;
+}
+
+void LockManager::MaybeRecycleItem(ItemId item) {
+  auto it = items_.find(item);
+  if (it == items_.end()) return;
+  if (!it->second.holders.empty() || !it->second.queue.empty()) return;
+  if (item_pool_.size() < kItemPoolCap) {
+    item_pool_.push_back(std::move(it->second));
+  }
+  items_.erase(it);
+}
+
+void LockManager::InstallHolder(ItemState& state, TxnState& txn_state,
+                                ItemId item, TxnId txn, LockMode mode,
                                 RequestContext ctx) {
+  HeldEntry& held = txn_state.held_items[item];
   if (IsConventional(mode)) {
+    held.conventional = 1;
     for (Holder& h : state.holders) {
       if (h.txn == txn && IsConventional(h.mode)) {
         if (ModeCovers(h.mode, mode)) return;
@@ -68,11 +108,14 @@ void LockManager::InstallHolder(ItemState& state, TxnId txn, LockMode mode,
         return;  // Already protecting this assertion instance.
       }
     }
+    ++held.asserts;
   } else {  // kComp
+    held.comp = 1;
     for (const Holder& h : state.holders) {
       if (h.txn == txn && h.mode == LockMode::kComp) return;
     }
   }
+  if (state.holders.capacity() == 0) state.holders.reserve(4);
   state.holders.push_back(Holder{txn, mode, std::move(ctx)});
 }
 
@@ -83,12 +126,11 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
   assert(!txn_state.waiting_on.has_value() &&
          "transaction already waiting for a lock");
 
-  ItemState& state = items_[item];
+  ItemState& state = EnsureItem(item);
 
   // Compensation marker locks never conflict and never wait.
   if (mode == LockMode::kComp) {
-    InstallHolder(state, txn, mode, std::move(ctx));
-    txn_state.held_items.insert(item);
+    InstallHolder(state, txn_state, item, txn, mode, std::move(ctx));
     ++stats_.immediate_grants;
     return Outcome::kGranted;
   }
@@ -135,8 +177,7 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
   }
 
   if (!blocked) {
-    InstallHolder(state, txn, effective, std::move(ctx));
-    txn_state.held_items.insert(item);
+    InstallHolder(state, txn_state, item, txn, effective, std::move(ctx));
     ++stats_.immediate_grants;
     if (is_upgrade) ++stats_.upgrades;
     return Outcome::kGranted;
@@ -204,11 +245,11 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
 void LockManager::GrantUnconditional(TxnId txn, ItemId item, LockMode mode,
                                      RequestContext ctx) {
   ++stats_.unconditional_grants;
-  InstallHolder(items_[item], txn, mode, std::move(ctx));
-  txns_[txn].held_items.insert(item);
+  ItemState& state = EnsureItem(item);
+  InstallHolder(state, txns_[txn], item, txn, mode, std::move(ctx));
   // The new holder may block existing waiters of this item, creating
   // wait-for edges that close a cycle no request-time check saw.
-  if (!items_[item].queue.empty()) ResolveAllDeadlocks();
+  if (!state.queue.empty()) ResolveAllDeadlocks();
 }
 
 void LockManager::ResolveAllDeadlocks() {
@@ -274,27 +315,32 @@ void LockManager::ReleaseConventional(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   std::vector<ItemId> touched;
-  for (const ItemId& item : it->second.held_items) {
-    ItemState& state = items_[item];
-    auto removed = std::remove_if(
-        state.holders.begin(), state.holders.end(), [&](const Holder& h) {
-          return h.txn == txn && IsConventional(h.mode);
-        });
-    if (removed != state.holders.end()) {
-      state.holders.erase(removed, state.holders.end());
-      touched.push_back(item);
+  auto& held_items = it->second.held_items;
+  for (auto held_it = held_items.begin(); held_it != held_items.end();) {
+    HeldEntry& held = held_it->second;
+    if (held.conventional == 0) {
+      // The index says no conventional lock here — skip the holder scan.
+      ++held_it;
+      continue;
     }
-  }
-  // Drop items where nothing is held anymore.
-  for (const ItemId& item : touched) {
-    ItemState& state = items_[item];
-    bool still_held = std::any_of(state.holders.begin(), state.holders.end(),
-                                  [&](const Holder& h) { return h.txn == txn; });
-    if (!still_held) it->second.held_items.erase(item);
+    auto item_it = items_.find(held_it->first);
+    assert(item_it != items_.end());
+    std::vector<Holder>& holders = item_it->second.holders;
+    // Conventional entries merge, so there is exactly one to remove.
+    for (auto hit = holders.begin(); hit != holders.end(); ++hit) {
+      if (hit->txn == txn && IsConventional(hit->mode)) {
+        holders.erase(hit);
+        break;
+      }
+    }
+    held.conventional = 0;
+    touched.push_back(held_it->first);
+    held_it = held.empty() ? held_items.erase(held_it) : ++held_it;
   }
   for (const ItemId& item : touched) ProcessQueue(item);
   MaybeDropTxnState(txn);
   ResolveAllDeadlocks();
+  assert(CheckIndexConsistency());
 }
 
 void LockManager::ReleaseAssertion(TxnId txn, AssertionId assertion,
@@ -303,28 +349,34 @@ void LockManager::ReleaseAssertion(TxnId txn, AssertionId assertion,
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   std::vector<ItemId> touched;
-  for (const ItemId& item : it->second.held_items) {
-    ItemState& state = items_[item];
+  auto& held_items = it->second.held_items;
+  for (auto held_it = held_items.begin(); held_it != held_items.end();) {
+    HeldEntry& held = held_it->second;
+    if (held.asserts == 0) {
+      // No assertional locks on this item — skip the holder scan.
+      ++held_it;
+      continue;
+    }
+    auto item_it = items_.find(held_it->first);
+    assert(item_it != items_.end());
+    std::vector<Holder>& holders = item_it->second.holders;
     auto removed = std::remove_if(
-        state.holders.begin(), state.holders.end(), [&](const Holder& h) {
+        holders.begin(), holders.end(), [&](const Holder& h) {
           return h.txn == txn && h.mode == LockMode::kAssert &&
                  h.ctx.assertion == assertion &&
                  h.ctx.assertion_instance == assertion_instance;
         });
-    if (removed != state.holders.end()) {
-      state.holders.erase(removed, state.holders.end());
-      touched.push_back(item);
+    if (removed != holders.end()) {
+      held.asserts -= static_cast<uint32_t>(holders.end() - removed);
+      holders.erase(removed, holders.end());
+      touched.push_back(held_it->first);
     }
-  }
-  for (const ItemId& item : touched) {
-    ItemState& state = items_[item];
-    bool still_held = std::any_of(state.holders.begin(), state.holders.end(),
-                                  [&](const Holder& h) { return h.txn == txn; });
-    if (!still_held) it->second.held_items.erase(item);
+    held_it = held.empty() ? held_items.erase(held_it) : ++held_it;
   }
   for (const ItemId& item : touched) ProcessQueue(item);
   MaybeDropTxnState(txn);
   ResolveAllDeadlocks();
+  assert(CheckIndexConsistency());
 }
 
 void LockManager::ReleaseAll(TxnId txn) {
@@ -332,18 +384,22 @@ void LockManager::ReleaseAll(TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
   RemoveWaiter(txn);
-  std::vector<ItemId> touched(it->second.held_items.begin(),
-                              it->second.held_items.end());
-  for (const ItemId& item : touched) {
-    ItemState& state = items_[item];
-    state.holders.erase(
-        std::remove_if(state.holders.begin(), state.holders.end(),
+  std::vector<ItemId> touched;
+  touched.reserve(it->second.held_items.size());
+  for (const auto& [item, held] : it->second.held_items) {
+    auto item_it = items_.find(item);
+    assert(item_it != items_.end());
+    std::vector<Holder>& holders = item_it->second.holders;
+    holders.erase(
+        std::remove_if(holders.begin(), holders.end(),
                        [&](const Holder& h) { return h.txn == txn; }),
-        state.holders.end());
+        holders.end());
+    touched.push_back(item);
   }
   txns_.erase(it);
   for (const ItemId& item : touched) ProcessQueue(item);
   ResolveAllDeadlocks();
+  assert(CheckIndexConsistency());
 }
 
 void LockManager::CancelWaiter(TxnId txn) {
@@ -398,15 +454,17 @@ void LockManager::ProcessQueue(ItemId item) {
       ++pos;
       continue;
     }
-    InstallHolder(state, w.txn, w.mode, std::move(w.ctx));
     TxnState& txn_state = txns_[w.txn];
-    txn_state.held_items.insert(item);
+    InstallHolder(state, txn_state, item, w.txn, w.mode, std::move(w.ctx));
     txn_state.waiting_on.reset();
     --waiting_count_;
     granted.push_back(w.txn);
     state.queue.erase(state.queue.begin() + pos);
     // Do not advance pos: the next waiter shifted into this slot.
   }
+
+  // Recycle fully released items before the listener runs (it may reenter).
+  MaybeRecycleItem(item);
 
   if (listener_ != nullptr) {
     for (TxnId txn : granted) listener_->OnGranted(txn);
@@ -438,7 +496,7 @@ std::vector<TxnId> LockManager::ComputeBlockers(TxnId txn) const {
   std::vector<TxnId> blockers;
   for (const Holder& h : state.holders) {
     if (h.txn == txn) continue;
-    if (resolver_->Conflicts(HolderView{h.txn, h.mode, &h.ctx}, request)) {
+    if (HolderConflicts(h.txn, h.mode, h.ctx, request)) {
       blockers.push_back(h.txn);
     }
   }
@@ -446,9 +504,7 @@ std::vector<TxnId> LockManager::ComputeBlockers(TxnId txn) const {
     for (size_t i = 0; i < pos; ++i) {
       const Waiter& earlier = state.queue[i];
       if (earlier.txn == txn) continue;
-      if (resolver_->Conflicts(HolderView{earlier.txn, earlier.mode,
-                                          &earlier.ctx},
-                               request)) {
+      if (HolderConflicts(earlier.txn, earlier.mode, earlier.ctx, request)) {
         blockers.push_back(earlier.txn);
       }
     }
@@ -530,6 +586,94 @@ std::string LockManager::DumpWaiters() const {
 size_t LockManager::HeldItemCount(TxnId txn) const {
   auto it = txns_.find(txn);
   return it == txns_.end() ? 0 : it->second.held_items.size();
+}
+
+bool LockManager::CheckIndexConsistency(std::string* violation) const {
+  auto fail = [violation](std::string message) {
+    if (violation != nullptr) *violation = std::move(message);
+    return false;
+  };
+
+  // Recount every holder entry from the item tables.
+  std::unordered_map<TxnId, std::unordered_map<ItemId, HeldEntry, ItemIdHash>>
+      expected;
+  for (const auto& [item, state] : items_) {
+    for (const Holder& h : state.holders) {
+      HeldEntry& held = expected[h.txn][item];
+      if (IsConventional(h.mode)) {
+        if (++held.conventional > 1) {
+          return fail(StrFormat(
+              "txn %llu has multiple conventional holder entries on %s",
+              static_cast<unsigned long long>(h.txn),
+              item.ToString().c_str()));
+        }
+      } else if (h.mode == LockMode::kAssert) {
+        ++held.asserts;
+      } else {
+        if (++held.comp > 1) {
+          return fail(StrFormat(
+              "txn %llu has multiple kComp holder entries on %s",
+              static_cast<unsigned long long>(h.txn),
+              item.ToString().c_str()));
+        }
+      }
+    }
+    for (const Waiter& w : state.queue) {
+      auto txn_it = txns_.find(w.txn);
+      if (txn_it == txns_.end() || !txn_it->second.waiting_on.has_value() ||
+          !(*txn_it->second.waiting_on == item)) {
+        return fail(StrFormat(
+            "queued waiter txn %llu on %s has no matching waiting_on",
+            static_cast<unsigned long long>(w.txn), item.ToString().c_str()));
+      }
+    }
+  }
+
+  // Compare the recount against the per-transaction index.
+  size_t waiting = 0;
+  for (const auto& [txn, state] : txns_) {
+    if (state.waiting_on.has_value()) ++waiting;
+    auto expected_it = expected.find(txn);
+    size_t expected_items =
+        expected_it == expected.end() ? 0 : expected_it->second.size();
+    if (state.held_items.size() != expected_items) {
+      return fail(StrFormat(
+          "txn %llu index tracks %zu items but holder tables show %zu",
+          static_cast<unsigned long long>(txn), state.held_items.size(),
+          expected_items));
+    }
+    for (const auto& [item, held] : state.held_items) {
+      const HeldEntry* want = nullptr;
+      if (expected_it != expected.end()) {
+        auto want_it = expected_it->second.find(item);
+        if (want_it != expected_it->second.end()) want = &want_it->second;
+      }
+      if (want == nullptr || want->conventional != held.conventional ||
+          want->comp != held.comp || want->asserts != held.asserts) {
+        return fail(StrFormat(
+            "txn %llu index for %s is {conv=%u comp=%u asserts=%u}, holder "
+            "tables show {conv=%u comp=%u asserts=%u}",
+            static_cast<unsigned long long>(txn), item.ToString().c_str(),
+            held.conventional, held.comp, held.asserts,
+            want == nullptr ? 0u : want->conventional,
+            want == nullptr ? 0u : want->comp,
+            want == nullptr ? 0u : want->asserts));
+      }
+    }
+  }
+  if (waiting != waiting_count_) {
+    return fail(StrFormat("waiting_count_ is %zu but %zu txns are waiting",
+                          waiting_count_, waiting));
+  }
+
+  // Every transaction seen in a holder table must be indexed.
+  for (const auto& entry : expected) {
+    if (txns_.find(entry.first) == txns_.end()) {
+      return fail(StrFormat("txn %llu holds locks but has no TxnState",
+                            static_cast<unsigned long long>(entry.first)));
+    }
+  }
+  return true;
 }
 
 }  // namespace accdb::lock

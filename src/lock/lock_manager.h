@@ -29,8 +29,8 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <string>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "lock/conflict.h"
@@ -65,7 +65,8 @@ class LockManager {
   };
 
   explicit LockManager(const ConflictResolver* resolver)
-      : resolver_(resolver) {}
+      : resolver_(resolver),
+        conventional_fast_path_(resolver->UsesConventionalMatrix()) {}
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
@@ -120,6 +121,12 @@ class LockManager {
   // and its current blockers (diagnostics).
   std::string DumpWaiters() const;
 
+  // Full cross-check of the per-transaction holder index against the item
+  // holder tables (both directions), and of waiting_on entries against item
+  // queues. O(total locks); meant for tests and debug assertions. Returns
+  // false and fills *violation (if non-null) on the first inconsistency.
+  bool CheckIndexConsistency(std::string* violation = nullptr) const;
+
  private:
   struct Holder {
     TxnId txn;
@@ -139,15 +146,36 @@ class LockManager {
     std::deque<Waiter> queue;
   };
 
+  // Per-(transaction, item) summary of what the transaction holds there.
+  // Conventional entries merge into a single holder slot and kComp is
+  // installed at most once, so those two are 0/1 flags; a transaction can
+  // hold several assertional locks (distinct assertion instances) on one
+  // item. The release paths use these counts to skip items — and whole
+  // holder-vector scans — that cannot contain a matching entry.
+  struct HeldEntry {
+    uint32_t conventional = 0;  // 0 or 1.
+    uint32_t comp = 0;          // 0 or 1.
+    uint32_t asserts = 0;
+    bool empty() const {
+      return conventional == 0 && comp == 0 && asserts == 0;
+    }
+  };
+
   struct TxnState {
-    // Items on which the transaction holds at least one lock (deduplicated).
-    std::unordered_set<ItemId, ItemIdHash> held_items;
+    // Per-item index of everything the transaction holds.
+    std::unordered_map<ItemId, HeldEntry, ItemIdHash> held_items;
     std::optional<ItemId> waiting_on;
   };
 
   // True if the request conflicts with any holder entry of another txn.
   bool ConflictsWithHolders(const ItemState& state,
                             const RequestView& request) const;
+
+  // Single holder-vs-request conflict decision: bitmask fast path for
+  // conventional-vs-conventional pairs, resolver dispatch otherwise.
+  bool HolderConflicts(TxnId holder_txn, LockMode holder_mode,
+                       const RequestContext& holder_ctx,
+                       const RequestView& request) const;
 
   // True if `txn` holds a kComp lock on the item.
   static bool HoldsComp(const ItemState& state, TxnId txn);
@@ -157,9 +185,18 @@ class LockManager {
                             size_t upto) const;
 
   // Installs a granted lock into the holder list (merging with existing
-  // entries of the same transaction where appropriate).
-  void InstallHolder(ItemState& state, TxnId txn, LockMode mode,
-                     RequestContext ctx);
+  // entries of the same transaction where appropriate) and updates the
+  // transaction's held-item index.
+  void InstallHolder(ItemState& state, TxnState& txn_state, ItemId item,
+                     TxnId txn, LockMode mode, RequestContext ctx);
+
+  // Looks up or creates the item's state; fresh states are drawn from the
+  // recycling pool (retaining their holder/queue capacity) when available.
+  ItemState& EnsureItem(ItemId item);
+
+  // Returns a fully released item's state to the recycling pool. No-op
+  // while anything is still held or queued on the item.
+  void MaybeRecycleItem(ItemId item);
 
   // Grants every queue entry that has become compatible; notifies listener.
   void ProcessQueue(ItemId item);
@@ -184,11 +221,18 @@ class LockManager {
   std::optional<ItemId> RemoveWaiter(TxnId txn);
 
   const ConflictResolver* resolver_;
+  // Conventional-vs-conventional decisions may bypass the resolver
+  // (resolver_->UsesConventionalMatrix(), cached).
+  const bool conventional_fast_path_;
   Listener* listener_ = nullptr;
   bool resolving_ = false;  // Reentrancy guard for ResolveAllDeadlocks.
   size_t waiting_count_ = 0;  // Transactions with a pending request.
   std::unordered_map<ItemId, ItemState, ItemIdHash> items_;
   std::unordered_map<TxnId, TxnState> txns_;
+  // Fully released ItemStates waiting for reuse: recycling keeps the holder
+  // vector / waiter deque capacity instead of re-allocating it on the next
+  // lock of a cold item, and keeps items_ from accumulating empty buckets.
+  std::vector<ItemState> item_pool_;
   Stats stats_;
 };
 

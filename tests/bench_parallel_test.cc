@@ -1,0 +1,131 @@
+// Determinism of the parallel experiment fan-out (bench/harness.h): a
+// sweep grid pushed through the thread pool must produce results
+// bit-identical to the serial path — same seeds, same per-run virtual
+// clocks, results collected in sweep order regardless of completion order.
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+#include <vector>
+
+#include "bench/harness.h"
+#include "tpcc/driver.h"
+
+namespace accdb::bench {
+namespace {
+
+tpcc::WorkloadConfig TinyConfig(uint64_t seed) {
+  tpcc::WorkloadConfig config = BaseConfig(seed);
+  config.sim_seconds = 2;
+  return config;
+}
+
+void ExpectSameRun(const tpcc::WorkloadResult& a,
+                   const tpcc::WorkloadResult& b) {
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.aborted, b.aborted);
+  EXPECT_EQ(a.txn_restarts, b.txn_restarts);
+  EXPECT_EQ(a.lock_stats.requests, b.lock_stats.requests);
+  EXPECT_EQ(a.lock_stats.waits, b.lock_stats.waits);
+  EXPECT_EQ(a.lock_stats.deadlocks, b.lock_stats.deadlocks);
+  // Bit-identical, not approximately equal: the parallel runner must not
+  // perturb the simulation in any way.
+  EXPECT_EQ(a.response_all.mean(), b.response_all.mean());
+  EXPECT_EQ(a.total_lock_wait, b.total_lock_wait);
+}
+
+TEST(BenchParallelTest, GridMatchesSerialBitIdentical) {
+  std::vector<tpcc::WorkloadConfig> configs = {TinyConfig(11), TinyConfig(19)};
+  std::vector<int> terminals = {2, 4};
+
+  std::vector<std::vector<PairResult>> serial =
+      RunPairGrid(1, configs, terminals);
+  std::vector<std::vector<PairResult>> parallel =
+      RunPairGrid(4, configs, terminals);
+
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(parallel.size(), 2u);
+  for (size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), terminals.size());
+    ASSERT_EQ(parallel[c].size(), terminals.size());
+    for (size_t t = 0; t < terminals.size(); ++t) {
+      const PairResult& s = serial[c][t];
+      const PairResult& p = parallel[c][t];
+      EXPECT_EQ(s.terminals, terminals[t]);
+      EXPECT_EQ(p.terminals, terminals[t]);
+      ExpectSameRun(s.acc, p.acc);
+      ExpectSameRun(s.non_acc, p.non_acc);
+    }
+  }
+}
+
+TEST(BenchParallelTest, RunConfigsPreservesArgumentOrder) {
+  // Configs with very different run lengths: the long one is submitted
+  // first and (under >1 jobs) finishes last; results must still come back
+  // in argument order.
+  tpcc::WorkloadConfig slow = TinyConfig(3);
+  slow.sim_seconds = 3;
+  slow.terminals = 4;
+  tpcc::WorkloadConfig fast = TinyConfig(3);
+  fast.sim_seconds = 1;
+  fast.terminals = 2;
+
+  std::vector<tpcc::WorkloadResult> serial = RunConfigs(1, {slow, fast});
+  std::vector<tpcc::WorkloadResult> parallel = RunConfigs(2, {slow, fast});
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(parallel.size(), 2u);
+  ExpectSameRun(serial[0], parallel[0]);
+  ExpectSameRun(serial[1], parallel[1]);
+  // The two runs are genuinely distinguishable (4 terminals for 3 simulated
+  // seconds vs 2 for 1), so a slot swap could not slip past ExpectSameRun.
+  EXPECT_GT(serial[0].lock_stats.requests, serial[1].lock_stats.requests);
+}
+
+TEST(PairResultTest, DegenerateRatiosAreZeroAndFlagged) {
+  PairResult pair;  // No samples on either side.
+  EXPECT_TRUE(pair.response_degenerate());
+  EXPECT_TRUE(pair.throughput_degenerate());
+  EXPECT_TRUE(pair.degenerate());
+  EXPECT_EQ(pair.ResponseRatio(), 0);
+  EXPECT_EQ(pair.ThroughputRatio(), 0);
+  EXPECT_NE(std::string_view(DegenerateMark(pair)), "");
+}
+
+TEST(PairResultTest, HealthyPairIsNotFlagged) {
+  PairResult pair;
+  pair.acc.response_all.Add(0.5);
+  pair.acc.completed = 10;
+  pair.non_acc.response_all.Add(1.0);
+  pair.non_acc.completed = 5;
+  EXPECT_FALSE(pair.degenerate());
+  EXPECT_DOUBLE_EQ(pair.ResponseRatio(), 2.0);
+  EXPECT_DOUBLE_EQ(pair.ThroughputRatio(), 0.5);
+  EXPECT_EQ(std::string_view(DegenerateMark(pair)), "");
+}
+
+TEST(BenchOptionsTest, ParsesJobsAndJsonFlags) {
+  const char* argv[] = {"prog", "--jobs=3", "--json=out.json"};
+  BenchOptions options =
+      ParseBenchOptions("x", 3, const_cast<char**>(argv));
+  EXPECT_EQ(options.name, "x");
+  EXPECT_EQ(options.jobs, 3);
+  EXPECT_EQ(options.json_path, "out.json");
+}
+
+TEST(BenchOptionsTest, NoJsonDisablesReport) {
+  const char* argv[] = {"prog", "--jobs", "2", "--no-json"};
+  BenchOptions options =
+      ParseBenchOptions("x", 4, const_cast<char**>(argv));
+  EXPECT_EQ(options.jobs, 2);
+  EXPECT_TRUE(options.json_path.empty());
+}
+
+TEST(BenchOptionsTest, DefaultJsonPathUsesBenchName) {
+  const char* argv[] = {"prog", "--jobs=1"};
+  BenchOptions options =
+      ParseBenchOptions("fig9_demo", 2, const_cast<char**>(argv));
+  EXPECT_EQ(options.json_path, "BENCH_fig9_demo.json");
+}
+
+}  // namespace
+}  // namespace accdb::bench

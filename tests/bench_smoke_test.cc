@@ -1,0 +1,107 @@
+// Smoke test for the benchmark pipeline (registered as the `bench_smoke`
+// CTest target): pushes a tiny sweep — 2 terminal counts, ~2 simulated
+// seconds — through the parallel runner, writes the BENCH_*.json report,
+// re-parses it and validates the schema documented in bench/harness.h.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/json.h"
+#include "tpcc/driver.h"
+
+namespace accdb::bench {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void ExpectWorkloadObject(const Json& run) {
+  for (const char* key :
+       {"completed", "aborted", "compensated", "step_deadlock_retries",
+        "txn_restarts", "response_mean", "throughput", "total_lock_wait",
+        "sim_seconds", "consistent", "lock_stats"}) {
+    EXPECT_TRUE(run.Has(key)) << "missing workload key: " << key;
+  }
+  const Json* lock_stats = run.Find("lock_stats");
+  ASSERT_NE(lock_stats, nullptr);
+  for (const char* key :
+       {"requests", "immediate_grants", "waits", "deadlocks",
+        "compensation_priority_aborts", "unconditional_grants", "upgrades",
+        "release_calls"}) {
+    EXPECT_TRUE(lock_stats->Has(key)) << "missing lock_stats key: " << key;
+  }
+  // A 2-simulated-second run still issues lock requests.
+  EXPECT_GT(lock_stats->Find("requests")->AsUint(), 0u);
+  EXPECT_TRUE(run.Find("consistent")->AsBool());
+}
+
+TEST(BenchSmokeTest, TinySweepEmitsValidReport) {
+  const std::string path = "BENCH_smoke_selftest.json";
+  std::remove(path.c_str());
+
+  BenchOptions options;
+  options.name = "smoke_selftest";
+  options.jobs = 2;
+  options.json_path = path;
+  BenchReport report(options);
+
+  tpcc::WorkloadConfig config = BaseConfig(/*seed=*/7);
+  config.sim_seconds = 2;
+  const std::vector<int> terminals = {2, 4};
+  std::vector<std::vector<PairResult>> grid =
+      RunPairGrid(options.jobs, {config}, terminals);
+  ASSERT_EQ(grid.size(), 1u);
+  ASSERT_EQ(grid[0].size(), terminals.size());
+
+  report.AddPairSweep("smoke", "terminals", grid[0]);
+  ASSERT_TRUE(report.Write());
+
+  std::string text = ReadFile(path);
+  ASSERT_FALSE(text.empty());
+  std::string error;
+  std::optional<Json> doc = Json::Parse(text, &error);
+  ASSERT_TRUE(doc.has_value()) << error;
+
+  EXPECT_EQ(doc->Find("bench")->AsString(), "smoke_selftest");
+  EXPECT_EQ(doc->Find("jobs")->AsInt(), 2);
+  EXPECT_GE(doc->Find("wall_seconds")->AsDouble(), 0.0);
+
+  const Json* sweeps = doc->Find("sweeps");
+  ASSERT_NE(sweeps, nullptr);
+  ASSERT_EQ(sweeps->size(), 1u);
+  const Json& sweep = sweeps->at(0);
+  EXPECT_EQ(sweep.Find("label")->AsString(), "smoke");
+  EXPECT_EQ(sweep.Find("x_axis")->AsString(), "terminals");
+
+  const Json* points = sweep.Find("points");
+  ASSERT_NE(points, nullptr);
+  ASSERT_EQ(points->size(), terminals.size());
+  for (size_t i = 0; i < points->size(); ++i) {
+    const Json& point = points->at(i);
+    EXPECT_EQ(point.Find("x")->AsInt(), terminals[i]);
+    EXPECT_TRUE(point.Has("response_ratio"));
+    EXPECT_TRUE(point.Has("throughput_ratio"));
+    EXPECT_TRUE(point.Has("degenerate"));
+    const Json* acc = point.Find("acc");
+    const Json* non_acc = point.Find("non_acc");
+    ASSERT_NE(acc, nullptr);
+    ASSERT_NE(non_acc, nullptr);
+    ExpectWorkloadObject(*acc);
+    ExpectWorkloadObject(*non_acc);
+  }
+
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace accdb::bench

@@ -1,12 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <functional>
+#include <limits>
 #include <map>
+#include <optional>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
+#include "common/json.h"
 #include "common/money.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace accdb {
 namespace {
@@ -243,6 +253,143 @@ TEST(StringUtilTest, StrJoin) {
   EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(StrJoin({}, ","), "");
   EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+// --- Json ---
+
+TEST(JsonTest, DumpPrimitives) {
+  EXPECT_EQ(Json().Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(-42).Dump(), "-42");
+  EXPECT_EQ(Json(uint64_t{18446744073709551615u}).Dump(),
+            "18446744073709551615");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").Dump(), "\"a\\\"b\\\\c\\n\\t\"");
+  EXPECT_EQ(Json(std::string("\x01", 1)).Dump(), "\"\\u0001\"");
+}
+
+TEST(JsonTest, NanDumpsAsNull) {
+  EXPECT_EQ(Json(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj["zeta"] = 1;
+  obj["alpha"] = 2;
+  obj["mid"] = Json::Array();
+  obj["mid"].Append(3);
+  EXPECT_EQ(obj.Dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":[3]}");
+  ASSERT_TRUE(obj.Has("alpha"));
+  EXPECT_EQ(obj.Find("alpha")->AsInt(), 2);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json obj = Json::Object();
+  obj["a"] = 1;
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  Json obj = Json::Object();
+  obj["name"] = "bench";
+  obj["jobs"] = 4;
+  obj["ratio"] = 1.25;
+  obj["ok"] = true;
+  obj["nothing"] = Json();
+  Json arr = Json::Array();
+  arr.Append(1);
+  arr.Append(-2);
+  arr.Append("three");
+  obj["values"] = std::move(arr);
+  std::string text = obj.Dump(2);
+  std::string error;
+  std::optional<Json> parsed = Json::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->Dump(2), text);
+  EXPECT_EQ(parsed->Find("jobs")->AsInt(), 4);
+  EXPECT_DOUBLE_EQ(parsed->Find("ratio")->AsDouble(), 1.25);
+  EXPECT_EQ(parsed->Find("values")->size(), 3u);
+  EXPECT_EQ(parsed->Find("values")->at(2).AsString(), "three");
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  std::optional<Json> parsed = Json::Parse("\"a\\u00e9b\"");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->AsString(),
+            "a\xc3\xa9"
+            "b");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(Json::Parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(Json::Parse("[1,2,]").has_value());
+  EXPECT_FALSE(Json::Parse("true extra").has_value());
+  EXPECT_FALSE(Json::Parse("").has_value());
+  EXPECT_FALSE(Json::Parse("nul").has_value());
+}
+
+TEST(JsonTest, ParseNumbers) {
+  EXPECT_EQ(Json::Parse("-9223372036854775808")->AsInt(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(Json::Parse("18446744073709551615")->AsUint(),
+            18446744073709551615u);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3")->AsDouble(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-0.5")->AsDouble(), -0.5);
+}
+
+// --- ThreadPool ---
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4);
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsFirstException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, HardwareDefaultIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareDefault(), 1);
+}
+
+TEST(RunTasksTest, SerialPathRunsInOrder) {
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back([&order, i] { order.push_back(i); });
+  }
+  RunTasks(1, std::move(tasks));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RunTasksTest, ParallelPathRunsEveryTask) {
+  std::atomic<uint64_t> mask{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 32; ++i) {
+    tasks.push_back([&mask, i] { mask.fetch_or(uint64_t{1} << i); });
+  }
+  RunTasks(4, std::move(tasks));
+  EXPECT_EQ(mask.load(), (uint64_t{1} << 32) - 1);
 }
 
 }  // namespace

@@ -337,6 +337,122 @@ TEST_F(LockManagerTest, StatsCountBasics) {
   EXPECT_EQ(stats.waits, 1u);
 }
 
+// --- Per-transaction holder index (release fast paths) ---
+//
+// ReleaseConventional / ReleaseAssertion / ReleaseAll walk the per-txn
+// holder index instead of scanning every item's holder vector; these tests
+// pin the index to the lock table through merges, upgrades, partial
+// releases and deadlock aborts via CheckIndexConsistency().
+
+TEST_F(LockManagerTest, ReleaseConventionalManyItemsLeavesAssertions) {
+  RequestContext actx;
+  actx.assertion = 5;
+  for (uint64_t k = 1; k <= 16; ++k) {
+    EXPECT_EQ(Req(1, ItemId::Row(1, k), LockMode::kS), Outcome::kGranted);
+  }
+  lm_.GrantUnconditional(1, ItemId::Row(2, 1), LockMode::kAssert, actx);
+  lm_.GrantUnconditional(1, ItemId::Row(2, 2), LockMode::kAssert, actx);
+  lm_.ReleaseConventional(1);
+  for (uint64_t k = 1; k <= 16; ++k) {
+    EXPECT_EQ(lm_.HolderCount(ItemId::Row(1, k)), 0u);
+  }
+  EXPECT_TRUE(lm_.HoldsAssertion(1, ItemId::Row(2, 1), 5));
+  EXPECT_TRUE(lm_.HoldsAssertion(1, ItemId::Row(2, 2), 5));
+  std::string violation;
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+  lm_.ReleaseAll(1);
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+}
+
+TEST_F(LockManagerTest, ReleaseAssertionSkipsConventionalItems) {
+  // Conventional locks on many items; assertional instances on two. The
+  // instance-specific release must leave every conventional lock (and the
+  // other instance) in place.
+  for (uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(Req(1, ItemId::Row(1, k), LockMode::kX), Outcome::kGranted);
+  }
+  RequestContext first;
+  first.assertion = 5;
+  first.assertion_instance = 1;
+  RequestContext second;
+  second.assertion = 5;
+  second.assertion_instance = 2;
+  lm_.GrantUnconditional(1, ItemId::Row(1, 1), LockMode::kAssert, first);
+  lm_.GrantUnconditional(1, ItemId::Row(2, 1), LockMode::kAssert, second);
+  lm_.ReleaseAssertion(1, 5, 1);
+  EXPECT_FALSE(lm_.HoldsAssertion(1, ItemId::Row(1, 1), 5));
+  EXPECT_TRUE(lm_.HoldsAssertion(1, ItemId::Row(2, 1), 5));
+  for (uint64_t k = 1; k <= 8; ++k) {
+    EXPECT_TRUE(lm_.Holds(1, ItemId::Row(1, k), LockMode::kX));
+  }
+  std::string violation;
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+}
+
+TEST_F(LockManagerTest, IndexSurvivesMergeAndUpgrade) {
+  // Repeated conventional requests on one item merge into a single holder
+  // entry; the index must keep counting it as one.
+  EXPECT_EQ(Req(1, item_, LockMode::kIS), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kS), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item_, LockMode::kIX), Outcome::kGranted);  // -> SIX.
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);   // Upgrade.
+  EXPECT_EQ(lm_.HolderCount(item_), 1u);
+  std::string violation;
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+  lm_.ReleaseConventional(1);
+  EXPECT_EQ(lm_.HolderCount(item_), 0u);
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+}
+
+TEST_F(LockManagerTest, IndexConsistentThroughDeadlockAbort) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item2_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kAborted);
+  std::string violation;
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+  lm_.ReleaseAll(2);
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+  lm_.ReleaseAll(1);
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+}
+
+TEST_F(LockManagerTest, ItemSlotRecyclingKeepsSemantics) {
+  // Drain an item completely, then reuse it: the recycled slot must not
+  // leak holders, queue entries, or stale index state.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+    EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+    lm_.ReleaseAll(1);
+    EXPECT_TRUE(lm_.Holds(2, item_, LockMode::kS));
+    lm_.ReleaseAll(2);
+    EXPECT_EQ(lm_.HolderCount(item_), 0u);
+    EXPECT_EQ(lm_.QueueLength(item_), 0u);
+  }
+  std::string violation;
+  EXPECT_TRUE(lm_.CheckIndexConsistency(&violation)) << violation;
+}
+
+// --- Conventional bitmask fast path ---
+
+TEST(ConflictBitmaskTest, MatchesMatrixSemantics) {
+  const LockMode modes[5] = {LockMode::kIS, LockMode::kIX, LockMode::kS,
+                             LockMode::kSIX, LockMode::kX};
+  MatrixConflictResolver resolver;
+  RequestContext hctx;
+  RequestContext rctx;
+  for (LockMode a : modes) {
+    for (LockMode b : modes) {
+      HolderView holder{1, a, &hctx};
+      RequestView request{2, b, &rctx, false};
+      EXPECT_EQ(ConventionalModesConflict(a, b),
+                resolver.Conflicts(holder, request))
+          << "held=" << static_cast<int>(a)
+          << " requested=" << static_cast<int>(b);
+    }
+  }
+}
+
 // --- CycleDetector unit ---
 
 TEST(CycleDetectorTest, FindsSimpleCycle) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "acc/catalog.h"
@@ -131,12 +132,23 @@ StressResult RunStress(uint64_t seed, int workers, int txns_per_worker,
           if (!aborted) sim.Delay(rng.Exponential(0.0005));
         }
         lm.ReleaseAll(txn);
+        // The simulation is cooperative (one process runs at a time), so
+        // probing the release index mid-run is race-free. Every 16th txn
+        // keeps the O(table) check from dominating the test.
+        if (txn % 16 == 0) {
+          std::string violation;
+          EXPECT_TRUE(lm.CheckIndexConsistency(&violation)) << violation;
+        }
         if (!aborted) ++result.completed;
       }
     });
   }
   sim.Run();
   EXPECT_EQ(sim.live_processes(), 0) << lm.DumpWaiters();
+  {
+    std::string violation;
+    EXPECT_TRUE(lm.CheckIndexConsistency(&violation)) << violation;
+  }
   result.stats = lm.stats();
   // After ReleaseAll for every txn, nothing is held anywhere.
   for (int i = 1; i <= items; ++i) {
