@@ -39,6 +39,7 @@ using namespace accdb;
 
 struct MiniResult {
   sim::Accumulator response;
+  sim::Histogram response_hist;
   uint64_t completed = 0;
   uint64_t waits = 0;
 };
@@ -127,7 +128,9 @@ MiniResult RunOrderProc(Mode mode, int terminals, uint64_t seed) {
               }
             }
           }
-          result.response.Add(sim.Now() - start);
+          double response = sim.Now() - start;
+          result.response.Add(response);
+          result.response_hist.Add(response);
         }
       });
     }
@@ -208,10 +211,18 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(norefine.completed),
                 static_cast<unsigned long long>(two.completed),
                 static_cast<unsigned long long>(base.completed));
+    std::printf("%-10s %12s %14s %14s %12s | p95\n", "",
+                accdb::bench::TailCell(one.response_hist.p95()).c_str(),
+                accdb::bench::TailCell(norefine.response_hist.p95()).c_str(),
+                accdb::bench::TailCell(two.response_hist.p95()).c_str(),
+                accdb::bench::TailCell(base.response_hist.p95()).c_str());
     for (int m = 0; m < 4; ++m) {
       accdb::Json point = accdb::Json::Object();
       point["x"] = terminal_counts[t];
       point["response_mean"] = results[t][m].response.mean();
+      point["response_p50"] = results[t][m].response_hist.p50();
+      point["response_p95"] = results[t][m].response_hist.p95();
+      point["response_p99"] = results[t][m].response_hist.p99();
       point["completed"] = results[t][m].completed;
       point["waits"] = results[t][m].waits;
       sweeps.at(m)["points"].Append(std::move(point));

@@ -63,6 +63,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\n");
+  for (int col = 0; col < 4; ++col) {
+    PrintRunTailTable(labels[col], "term", sweeps[col]);
+  }
+
   for (int col = 0; col < 4; ++col) {
     report.AddRunSweep(labels[col], "terminals", sweeps[col]);
   }

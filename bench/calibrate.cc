@@ -40,6 +40,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\n");
+  PrintPairTailTable("calibration", "term", grid[0]);
+
   report.AddPairSweep("calibration", "terminals", grid[0]);
   report.Write();
   return 0;

@@ -46,6 +46,9 @@ int main(int argc, char** argv) {
     sweep.push_back(std::move(pair));
   }
 
+  std::printf("\n");
+  PrintPairTailTable("server sweep (60 terminals)", "servers", sweep);
+
   report.AddPairSweep("servers", "servers", sweep);
   report.Write();
   return 0;

@@ -45,6 +45,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  std::printf("\n");
+  PrintPairTailTable("standard districts", "term", grid[0]);
+  PrintPairTailTable("skewed districts", "term", grid[1]);
+
   report.AddPairSweep("standard", "terminals", grid[0]);
   report.AddPairSweep("skewed", "terminals", grid[1]);
   report.Write();

@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
                 DegenerateMark(base_pair), DegenerateMark(compute_pair));
   }
 
+  std::printf("\n");
+  PrintPairTailTable("without compute", "term", grid[0]);
+  PrintPairTailTable("with compute", "term", grid[1]);
+
   report.AddPairSweep("without_compute", "terminals", grid[0]);
   report.AddPairSweep("with_compute", "terminals", grid[1]);
   report.Write();

@@ -52,6 +52,10 @@ int main(int argc, char** argv) {
   std::printf("## short think time (1.5 s)\n");
   PrintSweep(grid[1]);
 
+  std::printf("\n");
+  PrintPairTailTable("standard think time", "term", grid[0]);
+  PrintPairTailTable("short think time", "term", grid[1]);
+
   report.AddPairSweep("standard_think", "terminals", grid[0]);
   report.AddPairSweep("short_think", "terminals", grid[1]);
   report.Write();

@@ -1,10 +1,13 @@
 #include "bench/harness.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <utility>
 
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 
 namespace accdb::bench {
@@ -154,6 +157,146 @@ std::vector<tpcc::WorkloadResult> RunConfigs(
   return results;
 }
 
+std::string TailCell(double value) {
+  if (std::isnan(value)) return "-";
+  return StrFormat("%.4f", value);
+}
+
+double LockWaitPerTxn(const tpcc::WorkloadResult& result) {
+  const uint64_t issued = result.completed + result.aborted;
+  if (issued == 0) return std::numeric_limits<double>::quiet_NaN();
+  return result.total_lock_wait / static_cast<double>(issued);
+}
+
+namespace {
+
+void PrintTailRow(int x, const tpcc::WorkloadResult& acc,
+                  const tpcc::WorkloadResult& non_acc) {
+  std::printf("%8d %9s %9s %9s %9s | %9s %9s %9s %9s\n", x,
+              TailCell(acc.response_hist.p50()).c_str(),
+              TailCell(acc.response_hist.p95()).c_str(),
+              TailCell(acc.response_hist.p99()).c_str(),
+              TailCell(LockWaitPerTxn(acc)).c_str(),
+              TailCell(non_acc.response_hist.p50()).c_str(),
+              TailCell(non_acc.response_hist.p95()).c_str(),
+              TailCell(non_acc.response_hist.p99()).c_str(),
+              TailCell(LockWaitPerTxn(non_acc)).c_str());
+}
+
+}  // namespace
+
+void PrintPairTailTable(const std::string& title, const std::string& x_label,
+                        const std::vector<PairResult>& sweep) {
+  std::printf("## tail response time: %s (seconds; lock_wait = mean blocked "
+              "time per txn)\n",
+              title.c_str());
+  std::printf("%8s %9s %9s %9s %9s | %9s %9s %9s %9s\n", x_label.c_str(),
+              "acc_p50", "acc_p95", "acc_p99", "acc_lockw", "2pl_p50",
+              "2pl_p95", "2pl_p99", "2pl_lockw");
+  for (const PairResult& pair : sweep) {
+    PrintTailRow(pair.sweep_x, pair.acc, pair.non_acc);
+  }
+  std::printf("\n");
+}
+
+void PrintRunTailTable(
+    const std::string& title, const std::string& x_label,
+    const std::vector<std::pair<int, tpcc::WorkloadResult>>& sweep) {
+  std::printf("## tail response time: %s (seconds; lock_wait = mean blocked "
+              "time per txn)\n",
+              title.c_str());
+  std::printf("%8s %9s %9s %9s %9s %9s\n", x_label.c_str(), "p50", "p90",
+              "p95", "p99", "lock_wait");
+  for (const auto& [x, result] : sweep) {
+    std::printf("%8d %9s %9s %9s %9s %9s\n", x,
+                TailCell(result.response_hist.p50()).c_str(),
+                TailCell(result.response_hist.p90()).c_str(),
+                TailCell(result.response_hist.p95()).c_str(),
+                TailCell(result.response_hist.p99()).c_str(),
+                TailCell(LockWaitPerTxn(result)).c_str());
+  }
+  std::printf("\n");
+}
+
+namespace {
+
+// Non-finite measurements (empty distributions, the overflow bucket's
+// upper bound) become explicit JSON null, so the in-memory object already
+// matches its serialized form (`is_null()` without a dump/parse round trip).
+Json FiniteOrNull(double value) {
+  return std::isfinite(value) ? Json(value) : Json();
+}
+
+}  // namespace
+
+Json HistogramJson(const sim::Histogram& histogram) {
+  Json out = Json::Object();
+  out["count"] = histogram.count();
+  out["sum"] = histogram.sum();
+  out["mean"] = FiniteOrNull(histogram.count() == 0
+                                 ? std::numeric_limits<double>::quiet_NaN()
+                                 : histogram.mean());
+  out["min"] = FiniteOrNull(histogram.min());
+  out["max"] = FiniteOrNull(histogram.max());
+  out["p50"] = FiniteOrNull(histogram.p50());
+  out["p90"] = FiniteOrNull(histogram.p90());
+  out["p95"] = FiniteOrNull(histogram.p95());
+  out["p99"] = FiniteOrNull(histogram.p99());
+  Json buckets = Json::Array();
+  for (int i = 0; i < sim::Histogram::kNumBuckets; ++i) {
+    if (histogram.bucket_count(i) == 0) continue;
+    Json bucket = Json::Object();
+    bucket["lo"] = sim::Histogram::BucketLowerBound(i);
+    bucket["hi"] = FiniteOrNull(sim::Histogram::BucketUpperBound(i));
+    bucket["n"] = histogram.bucket_count(i);
+    buckets.Append(std::move(bucket));
+  }
+  out["buckets"] = std::move(buckets);
+  return out;
+}
+
+namespace {
+
+Json MetricsJson(const tpcc::WorkloadResult& result) {
+  Json metrics = Json::Object();
+  metrics["response"] = HistogramJson(result.response_hist);
+  metrics["step_latency"] = HistogramJson(result.step_latency_hist);
+  metrics["txn_latency"] = HistogramJson(result.txn_latency_hist);
+  metrics["lock_wait"] = HistogramJson(result.lock_wait_hist);
+
+  const lock::LockManager::Stats& stats = result.lock_stats;
+  Json by_mode = Json::Object();
+  for (int c = 0; c < lock::kNumWaitClasses; ++c) {
+    Json entry = Json::Object();
+    entry["blocks"] = stats.blocks_by_class[c];
+    entry["wait_seconds"] = stats.wait_seconds_by_class[c];
+    by_mode[lock::WaitClassName(static_cast<lock::WaitClass>(c))] =
+        std::move(entry);
+  }
+  metrics["lock_wait_by_mode"] = std::move(by_mode);
+
+  Json conflicts = Json::Object();
+  conflicts["conv_vs_conv"] = stats.conv_conv_blocks;
+  conflicts["write_vs_assert"] = stats.write_assert_blocks;
+  conflicts["assert_vs_write"] = stats.assert_write_blocks;
+  conflicts["other"] = stats.other_blocks;
+  metrics["block_conflicts"] = std::move(conflicts);
+
+  metrics["deadlock_victim_aborts"] = stats.deadlock_victim_aborts;
+
+  Json queue = Json::Object();
+  queue["depth_sum"] = stats.queue_depth_sum;
+  queue["depth_max"] = stats.queue_depth_max;
+  queue["depth_mean"] = FiniteOrNull(
+      stats.waits == 0 ? std::numeric_limits<double>::quiet_NaN()
+                       : static_cast<double>(stats.queue_depth_sum) /
+                             static_cast<double>(stats.waits));
+  metrics["queue_depth"] = std::move(queue);
+  return metrics;
+}
+
+}  // namespace
+
 Json WorkloadResultJson(const tpcc::WorkloadResult& result) {
   Json out = Json::Object();
   out["completed"] = result.completed;
@@ -162,6 +305,9 @@ Json WorkloadResultJson(const tpcc::WorkloadResult& result) {
   out["step_deadlock_retries"] = result.step_deadlock_retries;
   out["txn_restarts"] = result.txn_restarts;
   out["response_mean"] = result.response_all.mean();
+  // Null while empty (never a fake 0.0 measurement).
+  out["response_min"] = FiniteOrNull(result.response_all.min());
+  out["response_max"] = FiniteOrNull(result.response_all.max());
   out["throughput"] = result.throughput();
   out["total_lock_wait"] = result.total_lock_wait;
   out["sim_seconds"] = result.sim_seconds;
@@ -176,7 +322,9 @@ Json WorkloadResultJson(const tpcc::WorkloadResult& result) {
   stats["unconditional_grants"] = result.lock_stats.unconditional_grants;
   stats["upgrades"] = result.lock_stats.upgrades;
   stats["release_calls"] = result.lock_stats.release_calls;
+  stats["deadlock_victim_aborts"] = result.lock_stats.deadlock_victim_aborts;
   out["lock_stats"] = std::move(stats);
+  out["metrics"] = MetricsJson(result);
   return out;
 }
 

@@ -86,6 +86,29 @@ std::vector<int> TerminalSweep();
 
 void PrintTitle(const std::string& title);
 
+// --- Tail-latency tables ---
+//
+// Companion tables to each figure's ratio table: per-system response-time
+// percentiles (seconds) and mean lock-wait per transaction, the view the
+// paper never reported. Empty distributions print "-".
+
+// One formatted cell: "-" for NaN (empty distribution), else "%.4f".
+std::string TailCell(double value);
+
+// Mean blocked time per issued transaction (completed + aborted); NaN when
+// the run issued nothing.
+double LockWaitPerTxn(const tpcc::WorkloadResult& result);
+
+// Per-pair sweep: one row per point with ACC and non-ACC p50/p95/p99 and
+// lock-wait columns, abscissa from PairResult::sweep_x.
+void PrintPairTailTable(const std::string& title, const std::string& x_label,
+                        const std::vector<PairResult>& sweep);
+
+// Single-system sweep variant (ablations).
+void PrintRunTailTable(
+    const std::string& title, const std::string& x_label,
+    const std::vector<std::pair<int, tpcc::WorkloadResult>>& sweep);
+
 // --- Parallel fan-out ---
 
 // Command-line / environment configuration shared by all bench binaries.
@@ -156,8 +179,16 @@ class BenchReport {
 };
 
 // JSON object for one WorkloadResult (shared with BenchReport; exposed for
-// custom reports and tests).
+// custom reports and tests). Includes a "metrics" object (schema in
+// EXPERIMENTS.md): response/step/txn/lock-wait histograms with percentiles
+// and non-empty buckets, per-mode lock-wait attribution, conflict-kind
+// block counts, deadlock-victim and queue-depth stats. Empty distributions
+// emit null for mean/min/max/percentiles.
 Json WorkloadResultJson(const tpcc::WorkloadResult& result);
+
+// JSON object for one histogram: count/sum/mean/min/max/p50/p90/p95/p99 and
+// the non-empty buckets as [{"lo", "hi", "n"}, ...]. NaN/Inf emit null.
+Json HistogramJson(const sim::Histogram& histogram);
 
 }  // namespace accdb::bench
 

@@ -32,6 +32,12 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
   if (!analyzed) mode = ExecMode::kSerializable;
 
   ExecResult result;
+  // Measured across every restart: the latency a client of this execution
+  // would observe. Recorded only on normal completion (not teardown unwind).
+  const double exec_start = env.Now();
+  auto record_txn_latency = [&] {
+    metrics_.txn_latency.Add(env.Now() - exec_start);
+  };
   for (int attempt = 0;; ++attempt) {
     lock::TxnId txn = NextTxnId();
     txn_envs_[txn] = &env;
@@ -64,6 +70,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       ctx.FinishCommit();
       txn_envs_.erase(txn);
       result.status = Status::Ok();
+      record_txn_latency();
       return result;
     }
 
@@ -87,11 +94,13 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
           // surface it instead of silently leaving the database broken.
           result.status = Status::Internal("compensation failed: " +
                                            comp.ToString());
+          record_txn_latency();
           return result;
         }
         result.compensated = true;
         recovery_log_.Compensated(txn);
         result.status = Status::Aborted(status.message());
+        record_txn_latency();
         return result;
       }
       // No step completed: the transaction simply evaporates.
@@ -104,6 +113,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
         continue;
       }
       result.status = Status::Aborted(status.message());
+      record_txn_latency();
       return result;
     }
 
@@ -116,6 +126,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       continue;
     }
     result.status = Status::Aborted(status.message());
+    record_txn_latency();
     return result;
   }
 }

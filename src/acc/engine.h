@@ -25,6 +25,7 @@
 #include "acc/recovery_log.h"
 #include "common/status.h"
 #include "lock/lock_manager.h"
+#include "sim/metrics.h"
 #include "storage/database.h"
 
 namespace accdb::acc {
@@ -94,6 +95,12 @@ class ExecutionEnv {
   // Client-side delay; holds no server.
   virtual void ClientDelay(double seconds) = 0;
 
+  // Current virtual time in seconds. Only differences matter (the engine
+  // uses it to measure step/transaction latency and lock-wait durations),
+  // so any monotone clock is valid; the default is a frozen clock for
+  // environments that model no time at all.
+  virtual double Now() const { return 0.0; }
+
   // Wait protocol.
   virtual void PrepareWait(lock::TxnId txn) = 0;
   virtual bool AwaitLock(lock::TxnId txn) = 0;  // true = granted.
@@ -119,6 +126,9 @@ class ImmediateEnv : public ExecutionEnv {
   void LockGranted(lock::TxnId) override {}
   void LockAborted(lock::TxnId) override {}
 
+  // Virtual clock: the accumulated cost so far (nothing ever blocks here).
+  double Now() const override { return server_seconds_ + client_seconds_; }
+
   double server_seconds() const { return server_seconds_; }
   double client_seconds() const { return client_seconds_; }
 
@@ -133,6 +143,19 @@ struct ExecResult {
   int step_deadlock_retries = 0;
   int txn_restarts = 0;
   bool compensated = false;
+};
+
+// Latency distributions aggregated across every execution the engine runs,
+// measured on the ExecutionEnv clock. Mutated only from engine execution
+// paths, which the simulation serializes (cooperative processes).
+struct EngineMetrics {
+  // Successfully completed steps (forward and compensating), end to end
+  // including their lock waits.
+  sim::Histogram step_latency;
+  // Execute() entry to exit: includes restarts and compensation.
+  sim::Histogram txn_latency;
+  // Each individual resolved lock wait (granted or deadlock-aborted).
+  sim::Histogram lock_wait;
 };
 
 class Engine : public lock::LockManager::Listener {
@@ -161,6 +184,8 @@ class Engine : public lock::LockManager::Listener {
   lock::LockManager& lock_manager() { return lock_manager_; }
   RecoveryLog& recovery_log() { return recovery_log_; }
   const EngineConfig& config() const { return config_; }
+  EngineMetrics& metrics() { return metrics_; }
+  const EngineMetrics& metrics() const { return metrics_; }
 
   // lock::LockManager::Listener:
   void OnGranted(lock::TxnId txn) override;
@@ -176,6 +201,7 @@ class Engine : public lock::LockManager::Listener {
   lock::LockManager lock_manager_;
   RecoveryLog recovery_log_;
   lock::TxnId last_txn_id_ = 0;
+  EngineMetrics metrics_;
   // Routes lock notifications to the env of the owning execution.
   std::unordered_map<lock::TxnId, ExecutionEnv*> txn_envs_;
 };

@@ -32,6 +32,8 @@ class SimExecutionEnv : public ExecutionEnv {
 
   void ClientDelay(double seconds) override { sim_.Delay(seconds); }
 
+  double Now() const override { return sim_.Now(); }
+
   void PrepareWait(lock::TxnId txn) override;
   bool AwaitLock(lock::TxnId txn) override;
   void DiscardWait(lock::TxnId txn) override;

@@ -42,10 +42,21 @@ Status TxnContext::AcquireLock(lock::ItemId item, lock::LockMode mode) {
     case lock::Outcome::kAborted:
       env_->DiscardWait(txn_);
       return DeadlockStatus();
-    case lock::Outcome::kWaiting:
-      return env_->AwaitLock(txn_) ? Status::Ok() : DeadlockStatus();
+    case lock::Outcome::kWaiting: {
+      bool granted = AwaitTimed(mode);
+      return granted ? Status::Ok() : DeadlockStatus();
+    }
   }
   return Status::Internal("unreachable");
+}
+
+bool TxnContext::AwaitTimed(lock::LockMode mode) {
+  const double wait_start = env_->Now();
+  bool granted = env_->AwaitLock(txn_);
+  const double waited = env_->Now() - wait_start;
+  engine_->lock_manager().RecordWaitTime(mode, waited);
+  engine_->metrics().lock_wait.Add(waited);
+  return granted;
 }
 
 void TxnContext::ChargeStatement(double base_cost) {
@@ -272,7 +283,7 @@ Status TxnContext::AcquireAssertion(const AssertionInstance& assertion) {
       env_->DiscardWait(txn_);
       return DeadlockStatus();
     }
-    if (!env_->AwaitLock(txn_)) return DeadlockStatus();
+    if (!AwaitTimed(lock::LockMode::kAssert)) return DeadlockStatus();
   }
   return Status::Ok();
 }
@@ -312,6 +323,8 @@ Status TxnContext::RunStep(lock::ActorId step_type,
                            const StepBody& body) {
   assert(!in_step_ && "steps do not nest");
 
+  const double step_start = env_->Now();
+
   if (mode_ == ExecMode::kSerializable) {
     // Baseline: the body runs inline under transaction-duration 2PL. Errors
     // (deadlock, voluntary abort) propagate to the Engine, which performs a
@@ -321,7 +334,10 @@ Status TxnContext::RunStep(lock::ActorId step_type,
     step_keys_ = std::move(step_keys);
     Status status = body(*this);
     in_step_ = false;
-    if (status.ok()) ++completed_steps_;
+    if (status.ok()) {
+      ++completed_steps_;
+      engine_->metrics().step_latency.Add(env_->Now() - step_start);
+    }
     return status;
   }
 
@@ -365,6 +381,7 @@ Status TxnContext::RunStep(lock::ActorId step_type,
     if (status.ok()) {
       CompleteStep(pending_next_assertion_, pending_next_number_);
       in_step_ = false;
+      engine_->metrics().step_latency.Add(env_->Now() - step_start);
       return Status::Ok();
     }
     RollbackStep(sp);
@@ -373,13 +390,16 @@ Status TxnContext::RunStep(lock::ActorId step_type,
       in_step_ = false;
       return status;
     }
-    ++step_deadlock_retries_;
     if (++attempts > engine_->config().step_retry_limit) {
       // "If the deadlock recurs when S_{i,j} restarts, the system will
-      // rollback T_i by executing CS_{i,j-1}."
+      // rollback T_i by executing CS_{i,j-1}." The exhausted attempt is
+      // escalated, not retried, so it must not count as a step retry (it
+      // surfaces as a compensation/txn restart instead — counting both
+      // would double-book one deadlock).
       in_step_ = false;
       return status;
     }
+    ++step_deadlock_retries_;
   }
 }
 
@@ -474,7 +494,7 @@ Status TxnContext::AcquireInitialAssertion(const AssertionInstance& assertion) {
       env_->DiscardWait(txn_);
       return DeadlockStatus();
     }
-    if (!env_->AwaitLock(txn_)) return DeadlockStatus();
+    if (!AwaitTimed(lock::LockMode::kAssert)) return DeadlockStatus();
   }
   current_assertion_.instance = assertion;
   current_assertion_.instance_number = 0;

@@ -139,6 +139,11 @@ class TxnContext {
   // OK, or kDeadlock when this transaction lost a deadlock.
   Status AcquireLock(lock::ItemId item, lock::LockMode mode);
 
+  // Blocks on the pending request of `txn_`, measuring the wait on the env
+  // clock and feeding it to the lock manager's per-mode attribution and the
+  // engine's lock-wait histogram. Returns AwaitLock's verdict.
+  bool AwaitTimed(lock::LockMode mode);
+
   // Lock a row and charge a statement; shared by the read paths.
   Status LockRowForStatement(const storage::Table& table, storage::RowId id,
                              bool for_update);

@@ -84,8 +84,14 @@ int64_t NuRand(Rng& rng, int64_t a, int64_t x, int64_t y, int64_t c) {
 
 int64_t HotSpotChoice(Rng& rng, int64_t n, int64_t hot_count,
                       double hot_fraction) {
-  assert(n > 0 && hot_count > 0 && hot_count <= n);
-  if (hot_count == n) return rng.UniformInt(0, n - 1);
+  assert(n > 0);
+  // Degenerate hot sets (empty or covering everything) mean there is no
+  // skew to apply: fall back to a uniform draw rather than hitting an
+  // empty UniformInt range. Out-of-range hot_count and hot_fraction are
+  // clamped to their meaningful extremes.
+  hot_count = std::clamp<int64_t>(hot_count, 0, n);
+  if (hot_count == 0 || hot_count == n) return rng.UniformInt(0, n - 1);
+  hot_fraction = std::clamp(hot_fraction, 0.0, 1.0);
   if (rng.Bernoulli(hot_fraction)) return rng.UniformInt(0, hot_count - 1);
   return rng.UniformInt(hot_count, n - 1);
 }

@@ -56,6 +56,8 @@ int64_t NuRand(Rng& rng, int64_t a, int64_t x, int64_t y, int64_t c);
 // Skewed choice over {0, .., n-1}: with probability `hot_fraction` returns a
 // value from the first `hot_count` elements, otherwise uniform over the rest.
 // Used to create hot spots ("skewed district distribution", Figure 2).
+// Degenerate parameters degrade gracefully: hot_count is clamped to [0, n]
+// (0 and n both mean a plain uniform draw) and hot_fraction to [0, 1].
 int64_t HotSpotChoice(Rng& rng, int64_t n, int64_t hot_count,
                       double hot_fraction);
 

@@ -50,6 +50,51 @@ bool LockManager::ConflictsWithHolders(const ItemState& state,
   return false;
 }
 
+void LockManager::RecordBlock(const ItemState& state,
+                              const RequestView& request, bool check_waiters,
+                              size_t upto) {
+  ++stats_.blocks_by_class[static_cast<int>(WaitClassOf(request.mode))];
+
+  // The conflict kind is read off whichever entry the blocking decision saw
+  // first: holders, then (for non-upgrades) earlier waiters.
+  LockMode blocker_mode = request.mode;
+  bool found = false;
+  for (const Holder& h : state.holders) {
+    if (h.txn == request.txn) continue;
+    if (HolderConflicts(h.txn, h.mode, h.ctx, request)) {
+      blocker_mode = h.mode;
+      found = true;
+      break;
+    }
+  }
+  if (!found && check_waiters) {
+    for (size_t i = 0; i < upto && i < state.queue.size(); ++i) {
+      const Waiter& w = state.queue[i];
+      if (w.txn == request.txn) continue;
+      if (HolderConflicts(w.txn, w.mode, w.ctx, request)) {
+        blocker_mode = w.mode;
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found) {
+    ++stats_.other_blocks;
+    return;
+  }
+  const bool requester_conventional = IsConventional(request.mode);
+  const bool blocker_conventional = IsConventional(blocker_mode);
+  if (requester_conventional && blocker_conventional) {
+    ++stats_.conv_conv_blocks;
+  } else if (requester_conventional && blocker_mode == LockMode::kAssert) {
+    ++stats_.write_assert_blocks;
+  } else if (request.mode == LockMode::kAssert && blocker_conventional) {
+    ++stats_.assert_write_blocks;
+  } else {
+    ++stats_.other_blocks;
+  }
+}
+
 bool LockManager::ConflictsWithWaiters(const ItemState& state,
                                        const RequestView& request,
                                        size_t upto) const {
@@ -183,6 +228,14 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
     return Outcome::kGranted;
   }
 
+  // Attribute the block while `ctx` is still intact (the RequestView
+  // points into it; it is about to be moved into the queue entry).
+  RecordBlock(state, request, /*check_waiters=*/!is_upgrade,
+              state.queue.size());
+  stats_.queue_depth_sum += state.queue.size() + 1;
+  stats_.queue_depth_max =
+      std::max<uint64_t>(stats_.queue_depth_max, state.queue.size() + 1);
+
   // Enqueue: upgrades ahead of non-upgrade waiters.
   Waiter waiter{txn, effective, std::move(ctx), is_upgrade};
   if (is_upgrade) {
@@ -217,6 +270,7 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
 
   if (!requester_compensating) {
     // The requester completes the cycle; it is the victim.
+    ++stats_.deadlock_victim_aborts;
     RemoveWaiter(txn);
     ProcessQueue(item);
     return Outcome::kAborted;
@@ -232,6 +286,7 @@ Outcome LockManager::Request(TxnId txn, ItemId item, LockMode mode,
   for (TxnId victim : victims) {
     std::optional<ItemId> waited = RemoveWaiter(victim);
     if (waited.has_value()) {
+      ++stats_.deadlock_victim_aborts;
       ProcessQueue(*waited);
       if (listener_ != nullptr) listener_->OnWaiterAborted(victim);
     }
@@ -299,6 +354,7 @@ void LockManager::ResolveAllDeadlocks() {
       for (TxnId victim : victims) {
         std::optional<ItemId> waited = RemoveWaiter(victim);
         if (waited.has_value()) {
+          ++stats_.deadlock_victim_aborts;
           ProcessQueue(*waited);
           if (listener_ != nullptr) listener_->OnWaiterAborted(victim);
         }

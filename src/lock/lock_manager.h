@@ -62,6 +62,38 @@ class LockManager {
     uint64_t unconditional_grants = 0;
     uint64_t upgrades = 0;
     uint64_t release_calls = 0;
+
+    // --- Tail-latency attribution ---
+
+    // Waiting transactions aborted to break deadlock cycles: requesters
+    // refused with kAborted plus waiters killed by OnWaiterAborted. Counts
+    // aborted *requests*, each exactly once — a victim that the executor
+    // then both step-retries and txn-restarts still contributes one.
+    uint64_t deadlock_victim_aborts = 0;
+
+    // Block events and blocked wall-clock seconds per requested-mode class
+    // (indexed by WaitClass). Times arrive via RecordWaitTime: the manager
+    // has no clock, so the execution environment reports each resolved
+    // wait's duration.
+    uint64_t blocks_by_class[kNumWaitClasses] = {};
+    double wait_seconds_by_class[kNumWaitClasses] = {};
+
+    // Block events by conflict kind, classified at enqueue time from the
+    // first conflicting holder/earlier-waiter: conventional request blocked
+    // by conventional holder; conventional write blocked by an assertional
+    // lock; assertional request blocked by a conventional holder; anything
+    // involving a kComp lock or assert-vs-assert.
+    uint64_t conv_conv_blocks = 0;
+    uint64_t write_assert_blocks = 0;
+    uint64_t assert_write_blocks = 0;
+    uint64_t other_blocks = 0;
+
+    // Queue depth observed at each enqueue (depth includes the new waiter),
+    // for mean/max contention diagnostics.
+    uint64_t queue_depth_sum = 0;
+    uint64_t queue_depth_max = 0;
+
+    void Reset() { *this = Stats{}; }
   };
 
   explicit LockManager(const ConflictResolver* resolver)
@@ -116,6 +148,18 @@ class LockManager {
   size_t HeldItemCount(TxnId txn) const;
 
   const Stats& stats() const { return stats_; }
+
+  // Zeroes all counters. Engines are normally built fresh per run; this
+  // supports reusing one manager across repetitions without accumulation.
+  void ResetStats() { stats_.Reset(); }
+
+  // Reports the duration of a resolved wait (granted or aborted) for the
+  // given requested mode. Called by the execution environment, which owns
+  // the clock; the manager only aggregates.
+  void RecordWaitTime(LockMode mode, double seconds) {
+    stats_.wait_seconds_by_class[static_cast<int>(WaitClassOf(mode))] +=
+        seconds;
+  }
 
   // Human-readable dump of every waiting transaction, the item it waits on
   // and its current blockers (diagnostics).
@@ -179,6 +223,13 @@ class LockManager {
 
   // True if `txn` holds a kComp lock on the item.
   static bool HoldsComp(const ItemState& state, TxnId txn);
+
+  // Bumps the per-class and per-conflict-kind block counters for a request
+  // that is about to be enqueued; the conflict kind is read off the first
+  // conflicting holder (or, when `check_waiters`, the first conflicting
+  // earlier waiter among queue positions [0, upto)).
+  void RecordBlock(const ItemState& state, const RequestView& request,
+                   bool check_waiters, size_t upto);
   // True if the request conflicts with an earlier queued waiter (FIFO
   // fairness). `upto` bounds the scan (queue positions [0, upto)).
   bool ConflictsWithWaiters(const ItemState& state, const RequestView& request,

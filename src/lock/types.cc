@@ -61,6 +61,33 @@ LockMode ModeCombine(LockMode a, LockMode b) {
   return ModeFromBits(ModeBits(a) | ModeBits(b));
 }
 
+WaitClass WaitClassOf(LockMode mode) {
+  switch (mode) {
+    case LockMode::kIS:
+    case LockMode::kS:
+      return WaitClass::kShared;
+    case LockMode::kIX:
+    case LockMode::kSIX:
+    case LockMode::kX:
+      return WaitClass::kExclusive;
+    case LockMode::kAssert:
+      return WaitClass::kAssert;
+    case LockMode::kComp:
+      return WaitClass::kComp;
+  }
+  return WaitClass::kShared;
+}
+
+std::string_view WaitClassName(WaitClass wait_class) {
+  switch (wait_class) {
+    case WaitClass::kShared: return "shared";
+    case WaitClass::kExclusive: return "exclusive";
+    case WaitClass::kAssert: return "assert";
+    case WaitClass::kComp: return "comp";
+  }
+  return "?";
+}
+
 std::string_view OutcomeName(Outcome outcome) {
   switch (outcome) {
     case Outcome::kGranted: return "GRANTED";

@@ -141,6 +141,21 @@ enum class Outcome : uint8_t {
 
 std::string_view OutcomeName(Outcome outcome);
 
+// Coarse lock-mode classes used to attribute blocked time in
+// LockManager::Stats: read-only conventional modes (IS/S), write-intent
+// conventional modes (IX/SIX/X), assertional locks, compensation locks.
+enum class WaitClass : uint8_t {
+  kShared = 0,
+  kExclusive,
+  kAssert,
+  kComp,
+};
+
+inline constexpr int kNumWaitClasses = 4;
+
+WaitClass WaitClassOf(LockMode mode);
+std::string_view WaitClassName(WaitClass wait_class);
+
 }  // namespace accdb::lock
 
 #endif  // ACCDB_LOCK_TYPES_H_

@@ -1,6 +1,7 @@
 #include "sim/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/string_util.h"
 
@@ -14,6 +15,8 @@ void Accumulator::Add(double value) {
 }
 
 void Accumulator::Merge(const Accumulator& other) {
+  // An empty side must not contribute its ±infinity sentinels.
+  if (other.count_ == 0) return;
   count_ += other.count_;
   sum_ += other.sum_;
   min_ = std::min(min_, other.min_);
@@ -21,9 +24,101 @@ void Accumulator::Merge(const Accumulator& other) {
 }
 
 std::string Accumulator::ToString() const {
+  if (count_ == 0) return "n=0 mean=- min=- max=-";
   return StrFormat("n=%llu mean=%.6f min=%.6f max=%.6f",
                    static_cast<unsigned long long>(count_), mean(), min(),
                    max());
+}
+
+namespace {
+
+// Precomputed boundaries between consecutive tracked buckets:
+// bounds[i] separates tracked bucket i from bucket i+1 (indices here are
+// tracked-bucket indices; histogram index = tracked index + 1). Computed
+// once per process so every bucket lookup sees identical values; the
+// lookup itself is a binary search over this table, not floating-point
+// log(), so identical inputs land in identical buckets on every run.
+const std::array<double, Histogram::kTrackedBuckets>& TrackedBounds() {
+  static const std::array<double, Histogram::kTrackedBuckets> bounds = [] {
+    std::array<double, Histogram::kTrackedBuckets> b{};
+    for (int i = 0; i < Histogram::kTrackedBuckets; ++i) {
+      b[i] = Histogram::kMinTracked *
+             std::pow(10.0, static_cast<double>(i + 1) /
+                                Histogram::kBucketsPerDecade);
+    }
+    // Pin the final boundary to the exact tracked maximum so that
+    // BucketIndex and BucketUpperBound agree on the overflow cutoff.
+    b[Histogram::kTrackedBuckets - 1] = Histogram::kMaxTracked;
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+int Histogram::BucketIndex(double value) {
+  // NaN, negatives, and anything below the tracked range fall into the
+  // underflow bucket; !(value >= kMinTracked) is deliberate so NaN lands
+  // there instead of taking an arbitrary branch.
+  if (!(value >= kMinTracked)) return 0;
+  const auto& bounds = TrackedBounds();
+  if (value >= bounds.back()) return kNumBuckets - 1;
+  // First boundary strictly greater than value → its tracked bucket.
+  auto it = std::upper_bound(bounds.begin(), bounds.end(), value);
+  return static_cast<int>(it - bounds.begin()) + 1;
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  if (index == 1) return kMinTracked;
+  if (index >= kNumBuckets - 1) return kMaxTracked;
+  return TrackedBounds()[index - 2];
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index <= 0) return kMinTracked;
+  if (index >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return TrackedBounds()[index - 1];
+}
+
+void Histogram::Add(double value) {
+  ++counts_[BucketIndex(value)];
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (int i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  p = std::clamp(p, 0.0, 100.0);
+  // Rank of the sample that covers percentile p (1-based, nearest-rank).
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * count_));
+  rank = std::clamp<uint64_t>(rank, 1, count_);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      return std::clamp(BucketUpperBound(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  if (count_ == 0) return "n=0 p50=- p95=- p99=- max=-";
+  return StrFormat("n=%llu p50=%.6f p95=%.6f p99=%.6f max=%.6f",
+                   static_cast<unsigned long long>(count_), p50(), p95(),
+                   p99(), max());
 }
 
 }  // namespace accdb::sim

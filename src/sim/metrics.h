@@ -3,6 +3,7 @@
 #ifndef ACCDB_SIM_METRICS_H_
 #define ACCDB_SIM_METRICS_H_
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -17,14 +18,80 @@ class Accumulator {
   uint64_t count() const { return count_; }
   double sum() const { return sum_; }
   double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
-  double min() const { return count_ == 0 ? 0.0 : min_; }
-  double max() const { return count_ == 0 ? 0.0 : max_; }
+  // min()/max() are NaN while empty so that an empty accumulator can never
+  // masquerade as a real 0.0 measurement (NaN dumps as `null` in JSON).
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
 
   void Merge(const Accumulator& other);
 
   std::string ToString() const;
 
  private:
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Fixed-bucket log-scale latency histogram.
+//
+// Buckets are geometric with kBucketsPerDecade buckets per decade over
+// [kMinTracked, kMaxTracked) seconds, plus an underflow bucket (index 0,
+// everything below kMinTracked including zero and negatives) and an
+// overflow bucket (last index, everything at or above kMaxTracked). The
+// bucket layout is a compile-time constant, so histograms from different
+// runs merge bucket-for-bucket and percentile readouts are deterministic:
+// they depend only on the multiset of bucket counts, never on insertion
+// order or partitioning of the stream.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 16;
+  static constexpr int kDecades = 7;  // [1e-4 s, 1e3 s)
+  static constexpr int kTrackedBuckets = kBucketsPerDecade * kDecades;
+  static constexpr int kNumBuckets = kTrackedBuckets + 2;
+  static constexpr double kMinTracked = 1e-4;
+  static constexpr double kMaxTracked = 1e3;
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  // Exact observed extrema; NaN while empty (emitted as `null` in JSON).
+  double min() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  double max() const {
+    return count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
+
+  // Value at or below which `p` percent (p in [0,100]) of samples fall.
+  // Resolved to the upper bound of the covering bucket, clamped to the
+  // exact [min, max] observed; NaN while empty.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50); }
+  double p90() const { return Percentile(90); }
+  double p95() const { return Percentile(95); }
+  double p99() const { return Percentile(99); }
+
+  uint64_t bucket_count(int index) const { return counts_[index]; }
+  // Half-open bucket interval [lower, upper). The underflow bucket reports
+  // a lower bound of 0 (values are durations) and the overflow bucket an
+  // upper bound of +infinity.
+  static double BucketLowerBound(int index);
+  static double BucketUpperBound(int index);
+  static int BucketIndex(double value);
+
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kNumBuckets> counts_ = {};
   uint64_t count_ = 0;
   double sum_ = 0;
   double min_ = std::numeric_limits<double>::infinity();

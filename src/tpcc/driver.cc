@@ -42,6 +42,7 @@ class Terminal {
       double response = sim_->Now() - start;
 
       result_->response_all.Add(response);
+      result_->response_hist.Add(response);
       result_->response_by_type[static_cast<int>(type)].Add(response);
       if (exec.status.ok()) {
         ++result_->completed;
@@ -140,6 +141,9 @@ WorkloadResult RunWorkload(const WorkloadConfig& config) {
     }
     result.sim_seconds = sim.Run();
     result.lock_stats = engine.lock_manager().stats();
+    result.step_latency_hist = engine.metrics().step_latency;
+    result.txn_latency_hist = engine.metrics().txn_latency;
+    result.lock_wait_hist = engine.metrics().lock_wait;
   }
 
   ConsistencyReport consistency =

@@ -47,6 +47,13 @@ struct WorkloadConfig {
 struct WorkloadResult {
   sim::Accumulator response_all;
   sim::Accumulator response_by_type[kNumTxnTypes];
+  // Tail-latency distributions: per-transaction response time as seen at
+  // the terminal, plus the engine's per-step / per-execution / per-lock-wait
+  // views (copied from acc::EngineMetrics after the run).
+  sim::Histogram response_hist;
+  sim::Histogram step_latency_hist;
+  sim::Histogram txn_latency_hist;
+  sim::Histogram lock_wait_hist;
   uint64_t completed = 0;
   uint64_t aborted = 0;  // Voluntary (the 1% new-order rollbacks).
   uint64_t compensated = 0;

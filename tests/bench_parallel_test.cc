@@ -32,6 +32,9 @@ void ExpectSameRun(const tpcc::WorkloadResult& a,
   // perturb the simulation in any way.
   EXPECT_EQ(a.response_all.mean(), b.response_all.mean());
   EXPECT_EQ(a.total_lock_wait, b.total_lock_wait);
+  // The full serialized result — histograms, per-mode wait attribution,
+  // queue-depth stats — must also match byte for byte.
+  EXPECT_EQ(WorkloadResultJson(a).Dump(), WorkloadResultJson(b).Dump());
 }
 
 TEST(BenchParallelTest, GridMatchesSerialBitIdentical) {

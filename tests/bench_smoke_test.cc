@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -25,24 +27,100 @@ std::string ReadFile(const std::string& path) {
   return buffer.str();
 }
 
+// Percentile fields may be null (empty histogram) or a finite double; when
+// present they must be non-negative.
+double PercentileOrNan(const Json& obj, const char* key) {
+  const Json* value = obj.Find(key);
+  EXPECT_NE(value, nullptr) << "missing percentile key: " << key;
+  if (value == nullptr || value->is_null()) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return value->AsDouble();
+}
+
+void ExpectHistogramObject(const Json& hist, const char* name) {
+  SCOPED_TRACE(name);
+  for (const char* key : {"count", "sum", "mean", "min", "max", "p50", "p90",
+                          "p95", "p99", "buckets"}) {
+    EXPECT_TRUE(hist.Has(key)) << "missing histogram key: " << key;
+  }
+  const uint64_t count = hist.Find("count")->AsUint();
+  const Json* buckets = hist.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i < buckets->size(); ++i) {
+    const Json& bucket = buckets->at(i);
+    EXPECT_TRUE(bucket.Has("lo"));
+    EXPECT_TRUE(bucket.Has("hi"));
+    bucket_total += bucket.Find("n")->AsUint();
+  }
+  EXPECT_EQ(bucket_total, count) << "bucket counts must sum to count";
+  if (count == 0) {
+    EXPECT_TRUE(hist.Find("p50")->is_null());
+    EXPECT_TRUE(hist.Find("min")->is_null());
+    return;
+  }
+  const double p50 = PercentileOrNan(hist, "p50");
+  const double p95 = PercentileOrNan(hist, "p95");
+  const double p99 = PercentileOrNan(hist, "p99");
+  const double max = hist.Find("max")->AsDouble();
+  EXPECT_GE(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, max);
+}
+
+void ExpectMetricsObject(const Json& run) {
+  const Json* metrics = run.Find("metrics");
+  ASSERT_NE(metrics, nullptr) << "missing metrics object";
+  for (const char* name :
+       {"response", "step_latency", "txn_latency", "lock_wait"}) {
+    const Json* hist = metrics->Find(name);
+    ASSERT_NE(hist, nullptr) << "missing metrics histogram: " << name;
+    ExpectHistogramObject(*hist, name);
+  }
+  const Json* by_mode = metrics->Find("lock_wait_by_mode");
+  ASSERT_NE(by_mode, nullptr);
+  for (const char* wait_class : {"shared", "exclusive", "assert", "comp"}) {
+    const Json* entry = by_mode->Find(wait_class);
+    ASSERT_NE(entry, nullptr) << "missing wait class: " << wait_class;
+    EXPECT_TRUE(entry->Has("blocks"));
+    EXPECT_TRUE(entry->Has("wait_seconds"));
+  }
+  const Json* conflicts = metrics->Find("block_conflicts");
+  ASSERT_NE(conflicts, nullptr);
+  for (const char* key :
+       {"conv_vs_conv", "write_vs_assert", "assert_vs_write", "other"}) {
+    EXPECT_TRUE(conflicts->Has(key)) << "missing conflict kind: " << key;
+  }
+  EXPECT_TRUE(metrics->Has("deadlock_victim_aborts"));
+  const Json* queue_depth = metrics->Find("queue_depth");
+  ASSERT_NE(queue_depth, nullptr);
+  EXPECT_TRUE(queue_depth->Has("depth_sum"));
+  EXPECT_TRUE(queue_depth->Has("depth_max"));
+  EXPECT_TRUE(queue_depth->Has("depth_mean"));
+}
+
 void ExpectWorkloadObject(const Json& run) {
   for (const char* key :
        {"completed", "aborted", "compensated", "step_deadlock_retries",
-        "txn_restarts", "response_mean", "throughput", "total_lock_wait",
-        "sim_seconds", "consistent", "lock_stats"}) {
+        "txn_restarts", "response_mean", "response_min", "response_max",
+        "throughput", "total_lock_wait", "sim_seconds", "consistent",
+        "lock_stats", "metrics"}) {
     EXPECT_TRUE(run.Has(key)) << "missing workload key: " << key;
   }
   const Json* lock_stats = run.Find("lock_stats");
   ASSERT_NE(lock_stats, nullptr);
   for (const char* key :
        {"requests", "immediate_grants", "waits", "deadlocks",
-        "compensation_priority_aborts", "unconditional_grants", "upgrades",
-        "release_calls"}) {
+        "deadlock_victim_aborts", "compensation_priority_aborts",
+        "unconditional_grants", "upgrades", "release_calls"}) {
     EXPECT_TRUE(lock_stats->Has(key)) << "missing lock_stats key: " << key;
   }
   // A 2-simulated-second run still issues lock requests.
   EXPECT_GT(lock_stats->Find("requests")->AsUint(), 0u);
   EXPECT_TRUE(run.Find("consistent")->AsBool());
+  ExpectMetricsObject(run);
 }
 
 TEST(BenchSmokeTest, TinySweepEmitsValidReport) {
@@ -101,6 +179,63 @@ TEST(BenchSmokeTest, TinySweepEmitsValidReport) {
   }
 
   std::remove(path.c_str());
+}
+
+// An untouched WorkloadResult (no samples anywhere) must serialize with
+// null — not 0.0 or ±inf — for every empty-distribution field, and the
+// nulls must survive a parse round trip.
+TEST(BenchSmokeTest, EmptyWorkloadResultEmitsNulls) {
+  tpcc::WorkloadResult empty;
+  Json json = WorkloadResultJson(empty);
+  EXPECT_TRUE(json.Find("response_min")->is_null());
+  EXPECT_TRUE(json.Find("response_max")->is_null());
+  const Json* metrics = json.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const Json* response = metrics->Find("response");
+  ASSERT_NE(response, nullptr);
+  EXPECT_EQ(response->Find("count")->AsUint(), 0u);
+  for (const char* key : {"mean", "min", "max", "p50", "p90", "p95", "p99"}) {
+    EXPECT_TRUE(response->Find(key)->is_null())
+        << "empty histogram field not null: " << key;
+  }
+  EXPECT_EQ(response->Find("buckets")->size(), 0u);
+
+  std::string error;
+  std::optional<Json> parsed = Json::Parse(json.Dump(), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->Find("response_min")->is_null());
+  EXPECT_TRUE(
+      parsed->Find("metrics")->Find("response")->Find("p99")->is_null());
+}
+
+// HistogramJson invariants on a populated histogram: buckets sum to count,
+// percentile fields match the histogram's own accessors.
+TEST(BenchSmokeTest, HistogramJsonMatchesHistogram) {
+  sim::Histogram hist;
+  for (int i = 1; i <= 500; ++i) hist.Add(i * 0.002);  // 2ms..1s.
+  Json json = HistogramJson(hist);
+  EXPECT_EQ(json.Find("count")->AsUint(), hist.count());
+  EXPECT_DOUBLE_EQ(json.Find("p50")->AsDouble(), hist.p50());
+  EXPECT_DOUBLE_EQ(json.Find("p99")->AsDouble(), hist.p99());
+  EXPECT_DOUBLE_EQ(json.Find("min")->AsDouble(), hist.min());
+  EXPECT_DOUBLE_EQ(json.Find("max")->AsDouble(), hist.max());
+  const Json* buckets = json.Find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  EXPECT_GT(buckets->size(), 0u);
+  uint64_t total = 0;
+  double prev_hi = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < buckets->size(); ++i) {
+    const Json& bucket = buckets->at(i);
+    total += bucket.Find("n")->AsUint();
+    const double lo = bucket.Find("lo")->AsDouble();
+    EXPECT_GE(lo, prev_hi);  // Buckets are emitted in ascending order.
+    if (!bucket.Find("hi")->is_null()) {
+      const double hi = bucket.Find("hi")->AsDouble();
+      EXPECT_GT(hi, lo);
+      prev_hi = hi;
+    }
+  }
+  EXPECT_EQ(total, hist.count());
 }
 
 }  // namespace

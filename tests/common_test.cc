@@ -233,6 +233,46 @@ TEST(HotSpotTest, UniformWhenAllHot) {
   EXPECT_EQ(counts.size(), 5u);
 }
 
+TEST(HotSpotTest, ZeroHotCountDegradesToUniform) {
+  // hot_count == 0 used to draw UniformInt(0, -1) whenever the Bernoulli
+  // came up hot — UB/assert. It must behave as a plain uniform choice.
+  Rng rng(43);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[HotSpotChoice(rng, 5, 0, 0.9)];
+  EXPECT_EQ(counts.size(), 5u);
+  for (const auto& [value, n] : counts) {
+    EXPECT_GE(value, 0);
+    EXPECT_LT(value, 5);
+    EXPECT_NEAR(static_cast<double>(n) / 10000, 0.2, 0.05);
+  }
+}
+
+TEST(HotSpotTest, HotCountClampedToN) {
+  // hot_count > n clamps to n: a uniform draw over the full range.
+  Rng rng(47);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 10000; ++i) ++counts[HotSpotChoice(rng, 4, 99, 0.9)];
+  EXPECT_EQ(counts.size(), 4u);
+  // Negative hot_count clamps to 0 (uniform) rather than crashing.
+  for (int i = 0; i < 100; ++i) {
+    int64_t v = HotSpotChoice(rng, 4, -3, 0.9);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(HotSpotTest, HotFractionClampedToUnitInterval) {
+  Rng rng(53);
+  // > 1 clamps to 1: every draw lands in the hot set.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(HotSpotChoice(rng, 10, 2, 1.5), 2);
+  }
+  // < 0 clamps to 0: every draw lands in the cold remainder.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(HotSpotChoice(rng, 10, 2, -0.5), 2);
+  }
+}
+
 TEST(ZipfTest, MonotoneDecreasingMass) {
   Rng rng(41);
   ZipfGenerator zipf(100, 0.9);
@@ -275,6 +315,28 @@ TEST(JsonTest, DumpEscapesStrings) {
 
 TEST(JsonTest, NanDumpsAsNull) {
   EXPECT_EQ(Json(std::nan("")).Dump(), "null");
+}
+
+TEST(JsonTest, InfinityDumpsAsNull) {
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).Dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).Dump(), "null");
+}
+
+TEST(JsonTest, NonFiniteRoundTripsAsNull) {
+  // Empty-metric percentiles are NaN; they must dump as null and parse back
+  // as JSON null (not fail the parse or resurrect as 0.0).
+  Json obj = Json::Object();
+  obj["p95"] = std::nan("");
+  obj["hi"] = std::numeric_limits<double>::infinity();
+  obj["n"] = 0;
+  std::string text = obj.Dump();
+  EXPECT_EQ(text, "{\"p95\":null,\"hi\":null,\"n\":0}");
+  std::string error;
+  std::optional<Json> parsed = Json::Parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->Find("p95")->is_null());
+  EXPECT_TRUE(parsed->Find("hi")->is_null());
+  EXPECT_EQ(parsed->Find("n")->AsInt(), 0);
 }
 
 TEST(JsonTest, ObjectPreservesInsertionOrder) {

@@ -337,6 +337,135 @@ TEST_F(LockManagerTest, StatsCountBasics) {
   EXPECT_EQ(stats.waits, 1u);
 }
 
+// Pin the full stats picture for the canonical two-txn deadlock: exactly
+// one deadlock, exactly one victim abort (the requester), no double count.
+TEST_F(LockManagerTest, TwoTxnDeadlockStatsPinned) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(1, item2_, LockMode::kX), Outcome::kWaiting);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kAborted);
+  const LockManager::Stats& stats = lm_.stats();
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.immediate_grants, 2u);
+  // The aborted requester does not count as a wait; only txn 1 waits.
+  EXPECT_EQ(stats.waits, 1u);
+  EXPECT_EQ(stats.deadlocks, 1u);
+  EXPECT_EQ(stats.deadlock_victim_aborts, 1u);
+  // Both blocked requests were X-vs-X: exclusive class, conv-vs-conv kind.
+  EXPECT_EQ(stats.blocks_by_class[static_cast<int>(WaitClass::kExclusive)],
+            2u);
+  EXPECT_EQ(stats.conv_conv_blocks, 2u);
+  EXPECT_EQ(stats.write_assert_blocks, 0u);
+  EXPECT_EQ(stats.assert_write_blocks, 0u);
+}
+
+// A compensation-priority resolution aborts the *other* cycle member; that
+// victim must be counted exactly once.
+TEST_F(LockManagerTest, CompensationVictimCountedOnce) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item2_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);
+  RequestContext comp;
+  comp.for_compensation = true;
+  EXPECT_EQ(Req(1, item2_, LockMode::kX, comp), Outcome::kWaiting);
+  EXPECT_EQ(listener_.aborted, std::vector<TxnId>{2});
+  EXPECT_EQ(lm_.stats().deadlocks, 1u);
+  EXPECT_EQ(lm_.stats().deadlock_victim_aborts, 1u);
+  EXPECT_EQ(lm_.stats().compensation_priority_aborts, 1u);
+}
+
+// ResetStats must zero every counter so per-repetition collection does not
+// accumulate across runs; re-running the same workload must reproduce the
+// same counts, not double them.
+TEST_F(LockManagerTest, ResetStatsClearsEverything) {
+  auto run_once = [&] {
+    EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+    EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+    lm_.RecordWaitTime(LockMode::kS, 0.25);
+    lm_.ReleaseAll(1);
+    lm_.ReleaseAll(2);
+  };
+  run_once();
+  const LockManager::Stats first = lm_.stats();
+  EXPECT_EQ(first.waits, 1u);
+  EXPECT_DOUBLE_EQ(
+      first.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)], 0.25);
+  EXPECT_EQ(first.queue_depth_sum, 1u);
+  EXPECT_EQ(first.queue_depth_max, 1u);
+
+  lm_.ResetStats();
+  const LockManager::Stats& zeroed = lm_.stats();
+  EXPECT_EQ(zeroed.requests, 0u);
+  EXPECT_EQ(zeroed.waits, 0u);
+  EXPECT_EQ(zeroed.deadlocks, 0u);
+  EXPECT_EQ(zeroed.deadlock_victim_aborts, 0u);
+  EXPECT_EQ(zeroed.queue_depth_sum, 0u);
+  EXPECT_EQ(zeroed.queue_depth_max, 0u);
+  for (int c = 0; c < kNumWaitClasses; ++c) {
+    EXPECT_EQ(zeroed.blocks_by_class[c], 0u);
+    EXPECT_DOUBLE_EQ(zeroed.wait_seconds_by_class[c], 0.0);
+  }
+
+  run_once();
+  const LockManager::Stats& second = lm_.stats();
+  EXPECT_EQ(second.requests, first.requests);
+  EXPECT_EQ(second.waits, first.waits);
+  EXPECT_EQ(second.blocks_by_class[static_cast<int>(WaitClass::kShared)],
+            first.blocks_by_class[static_cast<int>(WaitClass::kShared)]);
+  EXPECT_DOUBLE_EQ(
+      second.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)],
+      first.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)]);
+}
+
+// Blocked time and block counts attribute to the requested mode's wait
+// class, and the conflict kind classifies by requester vs first blocker.
+TEST_F(LockManagerTest, BlockAttributionByClassAndKind) {
+  // S blocked by X holder: shared class, conv-vs-conv kind.
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kS), Outcome::kWaiting);
+  // Foreign write blocked by an assertional holder: write-vs-assert kind.
+  RequestContext actx;
+  actx.assertion = 5;
+  lm_.GrantUnconditional(3, item2_, LockMode::kAssert, actx);
+  EXPECT_EQ(Req(4, item2_, LockMode::kX), Outcome::kWaiting);
+  // Assertional request blocked by a foreign writer: assert-vs-write kind.
+  ItemId item3 = ItemId::Row(1, 30);
+  EXPECT_EQ(Req(5, item3, LockMode::kX), Outcome::kGranted);
+  RequestContext actx2;
+  actx2.assertion = 6;
+  EXPECT_EQ(Req(6, item3, LockMode::kAssert, actx2), Outcome::kWaiting);
+
+  const LockManager::Stats& stats = lm_.stats();
+  EXPECT_EQ(stats.blocks_by_class[static_cast<int>(WaitClass::kShared)], 1u);
+  EXPECT_EQ(stats.blocks_by_class[static_cast<int>(WaitClass::kExclusive)],
+            1u);
+  EXPECT_EQ(stats.blocks_by_class[static_cast<int>(WaitClass::kAssert)], 1u);
+  EXPECT_EQ(stats.conv_conv_blocks, 1u);
+  EXPECT_EQ(stats.write_assert_blocks, 1u);
+  EXPECT_EQ(stats.assert_write_blocks, 1u);
+
+  lm_.RecordWaitTime(LockMode::kS, 0.5);
+  lm_.RecordWaitTime(LockMode::kX, 1.5);
+  lm_.RecordWaitTime(LockMode::kAssert, 2.0);
+  EXPECT_DOUBLE_EQ(
+      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)], 0.5);
+  EXPECT_DOUBLE_EQ(
+      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kExclusive)],
+      1.5);
+  EXPECT_DOUBLE_EQ(
+      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kAssert)], 2.0);
+}
+
+// Queue depth is sampled at enqueue time: depth after insertion.
+TEST_F(LockManagerTest, QueueDepthStats) {
+  EXPECT_EQ(Req(1, item_, LockMode::kX), Outcome::kGranted);
+  EXPECT_EQ(Req(2, item_, LockMode::kX), Outcome::kWaiting);  // Depth 1.
+  EXPECT_EQ(Req(3, item_, LockMode::kX), Outcome::kWaiting);  // Depth 2.
+  EXPECT_EQ(Req(4, item_, LockMode::kX), Outcome::kWaiting);  // Depth 3.
+  EXPECT_EQ(lm_.stats().queue_depth_sum, 6u);
+  EXPECT_EQ(lm_.stats().queue_depth_max, 3u);
+}
+
 // --- Per-transaction holder index (release fast paths) ---
 //
 // ReleaseConventional / ReleaseAssertion / ReleaseAll walk the per-txn

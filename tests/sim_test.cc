@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -245,6 +247,162 @@ TEST(AccumulatorTest, Merge) {
   EXPECT_EQ(a.count(), 3u);
   EXPECT_DOUBLE_EQ(a.mean(), 3.0);
   EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(AccumulatorTest, EmptyMinMaxAreNaN) {
+  // An empty accumulator must not report 0.0 as a measurement (it would
+  // render as a real value in tables and JSON).
+  Accumulator acc;
+  EXPECT_TRUE(std::isnan(acc.min()));
+  EXPECT_TRUE(std::isnan(acc.max()));
+  EXPECT_EQ(acc.ToString(), "n=0 mean=- min=- max=-");
+}
+
+TEST(AccumulatorTest, MergeEmptyDoesNotInjectSentinels) {
+  Accumulator a;
+  a.Add(2.0);
+  a.Add(4.0);
+  Accumulator empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+
+  // Merging into an empty accumulator adopts the other side's extrema, and
+  // empty-into-empty stays empty (no ±infinity leaks into output).
+  Accumulator b;
+  b.Merge(a);
+  EXPECT_DOUBLE_EQ(b.min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.max(), 4.0);
+  Accumulator c, d;
+  c.Merge(d);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_TRUE(std::isnan(c.min()));
+  EXPECT_TRUE(std::isnan(c.max()));
+}
+
+// --- Histogram ---
+
+TEST(HistogramTest, EmptyReportsNaN) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(std::isnan(h.min()));
+  EXPECT_TRUE(std::isnan(h.max()));
+  EXPECT_TRUE(std::isnan(h.p50()));
+  EXPECT_TRUE(std::isnan(h.p99()));
+  EXPECT_EQ(h.ToString(), "n=0 p50=- p95=- p99=- max=-");
+}
+
+TEST(HistogramTest, BucketIndexCoversFullRange) {
+  // Underflow: zero, negatives, NaN, and anything below the tracked floor.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e-9), 0);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0);
+  // The tracked floor opens the first tracked bucket.
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMinTracked), 1);
+  // Overflow.
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kMaxTracked),
+            Histogram::kNumBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(1e9), Histogram::kNumBuckets - 1);
+  // Every value lands in a bucket whose [lo, hi) interval contains it.
+  for (double v : {1e-4, 3.7e-4, 0.01, 0.5, 1.0, 42.0, 999.0}) {
+    int bucket = Histogram::BucketIndex(v);
+    EXPECT_GE(v, Histogram::BucketLowerBound(bucket)) << v;
+    EXPECT_LT(v, Histogram::BucketUpperBound(bucket)) << v;
+  }
+}
+
+TEST(HistogramTest, PercentilesMonotoneAndClamped) {
+  Histogram h;
+  for (int i = 1; i <= 1000; ++i) h.Add(i * 0.001);  // 1 ms .. 1 s.
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.001);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+  double p50 = h.p50(), p90 = h.p90(), p95 = h.p95(), p99 = h.p99();
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, h.max());
+  EXPECT_GE(p50, h.min());
+  // Log-scale buckets are ~15% wide: the readout must bracket the exact
+  // percentile from above within one bucket ratio.
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 0.5 * 1.16);
+  EXPECT_GE(p99, 0.99);
+}
+
+TEST(HistogramTest, SingleValueAllPercentilesEqual) {
+  Histogram h;
+  h.Add(0.25);
+  // Percentiles clamp to the exact observed extrema.
+  EXPECT_DOUBLE_EQ(h.p50(), 0.25);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(0), 0.25);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 0.25);
+}
+
+TEST(HistogramTest, OutOfRangeSamplesClampToObservedExtrema) {
+  Histogram h;
+  h.Add(1e-9);  // Underflow bucket.
+  h.Add(1e9);   // Overflow bucket.
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_GE(h.p50(), h.min());
+  EXPECT_LE(h.p50(), h.max());
+  EXPECT_DOUBLE_EQ(h.p99(), 1e9);
+}
+
+TEST(HistogramTest, MergeMatchesConcatenatedStream) {
+  Histogram left, right, all;
+  for (int i = 0; i < 500; ++i) {
+    double v = 0.0001 * (i + 1);
+    left.Add(v);
+    all.Add(v);
+  }
+  for (int i = 0; i < 300; ++i) {
+    double v = 0.05 * (i + 1);
+    right.Add(v);
+    all.Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_DOUBLE_EQ(left.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+  // Same buckets => identical percentile readouts, not merely approximate.
+  EXPECT_DOUBLE_EQ(left.p50(), all.p50());
+  EXPECT_DOUBLE_EQ(left.p95(), all.p95());
+  EXPECT_DOUBLE_EQ(left.p99(), all.p99());
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  double before = left.p95();
+  left.Merge(empty);
+  EXPECT_DOUBLE_EQ(left.p95(), before);
+}
+
+TEST(HistogramTest, DeterministicAcrossInsertionOrder) {
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(0.003 * (i % 37 + 1));
+  Histogram forward, backward;
+  for (double v : values) forward.Add(v);
+  std::reverse(values.begin(), values.end());
+  for (double v : values) backward.Add(v);
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    ASSERT_EQ(forward.bucket_count(i), backward.bucket_count(i)) << i;
+  }
+  EXPECT_EQ(forward.ToString(), backward.ToString());
+}
+
+TEST(HistogramTest, BucketCountsSumToCount) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Add(0.00005 * (i + 1));
+  uint64_t total = 0;
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    total += h.bucket_count(i);
+  }
+  EXPECT_EQ(total, h.count());
 }
 
 }  // namespace

@@ -257,6 +257,46 @@ TEST_F(TxnContextTest, StepRetryAfterDeadlockSucceeds) {
   EXPECT_EQ(r1.step_deadlock_retries + r2.step_deadlock_retries, 1);
 }
 
+TEST_F(TxnContextTest, ExhaustedStepRetryIsNotCountedAsRetry) {
+  // With step_retry_limit = 0 the losing step escalates immediately: the
+  // deadlock must surface as exactly one transaction restart and ZERO step
+  // retries. (A victim used to be double-counted as both a step retry and
+  // the escalation that follows.)
+  EngineConfig config;
+  config.charge_acc_overheads = false;
+  config.step_retry_limit = 0;
+  Engine engine(&db_, &resolver_, config);
+  sim::Simulation sim;
+  SimExecutionEnv env1(sim, nullptr), env2(sim, nullptr);
+  auto cross = [&](int64_t first, int64_t second) {
+    return std::make_unique<FunctionProgram>(
+        "cross", [=, this](TxnContext& ctx) {
+          return ctx.RunStep(
+              step_, {}, AssertionInstance{},
+              [=, this](TxnContext& c) -> Status {
+                ACCDB_RETURN_IF_ERROR(
+                    c.ReadByKey(*rows_, Key(first), true).status());
+                c.Compute(0.05);
+                return c.ReadByKey(*rows_, Key(second), true).status();
+              });
+        });
+  };
+  auto p1 = cross(1, 2);
+  auto p2 = cross(2, 1);
+  ExecResult r1, r2;
+  sim.Spawn("p1",
+            [&] { r1 = engine.Execute(*p1, env1, ExecMode::kAccDecomposed); });
+  sim.Spawn("p2", [&] {
+    sim.Delay(0.01);
+    r2 = engine.Execute(*p2, env2, ExecMode::kAccDecomposed);
+  });
+  sim.Run();
+  EXPECT_TRUE(r1.status.ok()) << r1.status.ToString();
+  EXPECT_TRUE(r2.status.ok()) << r2.status.ToString();
+  EXPECT_EQ(r1.step_deadlock_retries + r2.step_deadlock_retries, 0);
+  EXPECT_EQ(r1.txn_restarts + r2.txn_restarts, 1);
+}
+
 TEST_F(TxnContextTest, ComputeUsesClientTimeNotServer) {
   ImmediateEnv env;
   FunctionProgram prog("compute", [&](TxnContext& ctx) {
