@@ -1,0 +1,166 @@
+// Real-thread TPC-C: 2PL vs ACC under true hardware parallelism.
+//
+// The real-thread counterpart of the figure benches: a closed-loop TPC-C
+// mix runs on OS worker threads (src/runtime) against the same engine and
+// lock manager, sweeping the thread count and comparing the two systems on
+// wall-clock response time and throughput.
+//
+// Unlike the simulation tables, these numbers are hardware-dependent (core
+// count, scheduler, clock) and will vary run to run — the tables and the
+// BENCH_rt_tpcc.json report share the simulation benches' format, not their
+// bit-for-bit determinism.
+//
+// Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
+//   --threads=1,2,4,8,16   comma-separated worker-thread sweep
+//   --seconds=S            measured wall-clock window per cell (default 2)
+//   --warmup=S             warmup excluded from metrics (default 0.5)
+//   --seed=N               workload seed (default 20250806)
+//   --cost-scale=F         scales modeled statement costs (default 1)
+//   --think-scale=F        scales keying/think times (default 0: saturated)
+//   --json=PATH | --no-json  report destination (default BENCH_rt_tpcc.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "runtime/rt_runner.h"
+
+namespace {
+
+struct RtOptions {
+  std::vector<int> threads = {1, 2, 4, 8, 16};
+  double seconds = 2.0;
+  double warmup = 0.5;
+  uint64_t seed = 20250806;
+  double cost_scale = 1.0;
+  double think_scale = 0.0;
+  std::string json_path = "BENCH_rt_tpcc.json";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads=1,2,4,8,16] [--seconds=S] [--warmup=S]\n"
+               "          [--seed=N] [--cost-scale=F] [--think-scale=F]\n"
+               "          [--json=PATH | --no-json]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+RtOptions ParseOptions(int argc, char** argv) {
+  RtOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseValue(argv[i], "--threads", &value)) {
+      options.threads.clear();
+      for (size_t pos = 0; pos < value.size();) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        int n = std::atoi(value.substr(pos, comma - pos).c_str());
+        if (n <= 0) Usage(argv[0]);
+        options.threads.push_back(n);
+        pos = comma + 1;
+      }
+      if (options.threads.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--seconds", &value)) {
+      options.seconds = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--warmup", &value)) {
+      options.warmup = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--cost-scale", &value)) {
+      options.cost_scale = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--think-scale", &value)) {
+      options.think_scale = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--json", &value)) {
+      options.json_path = value;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      options.json_path.clear();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accdb;
+  using namespace accdb::bench;
+
+  RtOptions options = ParseOptions(argc, argv);
+  BenchOptions report_options;
+  report_options.name = "rt_tpcc";
+  report_options.jobs = 1;
+  report_options.json_path = options.json_path;
+  BenchReport report(report_options);
+  PrintTitle(
+      "Real-thread TPC-C: 2PL vs ACC on OS worker threads (wall clock; "
+      "hardware-dependent, not deterministic)");
+
+  runtime::RtConfig base;
+  base.workload = BaseConfig(options.seed);
+  base.workload.inputs.skew_districts = true;
+  base.workload.inputs.hot_districts = 1;
+  base.workload.inputs.hot_fraction = 0.5;
+  base.seconds = options.seconds;
+  base.warmup_seconds = options.warmup;
+  base.cost_scale = options.cost_scale;
+  base.think_scale = options.think_scale;
+
+  std::vector<PairResult> sweep;
+  sweep.reserve(options.threads.size());
+  for (int threads : options.threads) {
+    runtime::RtConfig config = base;
+    config.workload.terminals = threads;
+    PairResult pair;
+    pair.terminals = threads;
+    pair.sweep_x = threads;
+    config.workload.decomposed = true;
+    pair.acc = runtime::RunRtWorkload(config);
+    config.workload.decomposed = false;
+    pair.non_acc = runtime::RunRtWorkload(config);
+    sweep.push_back(pair);
+  }
+
+  std::printf("%-8s %12s %12s %12s %12s %10s\n", "threads", "acc tput/s",
+              "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
+  bool consistent = true;
+  for (const PairResult& pair : sweep) {
+    std::printf("%-8d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.terminals,
+                pair.acc.throughput(), pair.non_acc.throughput(),
+                TailCell(pair.acc.response_all.mean()).c_str(),
+                TailCell(pair.non_acc.response_all.mean()).c_str(),
+                pair.ResponseRatio(), DegenerateMark(pair));
+    if (!pair.acc.consistent || !pair.non_acc.consistent) {
+      std::printf("!! consistency violation at %d threads (%s)\n",
+                  pair.terminals,
+                  (!pair.acc.consistent ? pair.acc.first_violation
+                                        : pair.non_acc.first_violation)
+                      .c_str());
+      consistent = false;
+    }
+  }
+
+  std::printf("\n");
+  PrintPairTailTable("real-thread TPC-C (skewed districts)", "thr", sweep);
+
+  report.root()["environment"] = Json("real-thread");
+  report.root()["measured_seconds"] = Json(options.seconds);
+  report.root()["warmup_seconds"] = Json(options.warmup);
+  report.root()["cost_scale"] = Json(options.cost_scale);
+  report.root()["think_scale"] = Json(options.think_scale);
+  report.AddPairSweep("rt_skewed", "threads", sweep);
+  report.Write();
+  return consistent ? 0 : 1;
+}

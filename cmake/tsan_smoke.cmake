@@ -1,0 +1,49 @@
+# TSan smoke: configure a nested build with ACCDB_SANITIZE=thread (plus
+# ACCDB_EXPENSIVE_CHECKS so the latched lock-index audit runs), build the
+# multi-threaded runtime tests, and run them under ThreadSanitizer. Driven
+# by CTest (see tests/CMakeLists.txt):
+#
+#   cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<dir> -P cmake/tsan_smoke.cmake
+#
+# The surface is the real-thread runtime: the ThreadExecutionEnv wait
+# protocol, the lock-manager latch, the storage table latches, and the
+# metrics recording — everything PR 3 made concurrent.
+
+if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P tsan_smoke.cmake")
+endif()
+
+set(SMOKE_TESTS runtime_test lock_mt_stress_test)
+
+include(ProcessorCount)
+ProcessorCount(NPROC)
+if(NPROC EQUAL 0)
+  set(NPROC 2)
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -S ${SOURCE_DIR} -B ${BUILD_DIR}
+          -DCMAKE_BUILD_TYPE=RelWithDebInfo -DACCDB_SANITIZE=thread
+          -DACCDB_EXPENSIVE_CHECKS=ON
+  RESULT_VARIABLE configure_rc)
+if(NOT configure_rc EQUAL 0)
+  message(FATAL_ERROR "tsan smoke: configure failed (${configure_rc})")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} --build ${BUILD_DIR} --parallel ${NPROC}
+          --target ${SMOKE_TESTS}
+  RESULT_VARIABLE build_rc)
+if(NOT build_rc EQUAL 0)
+  message(FATAL_ERROR "tsan smoke: build failed (${build_rc})")
+endif()
+
+foreach(test ${SMOKE_TESTS})
+  message(STATUS "tsan smoke: running ${test}")
+  execute_process(
+    COMMAND ${BUILD_DIR}/tests/${test}
+    RESULT_VARIABLE test_rc)
+  if(NOT test_rc EQUAL 0)
+    message(FATAL_ERROR "tsan smoke: ${test} failed (${test_rc})")
+  endif()
+endforeach()

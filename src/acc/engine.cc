@@ -17,11 +17,13 @@ Engine::Engine(storage::Database* db, const lock::ConflictResolver* resolver,
 }
 
 void Engine::OnGranted(lock::TxnId txn) {
+  std::lock_guard<std::mutex> guard(env_mu_);
   auto it = txn_envs_.find(txn);
   if (it != txn_envs_.end()) it->second->LockGranted(txn);
 }
 
 void Engine::OnWaiterAborted(lock::TxnId txn) {
+  std::lock_guard<std::mutex> guard(env_mu_);
   auto it = txn_envs_.find(txn);
   if (it != txn_envs_.end()) it->second->LockAborted(txn);
 }
@@ -35,12 +37,10 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
   // Measured across every restart: the latency a client of this execution
   // would observe. Recorded only on normal completion (not teardown unwind).
   const double exec_start = env.Now();
-  auto record_txn_latency = [&] {
-    metrics_.txn_latency.Add(env.Now() - exec_start);
-  };
+  auto record_txn_latency = [&] { RecordTxnLatency(env.Now() - exec_start); };
   for (int attempt = 0;; ++attempt) {
     lock::TxnId txn = NextTxnId();
-    txn_envs_[txn] = &env;
+    BindEnv(txn, &env);
     TxnContext ctx(this, &program, &env, txn, mode, analyzed);
 
     Status status;
@@ -57,7 +57,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
         // ACC, RunStep already rolled back the in-flight step and the
         // committed steps await compensation by recovery.
         if (mode == ExecMode::kSerializable) ctx.PhysicalRollbackAll();
-        txn_envs_.erase(txn);
+        UnbindEnv(txn);
         throw;
       }
     }
@@ -68,7 +68,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
     if (status.ok()) {
       if (mode == ExecMode::kAccDecomposed) recovery_log_.Commit(txn);
       ctx.FinishCommit();
-      txn_envs_.erase(txn);
+      UnbindEnv(txn);
       result.status = Status::Ok();
       record_txn_latency();
       return result;
@@ -87,7 +87,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
             },
             std::string(program.name()));
         ctx.ReleaseLocks();
-        txn_envs_.erase(txn);
+        UnbindEnv(txn);
         if (!comp.ok()) {
           // A compensation that cannot complete is a programming error in
           // the workload (its semantic undo must always be executable);
@@ -106,7 +106,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       // No step completed: the transaction simply evaporates.
       recovery_log_.Compensated(txn);
       ctx.ReleaseLocks();
-      txn_envs_.erase(txn);
+      UnbindEnv(txn);
       if (status.code() == StatusCode::kDeadlock &&
           attempt < config_.txn_restart_limit) {
         ++result.txn_restarts;
@@ -119,7 +119,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
 
     // Serializable baseline: full physical rollback; restart on deadlock.
     ctx.PhysicalRollbackAll();
-    txn_envs_.erase(txn);
+    UnbindEnv(txn);
     if (status.code() == StatusCode::kDeadlock &&
         attempt < config_.txn_restart_limit) {
       ++result.txn_restarts;
@@ -150,14 +150,14 @@ Status Engine::ExecuteCompensation(
 
   RecoveryShell shell(program_name);
   lock::TxnId txn = NextTxnId();
-  txn_envs_[txn] = &env;
+  BindEnv(txn, &env);
   TxnContext ctx(this, &shell, &env, txn, ExecMode::kAccDecomposed,
                  /*analyzed=*/true);
   Status status = ctx.RunCompensation(comp_step_type, std::move(comp_keys),
                                       body, program_name);
   if (status.ok()) recovery_log_.Compensated(txn);
   ctx.ReleaseLocks();
-  txn_envs_.erase(txn);
+  UnbindEnv(txn);
   return status;
 }
 

@@ -14,9 +14,11 @@
 #ifndef ACCDB_ACC_ENGINE_H_
 #define ACCDB_ACC_ENGINE_H_
 
+#include <atomic>
 #include <cassert>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -146,8 +148,10 @@ struct ExecResult {
 };
 
 // Latency distributions aggregated across every execution the engine runs,
-// measured on the ExecutionEnv clock. Mutated only from engine execution
-// paths, which the simulation serializes (cooperative processes).
+// measured on the ExecutionEnv clock. Recorded through the engine's
+// Record* helpers, which latch a metrics mutex so real-thread workers can
+// report concurrently; read via metrics() only at quiescence (between sim
+// runs / after workers join) or via MetricsSnapshot().
 struct EngineMetrics {
   // Successfully completed steps (forward and compensating), end to end
   // including their lock waits.
@@ -184,8 +188,34 @@ class Engine : public lock::LockManager::Listener {
   lock::LockManager& lock_manager() { return lock_manager_; }
   RecoveryLog& recovery_log() { return recovery_log_; }
   const EngineConfig& config() const { return config_; }
+  // Quiescent access only (no concurrent executions in flight).
   EngineMetrics& metrics() { return metrics_; }
   const EngineMetrics& metrics() const { return metrics_; }
+
+  // Race-free metric recording (used by TxnContext and Execute).
+  void RecordStepLatency(double seconds) {
+    std::lock_guard<std::mutex> guard(metrics_mu_);
+    metrics_.step_latency.Add(seconds);
+  }
+  void RecordTxnLatency(double seconds) {
+    std::lock_guard<std::mutex> guard(metrics_mu_);
+    metrics_.txn_latency.Add(seconds);
+  }
+  void RecordLockWait(double seconds) {
+    std::lock_guard<std::mutex> guard(metrics_mu_);
+    metrics_.lock_wait.Add(seconds);
+  }
+  // Consistent copy while executions may still be in flight.
+  EngineMetrics MetricsSnapshot() const {
+    std::lock_guard<std::mutex> guard(metrics_mu_);
+    return metrics_;
+  }
+  // Discards everything recorded so far (warmup boundary in the real-thread
+  // runner).
+  void ResetMetrics() {
+    std::lock_guard<std::mutex> guard(metrics_mu_);
+    metrics_ = EngineMetrics{};
+  }
 
   // lock::LockManager::Listener:
   void OnGranted(lock::TxnId txn) override;
@@ -194,16 +224,32 @@ class Engine : public lock::LockManager::Listener {
  private:
   friend class TxnContext;
 
-  lock::TxnId NextTxnId() { return ++last_txn_id_; }
+  lock::TxnId NextTxnId() {
+    return last_txn_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
 
   storage::Database* db_;
   EngineConfig config_;
   lock::LockManager lock_manager_;
   RecoveryLog recovery_log_;
-  lock::TxnId last_txn_id_ = 0;
+  std::atomic<lock::TxnId> last_txn_id_{0};
+  mutable std::mutex metrics_mu_;
   EngineMetrics metrics_;
-  // Routes lock notifications to the env of the owning execution.
+  // Routes lock notifications to the env of the owning execution. The map
+  // is latched by env_mu_; the listener callbacks run with the lock
+  // manager's latch held, so the lock order is LM latch -> env_mu_ -> env
+  // internals, and no path takes them in reverse.
+  std::mutex env_mu_;
   std::unordered_map<lock::TxnId, ExecutionEnv*> txn_envs_;
+
+  void BindEnv(lock::TxnId txn, ExecutionEnv* env) {
+    std::lock_guard<std::mutex> guard(env_mu_);
+    txn_envs_[txn] = env;
+  }
+  void UnbindEnv(lock::TxnId txn) {
+    std::lock_guard<std::mutex> guard(env_mu_);
+    txn_envs_.erase(txn);
+  }
 };
 
 }  // namespace accdb::acc

@@ -6,25 +6,30 @@
 namespace accdb::acc {
 
 void RecoveryLog::Begin(lock::TxnId txn, std::string program) {
+  std::lock_guard<std::mutex> guard(mu_);
   records_.push_back(
       LogRecord{LogRecordType::kBegin, txn, std::move(program), 0, {}});
 }
 
 void RecoveryLog::EndOfStep(lock::TxnId txn, int step_index,
                             std::string work_area) {
+  std::lock_guard<std::mutex> guard(mu_);
   records_.push_back(LogRecord{LogRecordType::kEndOfStep, txn, {}, step_index,
                                std::move(work_area)});
 }
 
 void RecoveryLog::Commit(lock::TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
   records_.push_back(LogRecord{LogRecordType::kCommit, txn, {}, 0, {}});
 }
 
 void RecoveryLog::Compensated(lock::TxnId txn) {
+  std::lock_guard<std::mutex> guard(mu_);
   records_.push_back(LogRecord{LogRecordType::kCompensated, txn, {}, 0, {}});
 }
 
 std::vector<InFlightTxn> RecoveryLog::FindInFlight() const {
+  std::lock_guard<std::mutex> guard(mu_);
   struct State {
     std::string program;
     int completed_steps = 0;

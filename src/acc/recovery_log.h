@@ -12,6 +12,7 @@
 #define ACCDB_ACC_RECOVERY_LOG_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,15 +43,35 @@ struct InFlightTxn {
   std::string work_area;  // From the latest end-of-step record.
 };
 
+// Appends are internally latched so real-thread workers can log
+// concurrently; readers (records(), FindInFlight()) are for quiescent use —
+// recovery runs after a crash, with no writers alive.
 class RecoveryLog {
  public:
+  RecoveryLog() = default;
+  // Copyable (the crash-recovery tests snapshot the surviving log); the
+  // latch itself is not copied.
+  RecoveryLog(const RecoveryLog& other) : records_(other.Snapshot()) {}
+  RecoveryLog& operator=(const RecoveryLog& other) {
+    if (this != &other) {
+      std::vector<LogRecord> copy = other.Snapshot();
+      std::lock_guard<std::mutex> guard(mu_);
+      records_ = std::move(copy);
+    }
+    return *this;
+  }
+
   void Begin(lock::TxnId txn, std::string program);
   void EndOfStep(lock::TxnId txn, int step_index, std::string work_area);
   void Commit(lock::TxnId txn);
   void Compensated(lock::TxnId txn);
 
+  // Quiescent access only.
   const std::vector<LogRecord>& records() const { return records_; }
-  size_t size() const { return records_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return records_.size();
+  }
 
   // Scans the log for transactions with at least one end-of-step record and
   // no commit/compensated record, in reverse begin order (most recent
@@ -58,6 +79,12 @@ class RecoveryLog {
   std::vector<InFlightTxn> FindInFlight() const;
 
  private:
+  std::vector<LogRecord> Snapshot() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return records_;
+  }
+
+  mutable std::mutex mu_;
   std::vector<LogRecord> records_;
 };
 

@@ -55,7 +55,7 @@ bool TxnContext::AwaitTimed(lock::LockMode mode) {
   bool granted = env_->AwaitLock(txn_);
   const double waited = env_->Now() - wait_start;
   engine_->lock_manager().RecordWaitTime(mode, waited);
-  engine_->metrics().lock_wait.Add(waited);
+  engine_->RecordLockWait(waited);
   return granted;
 }
 
@@ -178,17 +178,29 @@ Result<storage::RowId> TxnContext::Insert(storage::Table& table,
                                           storage::Row row) {
   ACCDB_RETURN_IF_ERROR(
       AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
-  Result<storage::RowId> inserted = table.Insert(row);
+  // The X-lock on the new row is taken inside the table's publication hook,
+  // i.e. under the exclusive table latch, so no concurrent scanner can ever
+  // observe the row before this transaction holds it. The grant is
+  // necessarily immediate: the RowId was assigned under the latch, so no
+  // other transaction can have requested a lock on it yet.
+  lock::LockManager& lm = engine_->lock_manager();
+  Result<storage::RowId> inserted =
+      table.Insert(row, [&](storage::RowId id) {
+        ++pending_lock_ops_;
+        env_->PrepareWait(txn_);
+        lock::Outcome outcome = lm.Request(
+            txn_, lock::ItemId::Row(table.id(), id), lock::LockMode::kX,
+            BuildContext());
+        env_->DiscardWait(txn_);
+        assert(outcome == lock::Outcome::kGranted &&
+               "fresh-row X lock must grant immediately");
+        (void)outcome;
+      });
   if (!inserted.ok()) {
     ChargeStatement(engine_->config().costs.write_statement);
     return inserted.status();
   }
   storage::RowId id = *inserted;
-  // The row is brand new; the X request is granted immediately.
-  Status lock_status =
-      AcquireLock(lock::ItemId::Row(table.id(), id), lock::LockMode::kX);
-  assert(lock_status.ok());
-  (void)lock_status;
   undo_.WillInsert(table.id(), id);
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
   ChargeStatement(engine_->config().costs.write_statement);
@@ -336,7 +348,7 @@ Status TxnContext::RunStep(lock::ActorId step_type,
     in_step_ = false;
     if (status.ok()) {
       ++completed_steps_;
-      engine_->metrics().step_latency.Add(env_->Now() - step_start);
+      engine_->RecordStepLatency(env_->Now() - step_start);
     }
     return status;
   }
@@ -381,7 +393,7 @@ Status TxnContext::RunStep(lock::ActorId step_type,
     if (status.ok()) {
       CompleteStep(pending_next_assertion_, pending_next_number_);
       in_step_ = false;
-      engine_->metrics().step_latency.Add(env_->Now() - step_start);
+      engine_->RecordStepLatency(env_->Now() - step_start);
       return Status::Ok();
     }
     RollbackStep(sp);

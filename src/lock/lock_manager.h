@@ -22,12 +22,21 @@
 //
 // A transaction can wait for at most one lock at a time (transactions
 // execute sequentially), which the manager asserts.
+//
+// Thread safety: every public entry point serializes on one internal latch,
+// so the manager is safe to call from real OS threads (src/runtime) as well
+// as from the cooperative simulation. Listener callbacks are invoked while
+// the latch is held; they must not reenter the lock manager (both execution
+// environments only flag a wait cell and wake its owner). The latch is
+// uncontended under the simulation — one process runs at a time — so the
+// deterministic experiments are unaffected.
 
 #ifndef ACCDB_LOCK_LOCK_MANAGER_H_
 #define ACCDB_LOCK_LOCK_MANAGER_H_
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -147,16 +156,30 @@ class LockManager {
   // Number of items on which `txn` holds at least one lock.
   size_t HeldItemCount(TxnId txn) const;
 
+  // Unsynchronized view of the counters: only valid while no other thread
+  // is inside the manager (after a run quiesces, or from the simulation).
+  // Real-thread readers that may race with workers use StatsSnapshot().
   const Stats& stats() const { return stats_; }
 
+  // Latched copy of the counters, safe to call while workers are running.
+  Stats StatsSnapshot() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return stats_;
+  }
+
   // Zeroes all counters. Engines are normally built fresh per run; this
-  // supports reusing one manager across repetitions without accumulation.
-  void ResetStats() { stats_.Reset(); }
+  // supports reusing one manager across repetitions (or re-baselining after
+  // a real-thread warmup) without accumulation.
+  void ResetStats() {
+    std::lock_guard<std::mutex> guard(mu_);
+    stats_.Reset();
+  }
 
   // Reports the duration of a resolved wait (granted or aborted) for the
   // given requested mode. Called by the execution environment, which owns
   // the clock; the manager only aggregates.
   void RecordWaitTime(LockMode mode, double seconds) {
+    std::lock_guard<std::mutex> guard(mu_);
     stats_.wait_seconds_by_class[static_cast<int>(WaitClassOf(mode))] +=
         seconds;
   }
@@ -167,8 +190,10 @@ class LockManager {
 
   // Full cross-check of the per-transaction holder index against the item
   // holder tables (both directions), and of waiting_on entries against item
-  // queues. O(total locks); meant for tests and debug assertions. Returns
-  // false and fills *violation (if non-null) on the first inconsistency.
+  // queues. O(total locks); meant for tests and debug assertions. The
+  // release-path self-checks compile in only under the ACCDB_EXPENSIVE_CHECKS
+  // CMake option. Returns false and fills *violation (if non-null) on the
+  // first inconsistency.
   bool CheckIndexConsistency(std::string* violation = nullptr) const;
 
  private:
@@ -271,6 +296,13 @@ class LockManager {
   // Removes `txn`'s waiter entry (if any); returns the item it waited on.
   std::optional<ItemId> RemoveWaiter(TxnId txn);
 
+  // Unlatched implementations shared by the public wrappers and internal
+  // callers that already hold mu_.
+  bool CheckIndexConsistencyLocked(std::string* violation) const;
+  std::string DumpWaitersLocked() const;
+
+  // Serializes every public entry point (see the thread-safety note above).
+  mutable std::mutex mu_;
   const ConflictResolver* resolver_;
   // Conventional-vs-conventional decisions may bypass the resolver
   // (resolver_->UsesConventionalMatrix(), cached).

@@ -1,0 +1,160 @@
+#include "runtime/rt_runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/thread_env.h"
+#include "tpcc/consistency.h"
+
+namespace accdb::runtime {
+
+namespace {
+
+void SleepSeconds(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+// One worker: the real-thread analogue of the simulation driver's Terminal.
+class Worker {
+ public:
+  Worker(tpcc::TpccSystem* system, const RtConfig& config, uint64_t seed,
+         const std::atomic<bool>* measuring, const std::atomic<bool>* done)
+      : system_(system),
+        config_(config),
+        env_(config.cost_scale),
+        gen_(config.workload.inputs, seed),
+        rng_(seed ^ 0x9e3779b97f4a7c15ULL),
+        measuring_(measuring),
+        done_(done) {}
+
+  void Run() {
+    const tpcc::WorkloadConfig& workload = config_.workload;
+    const acc::ExecMode mode = workload.decomposed
+                                   ? acc::ExecMode::kAccDecomposed
+                                   : acc::ExecMode::kSerializable;
+    bool recording = false;
+    double lock_wait_base = 0;
+    while (!done_->load(std::memory_order_acquire)) {
+      SleepSeconds(workload.keying_seconds * config_.think_scale);
+      tpcc::TxnType type = gen_.NextType();
+      if (!recording && measuring_->load(std::memory_order_acquire)) {
+        // First transaction of the measured window: later lock waits are
+        // attributed to it, earlier ones (warmup) are discarded.
+        recording = true;
+        lock_wait_base = env_.total_lock_wait();
+      }
+      const double start = env_.Now();
+      acc::ExecResult exec = tpcc::RunOneTpccTxn(
+          &system_->db(), &system_->engine(), gen_, type,
+          workload.compute_seconds, workload.granularity, env_, mode);
+      const double response = env_.Now() - start;
+      if (recording) {
+        local_.response_all.Add(response);
+        local_.response_hist.Add(response);
+        local_.response_by_type[static_cast<int>(type)].Add(response);
+        if (exec.status.ok()) {
+          ++local_.completed;
+        } else {
+          ++local_.aborted;
+        }
+        if (exec.compensated) ++local_.compensated;
+        local_.step_deadlock_retries += exec.step_deadlock_retries;
+        local_.txn_restarts += exec.txn_restarts;
+      }
+      if (workload.mean_think_seconds > 0 && config_.think_scale > 0) {
+        SleepSeconds(rng_.Exponential(workload.mean_think_seconds) *
+                     config_.think_scale);
+      }
+    }
+    local_.total_lock_wait =
+        recording ? env_.total_lock_wait() - lock_wait_base : 0;
+  }
+
+  // Valid after the worker thread has been joined.
+  const tpcc::WorkloadResult& local() const { return local_; }
+
+ private:
+  tpcc::TpccSystem* system_;
+  const RtConfig& config_;
+  ThreadExecutionEnv env_;
+  tpcc::InputGenerator gen_;
+  Rng rng_;
+  const std::atomic<bool>* measuring_;
+  const std::atomic<bool>* done_;
+  tpcc::WorkloadResult local_;
+};
+
+}  // namespace
+
+tpcc::WorkloadResult RunRtWorkload(const RtConfig& config) {
+  tpcc::TpccSystem system(config.workload);
+  acc::Engine& engine = system.engine();
+
+  const bool has_warmup = config.warmup_seconds > 0;
+  std::atomic<bool> measuring{!has_warmup};
+  std::atomic<bool> done{false};
+
+  Rng seeder(config.workload.seed * 7919 + 17);
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+  workers.reserve(config.workload.terminals);
+  threads.reserve(config.workload.terminals);
+  for (int t = 0; t < config.workload.terminals; ++t) {
+    workers.push_back(std::make_unique<Worker>(&system, config, seeder.Next(),
+                                               &measuring, &done));
+    Worker* worker = workers.back().get();
+    threads.emplace_back([worker] { worker->Run(); });
+  }
+
+  if (has_warmup) {
+    SleepSeconds(config.warmup_seconds);
+    // Warmup boundary: drop everything recorded so far. In-flight
+    // transactions straddle the boundary, so the reset is approximate at
+    // the edges (a request counted before it may resolve after); with
+    // warmup_seconds == 0 the counters are exactly conserved.
+    engine.ResetMetrics();
+    engine.lock_manager().ResetStats();
+    measuring.store(true, std::memory_order_release);
+  }
+  const auto window_start = std::chrono::steady_clock::now();
+  SleepSeconds(config.seconds);
+  done.store(true, std::memory_order_release);
+  const auto window_end = std::chrono::steady_clock::now();
+  for (std::thread& thread : threads) thread.join();
+
+  tpcc::WorkloadResult result;
+  for (const auto& worker : workers) {
+    const tpcc::WorkloadResult& local = worker->local();
+    result.response_all.Merge(local.response_all);
+    result.response_hist.Merge(local.response_hist);
+    for (int i = 0; i < tpcc::kNumTxnTypes; ++i) {
+      result.response_by_type[i].Merge(local.response_by_type[i]);
+    }
+    result.completed += local.completed;
+    result.aborted += local.aborted;
+    result.compensated += local.compensated;
+    result.step_deadlock_retries += local.step_deadlock_retries;
+    result.txn_restarts += local.txn_restarts;
+    result.total_lock_wait += local.total_lock_wait;
+  }
+  result.sim_seconds =
+      std::chrono::duration<double>(window_end - window_start).count();
+  result.lock_stats = engine.lock_manager().StatsSnapshot();
+  acc::EngineMetrics metrics = engine.MetricsSnapshot();
+  result.step_latency_hist = metrics.step_latency;
+  result.txn_latency_hist = metrics.txn_latency;
+  result.lock_wait_hist = metrics.lock_wait;
+
+  tpcc::ConsistencyReport consistency = tpcc::CheckConsistency(
+      system.db(), /*strict=*/result.compensated == 0);
+  result.consistent = consistency.ok;
+  if (!consistency.ok) result.first_violation = consistency.violations[0];
+  return result;
+}
+
+}  // namespace accdb::runtime

@@ -1,0 +1,49 @@
+// Closed-loop multi-threaded TPC-C runner: the real-thread counterpart of
+// tpcc::RunWorkload. One OS worker thread per terminal drives the same
+// transaction mix through the same engine/lock-manager/storage code, but
+// blocking and time are real (ThreadExecutionEnv) instead of simulated.
+//
+// Results are wall-clock measurements and therefore hardware-dependent —
+// unlike the deterministic simulation tables, two runs will not be
+// bit-identical. The WorkloadResult shape is shared so the bench harness's
+// tail tables and JSON reports apply unchanged.
+
+#ifndef ACCDB_RUNTIME_RT_RUNNER_H_
+#define ACCDB_RUNTIME_RT_RUNNER_H_
+
+#include "tpcc/driver.h"
+
+namespace accdb::runtime {
+
+struct RtConfig {
+  // System + load knobs; `terminals` is the worker thread count, and
+  // `sim_seconds` is ignored (wall-clock `seconds` below governs).
+  tpcc::WorkloadConfig workload;
+
+  // Measured wall-clock window, after warmup.
+  double seconds = 2.0;
+  // Ramp-up excluded from every reported metric: engine metrics and lock
+  // stats are reset at the warmup boundary, and workers only record
+  // transactions started after it. 0 disables the reset entirely (metrics
+  // then cover the whole run — what the stats-conservation tests need).
+  double warmup_seconds = 0.5;
+
+  // Scales the cost model's server/compute sleeps (ThreadExecutionEnv
+  // time_scale): 1.0 reproduces the modeled statement costs in real time,
+  // 0 turns them off (pure lock-protocol stress).
+  double cost_scale = 1.0;
+  // Scales the terminal keying and think times. The default 0 removes them:
+  // a saturated closed loop, which is what makes small wall-clock windows
+  // produce meaningful contention.
+  double think_scale = 0.0;
+};
+
+// Builds the system (same construction path as the simulation driver), runs
+// `workload.terminals` worker threads for warmup + measured window, joins
+// them, and returns merged metrics plus the post-quiescence consistency
+// check. `result.sim_seconds` holds the measured wall-clock window.
+tpcc::WorkloadResult RunRtWorkload(const RtConfig& config);
+
+}  // namespace accdb::runtime
+
+#endif  // ACCDB_RUNTIME_RT_RUNNER_H_

@@ -1,0 +1,78 @@
+// ExecutionEnv backed by real OS threads and the wall clock: the second
+// execution environment next to the discrete-event simulation
+// (acc/sim_env.h). Server CPU and client delays become actual sleeps (scaled
+// by a configurable factor), lock waits block the calling thread on a
+// condition variable until the lock manager's grant/abort notification
+// arrives from whichever thread released the lock.
+//
+// One env belongs to one worker thread and carries at most one pending lock
+// wait at a time (the engine runs one transaction per env at a time). The
+// notification methods (LockGranted / LockAborted) are called from other
+// threads — from inside the lock manager's release paths, with the lock
+// manager latch and the engine's env-routing latch held — so the internal
+// mutex is last in the lock order and never wraps an outbound call.
+
+#ifndef ACCDB_RUNTIME_THREAD_ENV_H_
+#define ACCDB_RUNTIME_THREAD_ENV_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "acc/engine.h"
+
+namespace accdb::runtime {
+
+class ThreadExecutionEnv : public acc::ExecutionEnv {
+ public:
+  // `time_scale` multiplies every UseServer / ClientDelay duration before
+  // sleeping: 1.0 reproduces the cost model in real time, 0 turns modeled
+  // CPU time off entirely (pure lock-protocol stress).
+  explicit ThreadExecutionEnv(double time_scale = 1.0)
+      : time_scale_(time_scale) {}
+
+  void UseServer(double seconds) override { Sleep(seconds * time_scale_); }
+  void ClientDelay(double seconds) override { Sleep(seconds * time_scale_); }
+
+  // Monotonic wall clock, in seconds. Only differences matter.
+  double Now() const override {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void PrepareWait(lock::TxnId txn) override;
+  bool AwaitLock(lock::TxnId txn) override;
+  void DiscardWait(lock::TxnId txn) override;
+
+  void LockGranted(lock::TxnId txn) override;
+  void LockAborted(lock::TxnId txn) override;
+
+  // Cumulative wall-clock time this env's transactions spent blocked on
+  // locks. Owner-thread read; meaningful once the worker has quiesced.
+  double total_lock_wait() const { return total_lock_wait_; }
+
+ private:
+  static void Sleep(double seconds) {
+    if (seconds <= 0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+
+  const double time_scale_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  // Wait cell: armed by PrepareWait before the lock request is issued, so a
+  // grant/abort racing with the request itself cannot be lost.
+  bool armed_ = false;
+  bool resolved_ = false;
+  bool granted_ = false;
+  lock::TxnId armed_txn_ = 0;
+
+  double total_lock_wait_ = 0;
+};
+
+}  // namespace accdb::runtime
+
+#endif  // ACCDB_RUNTIME_THREAD_ENV_H_

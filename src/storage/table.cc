@@ -44,6 +44,7 @@ Table::Table(TableId id, std::string name, Schema schema)
 }
 
 IndexId Table::AddIndex(std::string name, std::vector<int> columns) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   assert(rows_.empty() && "indexes must be created before inserts");
   indexes_.push_back(SecondaryIndex{std::move(name), std::move(columns), {}});
   return static_cast<IndexId>(indexes_.size() - 1);
@@ -76,6 +77,12 @@ void Table::IndexErase(RowId id, const Row& row) {
 }
 
 Result<RowId> Table::Insert(const Row& row) {
+  return Insert(row, nullptr);
+}
+
+Result<RowId> Table::Insert(const Row& row,
+                            const std::function<void(RowId)>& before_publish) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
   CompositeKey key = schema_.KeyOf(row);
   if (pk_index_.contains(key)) {
@@ -85,10 +92,14 @@ Result<RowId> Table::Insert(const Row& row) {
   pk_index_.emplace(std::move(key), id);
   IndexInsert(id, row);
   rows_.emplace(id, row);
+  // Still under the exclusive latch: the id exists in every index but no
+  // reader has been able to observe it yet.
+  if (before_publish) before_publish(id);
   return id;
 }
 
 Status Table::InsertWithId(RowId id, const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
   if (rows_.contains(id)) {
     return Status::AlreadyExists(StrFormat("row id %llu live",
@@ -106,11 +117,13 @@ Status Table::InsertWithId(RowId id, const Row& row) {
 }
 
 const Row* Table::Get(RowId id) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   auto it = rows_.find(id);
   return it == rows_.end() ? nullptr : &it->second;
 }
 
 Status Table::Update(RowId id, const Row& row) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound(StrFormat("row id %llu",
@@ -128,6 +141,7 @@ Status Table::Update(RowId id, const Row& row) {
 
 Status Table::UpdateColumns(
     RowId id, const std::vector<std::pair<int, Value>>& updates) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound(StrFormat("row id %llu",
@@ -163,6 +177,7 @@ Status Table::UpdateColumns(
 }
 
 Status Table::Delete(RowId id) {
+  std::unique_lock<std::shared_mutex> latch(mu_);
   auto it = rows_.find(id);
   if (it == rows_.end()) {
     return Status::NotFound(StrFormat("row id %llu",
@@ -175,6 +190,7 @@ Status Table::Delete(RowId id) {
 }
 
 std::optional<RowId> Table::LookupPk(const CompositeKey& key) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   auto it = pk_index_.find(key);
   if (it == pk_index_.end()) return std::nullopt;
   return it->second;
@@ -189,6 +205,7 @@ bool Table::IsPrefix(const CompositeKey& prefix, const CompositeKey& full) {
 }
 
 std::vector<RowId> Table::ScanPkPrefix(const CompositeKey& prefix) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   std::vector<RowId> out;
   for (auto it = pk_index_.lower_bound(prefix);
        it != pk_index_.end() && IsPrefix(prefix, it->first); ++it) {
@@ -198,6 +215,7 @@ std::vector<RowId> Table::ScanPkPrefix(const CompositeKey& prefix) const {
 }
 
 std::optional<RowId> Table::MinPkPrefix(const CompositeKey& prefix) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   auto it = pk_index_.lower_bound(prefix);
   if (it == pk_index_.end() || !IsPrefix(prefix, it->first)) {
     return std::nullopt;
@@ -207,6 +225,7 @@ std::optional<RowId> Table::MinPkPrefix(const CompositeKey& prefix) const {
 
 std::vector<RowId> Table::LookupIndex(IndexId index,
                                       const CompositeKey& key) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   assert(index < indexes_.size());
   std::vector<RowId> out;
   auto [lo, hi] = indexes_[index].entries.equal_range(key);
@@ -217,6 +236,7 @@ std::vector<RowId> Table::LookupIndex(IndexId index,
 
 std::vector<RowId> Table::ScanIndexPrefix(IndexId index,
                                           const CompositeKey& prefix) const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   assert(index < indexes_.size());
   std::vector<RowId> out;
   const auto& entries = indexes_[index].entries;
@@ -228,6 +248,7 @@ std::vector<RowId> Table::ScanIndexPrefix(IndexId index,
 }
 
 std::vector<RowId> Table::ScanAll() const {
+  std::shared_lock<std::shared_mutex> latch(mu_);
   std::vector<RowId> out;
   out.reserve(rows_.size());
   for (const auto& [id, row] : rows_) out.push_back(id);

@@ -6,17 +6,28 @@
 // them safe identities for the lock manager to attach locks to. Restoring a
 // deleted row under its original RowId is supported for undo/compensation.
 //
-// The table itself performs no concurrency control and no logging; those are
-// the responsibility of the transaction layer above it (src/acc). All
-// methods are single-threaded from the storage engine's point of view — the
-// simulation kernel guarantees one active process at a time.
+// The table itself performs no transactional concurrency control and no
+// logging; those are the responsibility of the transaction layer above it
+// (src/acc). It is, however, safe for physical concurrency: a table-level
+// shared_mutex latch serializes structural mutation against lookups, so the
+// same code runs both under the simulation kernel (one active process at a
+// time — the latch is uncontended and changes nothing) and under the
+// real-thread runtime (src/runtime), where OS workers operate in parallel.
+//
+// Row contents returned by Get() are protected by the caller's row locks,
+// not by the latch: unordered_map guarantees reference stability, so a Row*
+// stays valid across unrelated inserts/erases, and transaction-level row
+// locks exclude writer/reader overlap on the same row.
 
 #ifndef ACCDB_STORAGE_TABLE_H_
 #define ACCDB_STORAGE_TABLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -64,7 +75,10 @@ class Table {
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t size() const { return rows_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> latch(mu_);
+    return rows_.size();
+  }
 
   // Adds an ordered secondary index over the given column positions.
   // Must be called before rows are inserted (asserted).
@@ -72,6 +86,15 @@ class Table {
 
   // Inserts a row; fails with kAlreadyExists on a duplicate primary key.
   Result<RowId> Insert(const Row& row);
+
+  // Insert with a publication hook: `before_publish` runs under the
+  // exclusive table latch after the RowId is assigned and the row is
+  // indexed, but before any other thread can observe it. The transaction
+  // layer uses this to X-lock freshly inserted rows with no window in which
+  // a concurrent scanner could see the row unlocked. The callback must not
+  // re-enter this table.
+  Result<RowId> Insert(const Row& row,
+                       const std::function<void(RowId)>& before_publish);
 
   // Re-inserts a previously deleted row under its original id (undo path).
   Status InsertWithId(RowId id, const Row& row);
@@ -126,6 +149,11 @@ class Table {
   const TableId id_;
   const std::string name_;
   const Schema schema_;
+
+  // Latch ordering: the transaction layer may request locks from inside
+  // `before_publish` (table latch -> lock-manager latch); the lock manager
+  // never calls back into storage, so no cycle exists.
+  mutable std::shared_mutex mu_;
 
   std::unordered_map<RowId, Row> rows_;
   std::map<CompositeKey, RowId, CompositeKeyCompare> pk_index_;

@@ -64,32 +64,8 @@ class Terminal {
   acc::ExecResult RunOne(TxnType type) {
     acc::ExecMode mode = config_.decomposed ? acc::ExecMode::kAccDecomposed
                                             : acc::ExecMode::kSerializable;
-    switch (type) {
-      case TxnType::kNewOrder: {
-        NewOrderTxn txn(db_, gen_.NextNewOrder(), config_.compute_seconds,
-                        config_.granularity);
-        return engine_->Execute(txn, env_, mode);
-      }
-      case TxnType::kPayment: {
-        PaymentTxn txn(db_, gen_.NextPayment(), config_.compute_seconds);
-        return engine_->Execute(txn, env_, mode);
-      }
-      case TxnType::kOrderStatus: {
-        OrderStatusTxn txn(db_, gen_.NextOrderStatus(),
-                           config_.compute_seconds);
-        return engine_->Execute(txn, env_, mode);
-      }
-      case TxnType::kDelivery: {
-        DeliveryTxn txn(db_, gen_.NextDelivery(), config_.compute_seconds);
-        return engine_->Execute(txn, env_, mode);
-      }
-      case TxnType::kStockLevel: {
-        StockLevelTxn txn(db_, gen_.NextStockLevel(),
-                          config_.compute_seconds);
-        return engine_->Execute(txn, env_, mode);
-      }
-    }
-    return acc::ExecResult{Status::Internal("bad type"), 0, 0, 0, false};
+    return RunOneTpccTxn(db_, engine_, gen_, type, config_.compute_seconds,
+                         config_.granularity, env_, mode);
   }
 
   TpccDb* db_;
@@ -104,26 +80,58 @@ class Terminal {
 
 }  // namespace
 
-WorkloadResult RunWorkload(const WorkloadConfig& config) {
-  storage::Database database;
-  TpccDb db(&database);
-  LoadDatabase(db, config.inputs.scale, config.seed);
-  db.interference.set_key_refinement(config.key_refinement);
-
-  lock::MatrixConflictResolver matrix_resolver;
-  acc::AccConflictResolver acc_resolver(&db.interference);
+TpccSystem::TpccSystem(const WorkloadConfig& config)
+    : db_(&database_), acc_resolver_(&db_.interference) {
+  LoadDatabase(db_, config.inputs.scale, config.seed);
+  db_.interference.set_key_refinement(config.key_refinement);
   const lock::ConflictResolver* resolver =
       config.decomposed
-          ? static_cast<const lock::ConflictResolver*>(&acc_resolver)
-          : &matrix_resolver;
+          ? static_cast<const lock::ConflictResolver*>(&acc_resolver_)
+          : &matrix_resolver_;
   acc::EngineConfig engine_config = config.engine;
   if (engine_config.two_level_dispatch &&
       engine_config.dispatch_assertions.empty()) {
-    engine_config.dispatch_assertions = {db.assert_no_loop,
-                                         db.assert_order_complete,
-                                         db.assert_pay, db.assert_dlv};
+    engine_config.dispatch_assertions = {db_.assert_no_loop,
+                                         db_.assert_order_complete,
+                                         db_.assert_pay, db_.assert_dlv};
   }
-  acc::Engine engine(&database, resolver, engine_config);
+  engine_ = std::make_unique<acc::Engine>(&database_, resolver, engine_config);
+}
+
+acc::ExecResult RunOneTpccTxn(TpccDb* db, acc::Engine* engine,
+                              InputGenerator& gen, TxnType type,
+                              double compute_seconds,
+                              NewOrderGranularity granularity,
+                              acc::ExecutionEnv& env, acc::ExecMode mode) {
+  switch (type) {
+    case TxnType::kNewOrder: {
+      NewOrderTxn txn(db, gen.NextNewOrder(), compute_seconds, granularity);
+      return engine->Execute(txn, env, mode);
+    }
+    case TxnType::kPayment: {
+      PaymentTxn txn(db, gen.NextPayment(), compute_seconds);
+      return engine->Execute(txn, env, mode);
+    }
+    case TxnType::kOrderStatus: {
+      OrderStatusTxn txn(db, gen.NextOrderStatus(), compute_seconds);
+      return engine->Execute(txn, env, mode);
+    }
+    case TxnType::kDelivery: {
+      DeliveryTxn txn(db, gen.NextDelivery(), compute_seconds);
+      return engine->Execute(txn, env, mode);
+    }
+    case TxnType::kStockLevel: {
+      StockLevelTxn txn(db, gen.NextStockLevel(), compute_seconds);
+      return engine->Execute(txn, env, mode);
+    }
+  }
+  return acc::ExecResult{Status::Internal("bad type"), 0, 0, 0, false};
+}
+
+WorkloadResult RunWorkload(const WorkloadConfig& config) {
+  TpccSystem system(config);
+  TpccDb& db = system.db();
+  acc::Engine& engine = system.engine();
 
   WorkloadResult result;
   {

@@ -15,11 +15,16 @@
 #define ACCDB_TPCC_DRIVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
+#include "acc/conflict_resolver.h"
 #include "acc/engine.h"
+#include "lock/conflict.h"
 #include "sim/metrics.h"
+#include "storage/database.h"
 #include "tpcc/input.h"
+#include "tpcc/tpcc_db.h"
 #include "tpcc/transactions.h"
 
 namespace accdb::tpcc {
@@ -69,6 +74,38 @@ struct WorkloadResult {
     return sim_seconds > 0 ? static_cast<double>(completed) / sim_seconds : 0;
   }
 };
+
+// The fully assembled system under test: database + TPC-C schema/load +
+// conflict resolver + engine, built from one WorkloadConfig. Shared by the
+// simulation driver (RunWorkload) and the real-thread runner (src/runtime)
+// so both execution environments exercise identical system construction.
+class TpccSystem {
+ public:
+  explicit TpccSystem(const WorkloadConfig& config);
+
+  TpccSystem(const TpccSystem&) = delete;
+  TpccSystem& operator=(const TpccSystem&) = delete;
+
+  storage::Database& database() { return database_; }
+  TpccDb& db() { return db_; }
+  acc::Engine& engine() { return *engine_; }
+
+ private:
+  storage::Database database_;
+  TpccDb db_;
+  lock::MatrixConflictResolver matrix_resolver_;
+  acc::AccConflictResolver acc_resolver_;
+  std::unique_ptr<acc::Engine> engine_;
+};
+
+// Executes one transaction of `type`, drawing its inputs from `gen`.
+// Blocking and time go through `env`; shared by the simulated Terminal and
+// the real-thread worker loops.
+acc::ExecResult RunOneTpccTxn(TpccDb* db, acc::Engine* engine,
+                              InputGenerator& gen, TxnType type,
+                              double compute_seconds,
+                              NewOrderGranularity granularity,
+                              acc::ExecutionEnv& env, acc::ExecMode mode);
 
 // Builds a fresh database, loads it, runs the workload, checks consistency.
 WorkloadResult RunWorkload(const WorkloadConfig& config);

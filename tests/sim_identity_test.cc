@@ -1,0 +1,74 @@
+// Pins simulation-mode bit-identity across the real-thread runtime's
+// latching changes: the full WorkloadResultJson of a fixed-seed Figure-2
+// hot-spot cell, byte for byte, against a golden captured before any latch
+// existed. Mutexes, atomics, and the Insert publication hook must not
+// change a single value or its order in the single-threaded simulation.
+//
+// If this test fails, simulation results are no longer reproducible against
+// the repo's recorded experiments — do not regenerate the golden without
+// understanding exactly which change moved the numbers and documenting it
+// in EXPERIMENTS.md.
+//
+// Regenerating (only after an intentional, understood change): write the
+// two JSON dumps below, ACC first, to tests/golden/sim_identity_fig2cell.txt
+// as two '\n'-terminated lines.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.h"
+#include "tpcc/driver.h"
+
+namespace accdb {
+namespace {
+
+tpcc::WorkloadConfig GoldenConfig() {
+  tpcc::WorkloadConfig config = bench::BaseConfig(/*seed=*/40250101);
+  config.sim_seconds = 5;
+  config.terminals = 8;
+  config.inputs.skew_districts = true;
+  config.inputs.hot_districts = 1;
+  config.inputs.hot_fraction = 0.6;
+  return config;
+}
+
+std::string ReadGolden() {
+  std::ifstream in(std::string(ACCDB_GOLDEN_DIR) +
+                   "/sim_identity_fig2cell.txt");
+  EXPECT_TRUE(in.good()) << "golden file missing";
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(SimIdentityTest, Fig2CellMatchesGoldenBitForBit) {
+  tpcc::WorkloadConfig config = GoldenConfig();
+  config.decomposed = true;
+  std::string acc = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
+  config.decomposed = false;
+  std::string non_acc =
+      bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
+
+  std::string golden = ReadGolden();
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(golden, acc + "\n" + non_acc + "\n")
+      << "simulation output is no longer bit-identical to the recorded "
+         "golden";
+}
+
+// The same configuration run twice in-process must also agree with itself —
+// separates "golden drifted" (environment/config change) from "the
+// simulation became nondeterministic" (a real bug).
+TEST(SimIdentityTest, RepeatRunsAreBitIdentical) {
+  tpcc::WorkloadConfig config = GoldenConfig();
+  config.decomposed = true;
+  std::string a = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
+  std::string b = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace accdb
