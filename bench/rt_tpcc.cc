@@ -17,6 +17,8 @@
 //   --seed=N               workload seed (default 20250806)
 //   --cost-scale=F         scales modeled statement costs (default 1)
 //   --think-scale=F        scales keying/think times (default 0: saturated)
+//   --lock-partitions=N    lock-table partitions (0 = auto; falls back to
+//                          the ACCDB_LOCK_PARTITIONS environment variable)
 //   --json=PATH | --no-json  report destination (default BENCH_rt_tpcc.json)
 
 #include <cstdio>
@@ -37,6 +39,7 @@ struct RtOptions {
   uint64_t seed = 20250806;
   double cost_scale = 1.0;
   double think_scale = 0.0;
+  size_t lock_partitions = 0;  // 0 = auto.
   std::string json_path = "BENCH_rt_tpcc.json";
 };
 
@@ -44,7 +47,7 @@ struct RtOptions {
   std::fprintf(stderr,
                "usage: %s [--threads=1,2,4,8,16] [--seconds=S] [--warmup=S]\n"
                "          [--seed=N] [--cost-scale=F] [--think-scale=F]\n"
-               "          [--json=PATH | --no-json]\n",
+               "          [--lock-partitions=N] [--json=PATH | --no-json]\n",
                argv0);
   std::exit(2);
 }
@@ -58,6 +61,10 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
 
 RtOptions ParseOptions(int argc, char** argv) {
   RtOptions options;
+  // Flag overrides the environment variable; both default to auto sizing.
+  if (const char* env = std::getenv("ACCDB_LOCK_PARTITIONS")) {
+    options.lock_partitions = std::strtoull(env, nullptr, 10);
+  }
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseValue(argv[i], "--threads", &value)) {
@@ -81,6 +88,8 @@ RtOptions ParseOptions(int argc, char** argv) {
       options.cost_scale = std::atof(value.c_str());
     } else if (ParseValue(argv[i], "--think-scale", &value)) {
       options.think_scale = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--lock-partitions", &value)) {
+      options.lock_partitions = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(argv[i], "--json", &value)) {
       options.json_path = value;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -117,6 +126,11 @@ int main(int argc, char** argv) {
   base.warmup_seconds = options.warmup;
   base.cost_scale = options.cost_scale;
   base.think_scale = options.think_scale;
+  base.workload.engine.lock_partitions = options.lock_partitions;
+  const size_t resolved_partitions =
+      lock::LockManager::ResolvePartitionCount(options.lock_partitions);
+  std::printf("lock partitions: %zu%s\n", resolved_partitions,
+              options.lock_partitions == 0 ? " (auto)" : "");
 
   std::vector<PairResult> sweep;
   sweep.reserve(options.threads.size());
@@ -160,6 +174,8 @@ int main(int argc, char** argv) {
   report.root()["warmup_seconds"] = Json(options.warmup);
   report.root()["cost_scale"] = Json(options.cost_scale);
   report.root()["think_scale"] = Json(options.think_scale);
+  report.root()["lock_partitions"] =
+      Json(static_cast<uint64_t>(resolved_partitions));
   report.AddPairSweep("rt_skewed", "threads", sweep);
   report.Write();
   return consistent ? 0 : 1;

@@ -6,8 +6,10 @@
 #   cmake -DSOURCE_DIR=<repo> -DBUILD_DIR=<dir> -P cmake/tsan_smoke.cmake
 #
 # The surface is the real-thread runtime: the ThreadExecutionEnv wait
-# protocol, the lock-manager latch, the storage table latches, and the
-# metrics recording — everything PR 3 made concurrent.
+# protocol, the partitioned lock-manager latching (lock_mt_stress_test is
+# parameterized over 1/4/64 partitions, so the two-tier partition ->
+# wait-tier paths all run under the race detector), the storage table
+# latches, and the metrics recording — everything PR 3 made concurrent.
 
 if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P tsan_smoke.cmake")
@@ -38,10 +40,17 @@ if(NOT build_rc EQUAL 0)
   message(FATAL_ERROR "tsan smoke: build failed (${build_rc})")
 endif()
 
+# detect_deadlocks=0: TSan's experimental deadlock detector aborts the
+# process (CHECK in sanitizer_deadlock_detector.h) once a thread holds more
+# than 64 mutexes at once, and the expensive-checks lock-index audit latches
+# every partition + the wait tier + all 64 txn stripes in one global-order
+# sweep. Race detection is unaffected; latch-order discipline is documented
+# in DESIGN.md §10, and a real latch deadlock would hang the stress test.
 foreach(test ${SMOKE_TESTS})
   message(STATUS "tsan smoke: running ${test}")
   execute_process(
-    COMMAND ${BUILD_DIR}/tests/${test}
+    COMMAND ${CMAKE_COMMAND} -E env TSAN_OPTIONS=detect_deadlocks=0
+            ${BUILD_DIR}/tests/${test}
     RESULT_VARIABLE test_rc)
   if(NOT test_rc EQUAL 0)
     message(FATAL_ERROR "tsan smoke: ${test} failed (${test_rc})")

@@ -12,7 +12,10 @@ lock::ItemId AssertionDeclItem(lock::AssertionId decl) {
 
 Engine::Engine(storage::Database* db, const lock::ConflictResolver* resolver,
                EngineConfig config)
-    : db_(db), config_(std::move(config)), lock_manager_(resolver) {
+    : db_(db),
+      config_(std::move(config)),
+      lock_manager_(resolver,
+                    lock::LockManagerOptions{config_.lock_partitions, {}}) {
   lock_manager_.set_listener(this);
 }
 

@@ -78,6 +78,10 @@ struct EngineConfig {
   // two-level behaviour.
   bool two_level_dispatch = false;
   std::vector<lock::AssertionId> dispatch_assertions;
+  // Lock-table partitions (0 = auto: next_pow2(2 × hardware threads)).
+  // Single-threaded simulation results are identical for any value; the
+  // real-thread runtime scales with it. See LockManagerOptions::partitions.
+  size_t lock_partitions = 0;
 };
 
 enum class ExecMode {

@@ -23,19 +23,38 @@
 // A transaction can wait for at most one lock at a time (transactions
 // execute sequentially), which the manager asserts.
 //
-// Thread safety: every public entry point serializes on one internal latch,
-// so the manager is safe to call from real OS threads (src/runtime) as well
-// as from the cooperative simulation. Listener callbacks are invoked while
-// the latch is held; they must not reenter the lock manager (both execution
-// environments only flag a wait cell and wake its owner). The latch is
-// uncontended under the simulation — one process runs at a time — so the
-// deterministic experiments are unaffected.
+// Thread safety — two-tier latching. The item table is hash-partitioned
+// over ItemId: each partition owns its items (holder vectors + FIFO
+// queues), its ItemState recycling pool and a stats shard, all guarded by
+// one per-partition latch. Grants, releases and conversions that find no
+// conflict touch only the partition latch of the item involved — the hot
+// path is embarrassingly parallel across partitions. Waiting is the slow
+// path: a request that must queue additionally takes the global wait-tier
+// latch, which owns the waits-for relation. The waits-for edges are
+// *materialized* — every holder/queue mutation republishes the affected
+// item's waiter->blockers edges into the wait tier while both latches are
+// held — so the eager DFS deadlock detection runs under the wait-tier latch
+// alone, never needing to latch other partitions (latch order: partition
+// before wait tier, never reversed; see DESIGN.md §10). The per-transaction
+// holder index lives in a striped transaction directory so ReleaseAll
+// visits only the partitions the index names.
+//
+// Listener callbacks are invoked while the partition latch of the item that
+// produced them is held (happens-before for the grant hand-off); they must
+// not reenter the lock manager (both execution environments only flag a
+// wait cell and wake its owner). The cooperative simulation is
+// single-threaded, so partitioning is invisible there: grant order, queue
+// order and every counter are identical for any partition count.
 
 #ifndef ACCDB_LOCK_LOCK_MANAGER_H_
 #define ACCDB_LOCK_LOCK_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -46,6 +65,18 @@
 #include "lock/types.h"
 
 namespace accdb::lock {
+
+struct LockManagerOptions {
+  // Number of lock-table partitions. 0 = auto: next_pow2(2 × hardware
+  // threads). Values are rounded up to a power of two and clamped to
+  // [1, 1024]. One partition reproduces the single-latch manager.
+  size_t partitions = 0;
+
+  // Test-only override of the ItemId -> partition mapping (e.g. to pin a
+  // deadlock cycle's items onto distinct partitions). The returned index is
+  // reduced modulo the partition count.
+  std::function<size_t(const ItemId&)> partition_fn;
+};
 
 class LockManager {
  public:
@@ -103,16 +134,28 @@ class LockManager {
     uint64_t queue_depth_max = 0;
 
     void Reset() { *this = Stats{}; }
+
+    // Accumulates another shard into this one (sums; max for
+    // queue_depth_max). Shard totals are conserved: summing every
+    // partition shard, the wait-tier shard and release_calls reproduces
+    // the single-latch counters exactly.
+    void MergeFrom(const Stats& other);
   };
 
-  explicit LockManager(const ConflictResolver* resolver)
-      : resolver_(resolver),
-        conventional_fast_path_(resolver->UsesConventionalMatrix()) {}
+  explicit LockManager(const ConflictResolver* resolver,
+                       LockManagerOptions options = {});
 
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
 
   void set_listener(Listener* listener) { listener_ = listener; }
+
+  // The partition count `requested` resolves to (0 = auto sizing).
+  static size_t ResolvePartitionCount(size_t requested);
+
+  size_t partition_count() const { return partitions_.size(); }
+  // The partition the item maps to (honours the test-only override).
+  size_t PartitionIndex(const ItemId& item) const;
 
   // Requests a lock. kGranted: the lock is held on return. kWaiting: the
   // request is queued; a later OnGranted/OnWaiterAborted callback resolves
@@ -137,7 +180,9 @@ class LockManager {
                         uint32_t assertion_instance);
 
   // Releases everything `txn` holds and cancels any pending request
-  // (commit or final abort).
+  // (commit or final abort). Strictly index-driven: only the partitions
+  // named by the per-txn holder index (plus the waited-on item's, if any)
+  // are latched.
   void ReleaseAll(TxnId txn);
 
   // Removes `txn`'s pending request from its queue (the transaction was
@@ -156,45 +201,47 @@ class LockManager {
   // Number of items on which `txn` holds at least one lock.
   size_t HeldItemCount(TxnId txn) const;
 
-  // Unsynchronized view of the counters: only valid while no other thread
-  // is inside the manager (after a run quiesces, or from the simulation).
-  // Real-thread readers that may race with workers use StatsSnapshot().
-  const Stats& stats() const { return stats_; }
+  // Merged copy of the per-partition and wait-tier counter shards, safe to
+  // call while workers are running (latches each shard in turn; the merge
+  // is not a single atomic snapshot across shards).
+  Stats StatsSnapshot() const;
+  Stats stats() const { return StatsSnapshot(); }
 
-  // Latched copy of the counters, safe to call while workers are running.
-  Stats StatsSnapshot() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return stats_;
-  }
-
-  // Zeroes all counters. Engines are normally built fresh per run; this
-  // supports reusing one manager across repetitions (or re-baselining after
-  // a real-thread warmup) without accumulation.
-  void ResetStats() {
-    std::lock_guard<std::mutex> guard(mu_);
-    stats_.Reset();
-  }
+  // Zeroes all counter shards. Engines are normally built fresh per run;
+  // this supports reusing one manager across repetitions (or re-baselining
+  // after a real-thread warmup) without accumulation.
+  void ResetStats();
 
   // Reports the duration of a resolved wait (granted or aborted) for the
   // given requested mode. Called by the execution environment, which owns
-  // the clock; the manager only aggregates.
-  void RecordWaitTime(LockMode mode, double seconds) {
-    std::lock_guard<std::mutex> guard(mu_);
-    stats_.wait_seconds_by_class[static_cast<int>(WaitClassOf(mode))] +=
-        seconds;
-  }
+  // the clock; the manager only aggregates. Waits are the slow path, so
+  // this accounts into the wait-tier shard (keeping the floating-point
+  // accumulation single-site and deterministic under the simulation).
+  void RecordWaitTime(LockMode mode, double seconds);
 
   // Human-readable dump of every waiting transaction, the item it waits on
   // and its current blockers (diagnostics).
   std::string DumpWaiters() const;
 
-  // Full cross-check of the per-transaction holder index against the item
-  // holder tables (both directions), and of waiting_on entries against item
-  // queues. O(total locks); meant for tests and debug assertions. The
-  // release-path self-checks compile in only under the ACCDB_EXPENSIVE_CHECKS
-  // CMake option. Returns false and fills *violation (if non-null) on the
-  // first inconsistency.
+  // Full cross-check of every partition plus the wait tier: the per-txn
+  // holder index against the item holder tables (both directions), every
+  // queue entry against its wait-tier record (both directions), and each
+  // record's materialized blocker edges against a fresh recomputation.
+  // O(total locks); meant for tests and debug assertions. The release-path
+  // self-checks compile in only under the ACCDB_EXPENSIVE_CHECKS CMake
+  // option. Returns false and fills *violation (if non-null) on the first
+  // inconsistency.
   bool CheckIndexConsistency(std::string* violation = nullptr) const;
+
+  // --- Test hooks ---
+
+  // Latched copy of one partition's stats shard / the wait-tier shard
+  // (conservation tests: the shards must sum to StatsSnapshot()).
+  Stats PartitionStatsForTest(size_t partition) const;
+  Stats WaitTierStatsForTest() const;
+  // Number of release-path visits (latch acquisitions) this partition has
+  // seen, for asserting that releases never touch foreign partitions.
+  uint64_t PartitionReleaseVisitsForTest(size_t partition) const;
 
  private:
   struct Holder {
@@ -230,11 +277,56 @@ class LockManager {
     }
   };
 
+  // Per-item index of everything the transaction holds. Kept as ONE map
+  // per transaction (in a striped directory, not split per partition): the
+  // release paths iterate it to decide which items to visit and in what
+  // order, and that order feeds queue processing and listener callbacks —
+  // keeping it a single map makes the grant schedule independent of the
+  // partition count (sim_identity_test pins this byte-for-byte).
   struct TxnState {
-    // Per-item index of everything the transaction holds.
     std::unordered_map<ItemId, HeldEntry, ItemIdHash> held_items;
-    std::optional<ItemId> waiting_on;
   };
+
+  // One stripe of the item table: items, their recycling pool and a stats
+  // shard, all owned by `mu`.
+  struct Partition {
+    mutable std::mutex mu;
+    std::unordered_map<ItemId, ItemState, ItemIdHash> items;
+    // Fully released ItemStates waiting for reuse: recycling keeps the
+    // holder vector / waiter deque capacity instead of re-allocating it on
+    // the next lock of a cold item, and keeps the map from accumulating
+    // empty buckets.
+    std::vector<ItemState> pool;
+    Stats stats;
+    // Test-only: release-path visits (ReleaseConventional/ReleaseAssertion/
+    // ReleaseAll latching this partition to drop holders).
+    uint64_t release_visits = 0;
+  };
+
+  // One stripe of the per-transaction holder-index directory.
+  struct TxnStripe {
+    mutable std::mutex mu;
+    std::unordered_map<TxnId, TxnState> txns;
+  };
+
+  // A waiting transaction's wait-tier record. `blockers` is the
+  // materialized waits-for adjacency, republished under partition latch +
+  // wait-tier latch at every mutation of the item's holders or queue, in
+  // the exact order the lazy computation used (holders first, then earlier
+  // waiters) so the DFS traversal is unchanged.
+  struct WaitRecord {
+    ItemId item;
+    LockMode mode = LockMode::kX;
+    bool for_compensation = false;
+    std::vector<TxnId> blockers;
+  };
+
+  Partition& PartitionOf(const ItemId& item) const {
+    return *partitions_[PartitionIndex(item)];
+  }
+  TxnStripe& StripeOf(TxnId txn) const {
+    return stripes_[static_cast<size_t>(txn) & (kTxnStripes - 1)];
+  }
 
   // True if the request conflicts with any holder entry of another txn.
   bool ConflictsWithHolders(const ItemState& state,
@@ -249,12 +341,13 @@ class LockManager {
   // True if `txn` holds a kComp lock on the item.
   static bool HoldsComp(const ItemState& state, TxnId txn);
 
-  // Bumps the per-class and per-conflict-kind block counters for a request
-  // that is about to be enqueued; the conflict kind is read off the first
-  // conflicting holder (or, when `check_waiters`, the first conflicting
-  // earlier waiter among queue positions [0, upto)).
-  void RecordBlock(const ItemState& state, const RequestView& request,
-                   bool check_waiters, size_t upto);
+  // Bumps the per-class and per-conflict-kind block counters (in `shard`)
+  // for a request that is about to be enqueued; the conflict kind is read
+  // off the first conflicting holder (or, when `check_waiters`, the first
+  // conflicting earlier waiter among queue positions [0, upto)).
+  void RecordBlock(Stats& shard, const ItemState& state,
+                   const RequestView& request, bool check_waiters,
+                   size_t upto) const;
   // True if the request conflicts with an earlier queued waiter (FIFO
   // fairness). `upto` bounds the scan (queue positions [0, upto)).
   bool ConflictsWithWaiters(const ItemState& state, const RequestView& request,
@@ -262,20 +355,33 @@ class LockManager {
 
   // Installs a granted lock into the holder list (merging with existing
   // entries of the same transaction where appropriate) and updates the
-  // transaction's held-item index.
-  void InstallHolder(ItemState& state, TxnState& txn_state, ItemId item,
-                     TxnId txn, LockMode mode, RequestContext ctx);
+  // transaction's held-item index (briefly taking the txn's stripe latch).
+  // Requires the item's partition latch.
+  void InstallHolder(ItemState& state, ItemId item, TxnId txn, LockMode mode,
+                     RequestContext ctx);
 
-  // Looks up or creates the item's state; fresh states are drawn from the
-  // recycling pool (retaining their holder/queue capacity) when available.
-  ItemState& EnsureItem(ItemId item);
+  // Looks up or creates the item's state. Requires the partition latch.
+  ItemState& EnsureItem(Partition& part, ItemId item);
 
   // Returns a fully released item's state to the recycling pool. No-op
-  // while anything is still held or queued on the item.
-  void MaybeRecycleItem(ItemId item);
+  // while anything is still held or queued. Requires the partition latch.
+  void MaybeRecycleItem(Partition& part, ItemId item);
 
-  // Grants every queue entry that has become compatible; notifies listener.
-  void ProcessQueue(ItemId item);
+  // Direct blockers of the waiter at queue position `pos`: conflicting
+  // holders in holder order, then (for non-upgrades) conflicting earlier
+  // waiters in queue order. Requires the partition latch.
+  std::vector<TxnId> BlockersForWaiter(const ItemState& state,
+                                       const Waiter& waiter, size_t pos) const;
+
+  // Rewrites the materialized blocker edges of every waiter queued on the
+  // item. Requires the partition latch AND the wait-tier latch.
+  void RepublishItemWaitersLocked(const ItemState& state, ItemId item);
+
+  // Grants every queue entry that has become compatible (taking the
+  // wait-tier latch for the grant scan + edge republish), then notifies
+  // the listener. Requires the partition latch; the wait-tier latch must
+  // NOT be held.
+  void ProcessQueueLocked(Partition& part, ItemId item);
 
   // Detects and resolves deadlocks among ALL currently waiting
   // transactions. Needed beyond the request-time check because new
@@ -284,39 +390,61 @@ class LockManager {
   // other waiters, adds a holder that existing waiters are now blocked by.
   // Victim choice follows Section 3.4: never a compensating step — if a
   // cycle contains one, the other members' pending requests are aborted.
-  void ResolveAllDeadlocks();
+  // Runs the DFS under the wait-tier latch alone; no latch may be held on
+  // entry.
+  void ResolveDeadlocks();
 
-  // Direct blockers of `txn` given its current queue entry.
-  std::vector<TxnId> ComputeBlockers(TxnId txn) const;
+  // Aborts `victim`'s pending request for deadlock resolution: removes its
+  // queue entry and wait record, processes the item's queue, then fires
+  // OnWaiterAborted. Re-validates under the latches (the victim may have
+  // been granted or aborted by a concurrent resolution meanwhile — then
+  // no-op). No latch may be held on entry.
+  void AbortWaiterForDeadlock(TxnId victim);
 
-  // Drops the bookkeeping entry of `txn` if it holds nothing and waits for
-  // nothing (keeps txns_ from growing with dead transactions).
+  // Removes `txn`'s queue entry + wait record without processing the
+  // queue (ReleaseAll's cancellation; the caller decides what to process).
+  // Returns true if a wait was removed. No latch may be held on entry.
+  bool RemoveWaiterForRelease(TxnId txn);
+
+  // Drops the directory entry of `txn` if it holds nothing.
   void MaybeDropTxnState(TxnId txn);
 
-  // Removes `txn`'s waiter entry (if any); returns the item it waited on.
-  std::optional<ItemId> RemoveWaiter(TxnId txn);
-
-  // Unlatched implementations shared by the public wrappers and internal
-  // callers that already hold mu_.
+  // Full-audit body; requires every partition latch, the wait-tier latch
+  // and every stripe latch (in that order).
   bool CheckIndexConsistencyLocked(std::string* violation) const;
-  std::string DumpWaitersLocked() const;
 
-  // Serializes every public entry point (see the thread-safety note above).
-  mutable std::mutex mu_;
+  static constexpr size_t kTxnStripes = 64;
+
   const ConflictResolver* resolver_;
   // Conventional-vs-conventional decisions may bypass the resolver
   // (resolver_->UsesConventionalMatrix(), cached).
   const bool conventional_fast_path_;
   Listener* listener_ = nullptr;
-  bool resolving_ = false;  // Reentrancy guard for ResolveAllDeadlocks.
-  size_t waiting_count_ = 0;  // Transactions with a pending request.
-  std::unordered_map<ItemId, ItemState, ItemIdHash> items_;
-  std::unordered_map<TxnId, TxnState> txns_;
-  // Fully released ItemStates waiting for reuse: recycling keeps the holder
-  // vector / waiter deque capacity instead of re-allocating it on the next
-  // lock of a cold item, and keeps items_ from accumulating empty buckets.
-  std::vector<ItemState> item_pool_;
-  Stats stats_;
+
+  // Item-table partitions (fixed at construction; count is a power of two).
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  const size_t partition_mask_;
+  const std::function<size_t(const ItemId&)> partition_fn_;
+
+  // Striped per-transaction holder-index directory.
+  mutable std::array<TxnStripe, kTxnStripes> stripes_;
+
+  // --- Wait tier ---
+  // Owns the waits-for relation: one record per waiting transaction, with
+  // materialized blocker edges. Latch order: any partition latch may be
+  // held when acquiring wait_mu_; never the reverse.
+  mutable std::mutex wait_mu_;
+  std::unordered_map<TxnId, WaitRecord> waiting_;
+  // Mirror of waiting_.size() for the latch-free fast-out in
+  // ResolveDeadlocks (the common case: nobody waits).
+  std::atomic<size_t> waiting_count_{0};
+  // Wait/deadlock counters (incl. the wait_seconds doubles, whose
+  // accumulation order stays single-site and deterministic).
+  Stats wait_stats_;
+
+  // Release calls are counted outside any shard (a release may touch many
+  // partitions or none).
+  std::atomic<uint64_t> release_calls_{0};
 };
 
 }  // namespace accdb::lock

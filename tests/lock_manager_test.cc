@@ -447,13 +447,15 @@ TEST_F(LockManagerTest, BlockAttributionByClassAndKind) {
   lm_.RecordWaitTime(LockMode::kS, 0.5);
   lm_.RecordWaitTime(LockMode::kX, 1.5);
   lm_.RecordWaitTime(LockMode::kAssert, 2.0);
+  // stats() is a merged snapshot of the counter shards; re-fetch.
+  const LockManager::Stats after = lm_.stats();
   EXPECT_DOUBLE_EQ(
-      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)], 0.5);
+      after.wait_seconds_by_class[static_cast<int>(WaitClass::kShared)], 0.5);
   EXPECT_DOUBLE_EQ(
-      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kExclusive)],
+      after.wait_seconds_by_class[static_cast<int>(WaitClass::kExclusive)],
       1.5);
   EXPECT_DOUBLE_EQ(
-      stats.wait_seconds_by_class[static_cast<int>(WaitClass::kAssert)], 2.0);
+      after.wait_seconds_by_class[static_cast<int>(WaitClass::kAssert)], 2.0);
 }
 
 // Queue depth is sampled at enqueue time: depth after insertion.

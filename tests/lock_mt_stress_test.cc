@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "acc/catalog.h"
@@ -55,8 +56,9 @@ struct MtStressResult {
   LockManager::Stats stats;
 };
 
-MtStressResult RunMtStress(uint64_t seed, int workers, int txns_per_worker,
-                           int items, bool with_assertions) {
+MtStressResult RunMtStress(uint64_t seed, size_t partitions, int workers,
+                           int txns_per_worker, int items,
+                           bool with_assertions) {
   acc::Catalog catalog;
   acc::InterferenceTable table;
   ActorId writer = catalog.RegisterStepType("w");
@@ -64,7 +66,10 @@ MtStressResult RunMtStress(uint64_t seed, int workers, int txns_per_worker,
   table.Set(writer, assertion, acc::Interference::kIfSameKey);
   acc::AccConflictResolver resolver(&table);
 
-  LockManager lm(&resolver);
+  LockManagerOptions options;
+  options.partitions = partitions;
+  LockManager lm(&resolver, std::move(options));
+  EXPECT_EQ(lm.partition_count(), partitions);
   std::vector<runtime::ThreadExecutionEnv> envs(workers);
   StripedRouter router(&envs);
   lm.set_listener(&router);
@@ -149,14 +154,22 @@ MtStressResult RunMtStress(uint64_t seed, int workers, int txns_per_worker,
   return result;
 }
 
-class LockMtStressTest : public ::testing::TestWithParam<uint64_t> {};
+// Parameterized over (seed, partition count): the same schedules drive the
+// single-latch configuration (1 partition) and the striped two-tier
+// configurations, including one where items spread across more partitions
+// than there are hot items (64).
+class LockMtStressTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
 
-INSTANTIATE_TEST_SUITE_P(Seeds, LockMtStressTest,
-                         ::testing::Values(11, 42, 20250806));
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByPartitions, LockMtStressTest,
+    ::testing::Combine(::testing::Values(11, 42, 20250806),
+                       ::testing::Values(size_t{1}, size_t{4}, size_t{64})));
 
 TEST_P(LockMtStressTest, ConventionalOnlyDrains) {
+  const auto [seed, partitions] = GetParam();
   MtStressResult result =
-      RunMtStress(GetParam(), /*workers=*/8, /*txns_per_worker=*/120,
+      RunMtStress(seed, partitions, /*workers=*/8, /*txns_per_worker=*/120,
                   /*items=*/8, /*with_assertions=*/false);
   EXPECT_GT(result.completed, 200u);
   EXPECT_LE(result.victim_aborts, result.stats.deadlocks);
@@ -170,8 +183,9 @@ TEST_P(LockMtStressTest, ConventionalOnlyDrains) {
 }
 
 TEST_P(LockMtStressTest, WithAssertionalModesDrains) {
+  const auto [seed, partitions] = GetParam();
   MtStressResult result =
-      RunMtStress(GetParam(), /*workers=*/8, /*txns_per_worker=*/120,
+      RunMtStress(seed, partitions, /*workers=*/8, /*txns_per_worker=*/120,
                   /*items=*/8, /*with_assertions=*/true);
   EXPECT_GT(result.completed, 200u);
   EXPECT_GE(result.stats.requests,
