@@ -1,0 +1,319 @@
+// Networked TPC-C: 2PL vs ACC behind the TCP serving layer.
+//
+// The serving-layer counterpart of rt_tpcc: a closed-loop client load
+// generator (src/net/client) drives an AccdbServer over loopback, sweeping
+// the connection count and comparing the two systems on client-observed
+// response time and throughput. Unlike rt_tpcc, the transaction path now
+// crosses a real socket, the server's bounded admission queue, and the
+// worker pool — so the report additionally carries the server-side
+// queue-depth, admission-reject, and deadline-timeout counters.
+//
+// Wall-clock numbers are hardware-dependent; the tables and the
+// BENCH_net_tpcc.json report share the simulation benches' format, not
+// their bit-for-bit determinism.
+//
+// Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
+//   --connections=1,2,4,8,16  comma-separated client-connection sweep
+//   --seconds=S            measured window per cell (default 2)
+//   --workers=N            server worker threads (default 4)
+//   --max-queue=N          admission queue bound (default 128)
+//   --deadline-ms=N        per-request deadline (default 0: none)
+//   --retry-limit=N        client abort retries per request (default 8)
+//   --seed=N               workload seed (default 20250806)
+//   --cost-scale=F         scales modeled statement costs (default 1)
+//   --json=PATH | --no-json  report destination (default BENCH_net_tpcc.json)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "net/client.h"
+#include "server/server.h"
+#include "tpcc/consistency.h"
+
+namespace {
+
+struct NetOptions {
+  std::vector<int> connections = {1, 2, 4, 8, 16};
+  double seconds = 2.0;
+  int workers = 4;
+  size_t max_queue = 128;
+  uint32_t deadline_ms = 0;
+  int retry_limit = 8;
+  uint64_t seed = 20250806;
+  double cost_scale = 1.0;
+  std::string json_path = "BENCH_net_tpcc.json";
+};
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--connections=1,2,4,8,16] [--seconds=S] [--workers=N]\n"
+      "          [--max-queue=N] [--deadline-ms=N] [--retry-limit=N]\n"
+      "          [--seed=N] [--cost-scale=F] [--json=PATH | --no-json]\n",
+      argv0);
+  std::exit(2);
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+NetOptions ParseOptions(int argc, char** argv) {
+  NetOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseValue(argv[i], "--connections", &value)) {
+      options.connections.clear();
+      for (size_t pos = 0; pos < value.size();) {
+        size_t comma = value.find(',', pos);
+        if (comma == std::string::npos) comma = value.size();
+        int n = std::atoi(value.substr(pos, comma - pos).c_str());
+        if (n <= 0) Usage(argv[0]);
+        options.connections.push_back(n);
+        pos = comma + 1;
+      }
+      if (options.connections.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--seconds", &value)) {
+      options.seconds = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--workers", &value)) {
+      options.workers = std::atoi(value.c_str());
+    } else if (ParseValue(argv[i], "--max-queue", &value)) {
+      options.max_queue = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--deadline-ms", &value)) {
+      options.deadline_ms =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseValue(argv[i], "--retry-limit", &value)) {
+      options.retry_limit = std::atoi(value.c_str());
+    } else if (ParseValue(argv[i], "--seed", &value)) {
+      options.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--cost-scale", &value)) {
+      options.cost_scale = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--json", &value)) {
+      options.json_path = value;
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      options.json_path.clear();
+    } else {
+      Usage(argv[0]);
+    }
+  }
+  return options;
+}
+
+// One (system, connection-count) cell: server up, load, drain, inspect.
+struct NetCell {
+  accdb::tpcc::WorkloadResult result;  // Harness-shaped view of the run.
+  accdb::net::LoadGenResult client;
+  accdb::server::ServerStats server;
+  bool ok = false;
+  std::string error;
+};
+
+NetCell RunNetCell(const NetOptions& options, bool decomposed,
+                   int connections) {
+  using namespace accdb;
+  NetCell cell;
+
+  server::ServerOptions sopts;
+  sopts.workload = bench::BaseConfig(options.seed);
+  sopts.workload.decomposed = decomposed;
+  sopts.workload.inputs.skew_districts = true;
+  sopts.workload.inputs.hot_districts = 1;
+  sopts.workload.inputs.hot_fraction = 0.5;
+  sopts.workers = options.workers;
+  sopts.max_queue = options.max_queue;
+  sopts.cost_scale = options.cost_scale;
+
+  server::AccdbServer server(sopts);
+  Status started = server.Start();
+  if (!started.ok()) {
+    cell.error = std::string(started.message());
+    return cell;
+  }
+
+  net::LoadGenOptions lopts;
+  lopts.connections = connections;
+  lopts.seconds = options.seconds;
+  lopts.deadline_ms = options.deadline_ms;
+  lopts.retry_limit = options.retry_limit;
+  lopts.seed = options.seed;  // Same mix seed for both systems (fair pair).
+  lopts.inputs = sopts.workload.inputs;
+  auto load = net::RunLoadGen(server.port(), lopts);
+  server.Shutdown();
+  if (!load.ok()) {
+    cell.error = std::string(load.status().message());
+    return cell;
+  }
+  cell.client = *load;
+  cell.server = server.StatsSnapshot();
+
+  // Project the run into the harness's WorkloadResult shape so the shared
+  // tail tables and JSON schema apply unchanged. Client view: response
+  // times and commit/abort counts as seen at the terminal. Server view:
+  // engine histograms and lock statistics (quiescent after Shutdown).
+  tpcc::WorkloadResult& r = cell.result;
+  r.response_all = cell.client.response_all;
+  r.response_hist = cell.client.response_hist;
+  for (int i = 0; i < tpcc::kNumTxnTypes; ++i) {
+    r.response_by_type[i] = cell.client.response_by_type[i];
+  }
+  r.completed = cell.client.committed;
+  r.aborted = cell.client.aborted + cell.client.deadline_exceeded;
+  r.compensated = cell.client.compensated;
+  r.step_deadlock_retries = cell.client.step_deadlock_retries;
+  r.txn_restarts = cell.client.txn_restarts;
+  r.sim_seconds = options.seconds;
+  acc::Engine& engine = server.engine();
+  acc::EngineMetrics metrics = engine.MetricsSnapshot();
+  r.step_latency_hist = metrics.step_latency;
+  r.txn_latency_hist = metrics.txn_latency;
+  r.lock_wait_hist = metrics.lock_wait;
+  r.total_lock_wait = metrics.lock_wait.sum();
+  r.lock_stats = engine.lock_manager().StatsSnapshot();
+
+  // Strictness mirrors rt_runner: compensation legitimately consumes the
+  // 1%-rollback new-order ids, so strict conservation only holds without it.
+  // The server view counts executions whose responses were dropped, so it —
+  // not the client view — gates strictness.
+  tpcc::ConsistencyReport consistency = tpcc::CheckConsistency(
+      server.system().db(), /*strict=*/cell.server.compensated == 0);
+  r.consistent = consistency.ok;
+  if (!consistency.ok) r.first_violation = consistency.violations[0];
+  cell.ok = true;
+  return cell;
+}
+
+accdb::Json ServerStatsJson(const accdb::server::ServerStats& s) {
+  using accdb::Json;
+  Json j = Json::Object();
+  j["requests_received"] = Json(s.requests_received);
+  j["requests_admitted"] = Json(s.requests_admitted);
+  j["admission_rejects"] = Json(s.admission_rejects);
+  j["shutdown_rejects"] = Json(s.shutdown_rejects);
+  j["committed"] = Json(s.committed);
+  j["aborted"] = Json(s.aborted);
+  j["compensated"] = Json(s.compensated);
+  j["deadline_exceeded_queue"] = Json(s.deadline_exceeded_queue);
+  j["deadline_exceeded_exec"] = Json(s.deadline_exceeded_exec);
+  j["internal_errors"] = Json(s.internal_errors);
+  j["responses_sent"] = Json(s.responses_sent);
+  j["responses_dropped"] = Json(s.responses_dropped);
+  j["queue_depth_peak"] = Json(s.queue_depth_peak);
+  j["connections_accepted"] = Json(s.connections_accepted);
+  j["malformed_frames"] = Json(s.malformed_frames);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accdb;
+  using namespace accdb::bench;
+
+  NetOptions options = ParseOptions(argc, argv);
+  BenchOptions report_options;
+  report_options.name = "net_tpcc";
+  report_options.jobs = 1;
+  report_options.json_path = options.json_path;
+  BenchReport report(report_options);
+  PrintTitle(
+      "Networked TPC-C: 2PL vs ACC through the TCP serving layer "
+      "(loopback, wall clock; hardware-dependent, not deterministic)");
+  std::printf("workers=%d max_queue=%zu deadline_ms=%u cost_scale=%g\n",
+              options.workers, options.max_queue, options.deadline_ms,
+              options.cost_scale);
+
+  std::vector<PairResult> sweep;
+  std::vector<server::ServerStats> acc_server_stats;
+  std::vector<server::ServerStats> non_acc_server_stats;
+  bool consistent = true;
+  bool all_cells_ok = true;
+  for (int connections : options.connections) {
+    NetCell acc_cell = RunNetCell(options, /*decomposed=*/true, connections);
+    NetCell non_acc_cell =
+        RunNetCell(options, /*decomposed=*/false, connections);
+    if (!acc_cell.ok || !non_acc_cell.ok) {
+      std::fprintf(stderr, "!! cell failed at %d connections: %s\n",
+                   connections,
+                   (!acc_cell.ok ? acc_cell.error : non_acc_cell.error)
+                       .c_str());
+      all_cells_ok = false;
+      continue;
+    }
+    PairResult pair;
+    pair.terminals = connections;
+    pair.sweep_x = connections;
+    pair.acc = acc_cell.result;
+    pair.non_acc = non_acc_cell.result;
+    if (!pair.acc.consistent || !pair.non_acc.consistent) {
+      std::printf("!! consistency violation at %d connections (%s)\n",
+                  connections,
+                  (!pair.acc.consistent ? pair.acc.first_violation
+                                        : pair.non_acc.first_violation)
+                      .c_str());
+      consistent = false;
+    }
+    sweep.push_back(std::move(pair));
+    acc_server_stats.push_back(acc_cell.server);
+    non_acc_server_stats.push_back(non_acc_cell.server);
+  }
+
+  std::printf("%-6s %12s %12s %12s %12s %10s\n", "conns", "acc tput/s",
+              "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
+  for (const PairResult& pair : sweep) {
+    std::printf("%-6d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.sweep_x,
+                pair.acc.throughput(), pair.non_acc.throughput(),
+                TailCell(pair.acc.response_all.mean()).c_str(),
+                TailCell(pair.non_acc.response_all.mean()).c_str(),
+                pair.ResponseRatio(), DegenerateMark(pair));
+  }
+
+  std::printf("\nserver-side counters (per system):\n");
+  std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "conns", "system",
+              "admit", "reject", "dl_q", "dl_exec", "peak_q", "dropped");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto print_row = [&](const char* system,
+                               const server::ServerStats& s) {
+      std::printf("%-6d %8s %8llu %8llu %8llu %8llu %8llu %8llu\n",
+                  sweep[i].sweep_x, system,
+                  static_cast<unsigned long long>(s.requests_admitted),
+                  static_cast<unsigned long long>(s.admission_rejects),
+                  static_cast<unsigned long long>(s.deadline_exceeded_queue),
+                  static_cast<unsigned long long>(s.deadline_exceeded_exec),
+                  static_cast<unsigned long long>(s.queue_depth_peak),
+                  static_cast<unsigned long long>(s.responses_dropped));
+    };
+    print_row("acc", acc_server_stats[i]);
+    print_row("2pl", non_acc_server_stats[i]);
+  }
+
+  std::printf("\n");
+  PrintPairTailTable("networked TPC-C (skewed districts)", "conns", sweep);
+
+  report.root()["environment"] = Json("net-loopback");
+  report.root()["measured_seconds"] = Json(options.seconds);
+  report.root()["workers"] = Json(static_cast<uint64_t>(options.workers));
+  report.root()["max_queue"] = Json(static_cast<uint64_t>(options.max_queue));
+  report.root()["deadline_ms"] =
+      Json(static_cast<uint64_t>(options.deadline_ms));
+  report.root()["cost_scale"] = Json(options.cost_scale);
+  report.AddPairSweep("net_skewed", "connections", sweep);
+  // Server-side counters ride next to the pair sweep, same point order.
+  Json servers = Json::Array();
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    Json point = Json::Object();
+    point["x"] = Json(static_cast<int64_t>(sweep[i].sweep_x));
+    point["acc"] = ServerStatsJson(acc_server_stats[i]);
+    point["non_acc"] = ServerStatsJson(non_acc_server_stats[i]);
+    servers.Append(std::move(point));
+  }
+  report.root()["server_stats"] = std::move(servers);
+  report.Write();
+  return consistent && all_cells_ok ? 0 : 1;
+}

@@ -9,13 +9,15 @@
 # protocol, the partitioned lock-manager latching (lock_mt_stress_test is
 # parameterized over 1/4/64 partitions, so the two-tier partition ->
 # wait-tier paths all run under the race detector), the storage table
-# latches, and the metrics recording — everything PR 3 made concurrent.
+# latches, and the metrics recording — everything PR 3 made concurrent —
+# plus the serving layer (net_server_test): event-loop Defer/Wake handoffs,
+# the bounded request queue, worker-pool deadlines, and graceful drain.
 
 if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P tsan_smoke.cmake")
 endif()
 
-set(SMOKE_TESTS runtime_test lock_mt_stress_test)
+set(SMOKE_TESTS runtime_test lock_mt_stress_test net_server_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

@@ -6,6 +6,18 @@
 
 namespace accdb::acc {
 
+namespace {
+
+// Final status of an execution that did not commit. Deadline expiry stays
+// typed (serving layers dispatch on it); every other cause collapses to the
+// classic kAborted.
+Status FinalAbortStatus(const Status& status) {
+  if (status.code() == StatusCode::kDeadlineExceeded) return status;
+  return Status::Aborted(status.message());
+}
+
+}  // namespace
+
 lock::ItemId AssertionDeclItem(lock::AssertionId decl) {
   return lock::ItemId{/*table=*/0xFFFFFFFFu, /*row=*/decl};
 }
@@ -102,7 +114,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
         }
         result.compensated = true;
         recovery_log_.Compensated(txn);
-        result.status = Status::Aborted(status.message());
+        result.status = FinalAbortStatus(status);
         record_txn_latency();
         return result;
       }
@@ -115,7 +127,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
         ++result.txn_restarts;
         continue;
       }
-      result.status = Status::Aborted(status.message());
+      result.status = FinalAbortStatus(status);
       record_txn_latency();
       return result;
     }
@@ -128,7 +140,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       ++result.txn_restarts;
       continue;
     }
-    result.status = Status::Aborted(status.message());
+    result.status = FinalAbortStatus(status);
     record_txn_latency();
     return result;
   }

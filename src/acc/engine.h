@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cassert>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -89,6 +90,16 @@ enum class ExecMode {
   kSerializable,
 };
 
+// Verdict of a deadline-bounded lock wait. kTimedOut is only produced by
+// environments with real time (ThreadExecutionEnv); on timeout the request
+// is still queued in the lock manager and the wait cell is still armed —
+// the caller must CancelWaiter + DiscardWait before proceeding.
+enum class WaitVerdict {
+  kGranted,
+  kAborted,   // Deadlock victim: the request was refused.
+  kTimedOut,  // The deadline passed before the request resolved.
+};
+
 // Blocking/time abstraction. The engine invokes PrepareWait before every
 // potentially blocking lock request so grant/abort notifications arriving
 // during the request cannot be lost.
@@ -111,6 +122,24 @@ class ExecutionEnv {
   virtual void PrepareWait(lock::TxnId txn) = 0;
   virtual bool AwaitLock(lock::TxnId txn) = 0;  // true = granted.
   virtual void DiscardWait(lock::TxnId txn) = 0;
+
+  // Deadline-bounded wait: like AwaitLock, but gives up once `deadline`
+  // (absolute, on this env's clock) passes. Environments without real time
+  // ignore the deadline and never return kTimedOut — under the simulation a
+  // wait only ever resolves by grant or deadlock abort, which keeps
+  // simulation results byte-identical to the pre-deadline engine.
+  virtual WaitVerdict AwaitLockUntil(lock::TxnId txn, double deadline) {
+    (void)deadline;
+    return AwaitLock(txn) ? WaitVerdict::kGranted : WaitVerdict::kAborted;
+  }
+
+  // Absolute deadline (on this env's clock) applied to every lock wait of
+  // the execution currently running on this env; +infinity = none. Serving
+  // layers set it per request (ThreadExecutionEnv::set_lock_wait_deadline);
+  // compensation ignores it (§3.4: compensation always completes).
+  virtual double LockWaitDeadline() const {
+    return std::numeric_limits<double>::infinity();
+  }
 
   // Lock-manager notifications, routed by the engine.
   virtual void LockGranted(lock::TxnId txn) = 0;

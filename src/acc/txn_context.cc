@@ -1,6 +1,7 @@
 #include "acc/txn_context.h"
 
 #include <cassert>
+#include <limits>
 
 namespace accdb::acc {
 
@@ -42,21 +43,39 @@ Status TxnContext::AcquireLock(lock::ItemId item, lock::LockMode mode) {
     case lock::Outcome::kAborted:
       env_->DiscardWait(txn_);
       return DeadlockStatus();
-    case lock::Outcome::kWaiting: {
-      bool granted = AwaitTimed(mode);
-      return granted ? Status::Ok() : DeadlockStatus();
-    }
+    case lock::Outcome::kWaiting:
+      return AwaitTimed(mode);
   }
   return Status::Internal("unreachable");
 }
 
-bool TxnContext::AwaitTimed(lock::LockMode mode) {
+Status TxnContext::AwaitTimed(lock::LockMode mode) {
+  // Compensation must always complete (§3.4), so it is exempt from the
+  // request deadline; forward steps give up once the deadline passes.
+  const double deadline = in_compensation_
+                              ? std::numeric_limits<double>::infinity()
+                              : env_->LockWaitDeadline();
   const double wait_start = env_->Now();
-  bool granted = env_->AwaitLock(txn_);
+  WaitVerdict verdict = env_->AwaitLockUntil(txn_, deadline);
+  if (verdict == WaitVerdict::kTimedOut) {
+    // The request is still queued and the wait cell still armed. Cancel the
+    // waiter first; if a grant raced in before the cancel, the transaction
+    // now holds the lock and the abort path's ReleaseAll drops it.
+    engine_->lock_manager().CancelWaiter(txn_);
+    env_->DiscardWait(txn_);
+  }
   const double waited = env_->Now() - wait_start;
   engine_->lock_manager().RecordWaitTime(mode, waited);
   engine_->RecordLockWait(waited);
-  return granted;
+  switch (verdict) {
+    case WaitVerdict::kGranted:
+      return Status::Ok();
+    case WaitVerdict::kAborted:
+      return DeadlockStatus();
+    case WaitVerdict::kTimedOut:
+      return Status::DeadlineExceeded("lock wait deadline");
+  }
+  return Status::Internal("unreachable");
 }
 
 void TxnContext::ChargeStatement(double base_cost) {
@@ -295,7 +314,7 @@ Status TxnContext::AcquireAssertion(const AssertionInstance& assertion) {
       env_->DiscardWait(txn_);
       return DeadlockStatus();
     }
-    if (!AwaitTimed(lock::LockMode::kAssert)) return DeadlockStatus();
+    ACCDB_RETURN_IF_ERROR(AwaitTimed(lock::LockMode::kAssert));
   }
   return Status::Ok();
 }
@@ -506,7 +525,7 @@ Status TxnContext::AcquireInitialAssertion(const AssertionInstance& assertion) {
       env_->DiscardWait(txn_);
       return DeadlockStatus();
     }
-    if (!AwaitTimed(lock::LockMode::kAssert)) return DeadlockStatus();
+    ACCDB_RETURN_IF_ERROR(AwaitTimed(lock::LockMode::kAssert));
   }
   current_assertion_.instance = assertion;
   current_assertion_.instance_number = 0;

@@ -136,13 +136,16 @@ class TxnContext {
   };
 
   // One lock-manager round trip; resolves waiting through the env. Returns
-  // OK, or kDeadlock when this transaction lost a deadlock.
+  // OK, kDeadlock when this transaction lost a deadlock, or
+  // kDeadlineExceeded when the env's lock-wait deadline expired first.
   Status AcquireLock(lock::ItemId item, lock::LockMode mode);
 
   // Blocks on the pending request of `txn_`, measuring the wait on the env
   // clock and feeding it to the lock manager's per-mode attribution and the
-  // engine's lock-wait histogram. Returns AwaitLock's verdict.
-  bool AwaitTimed(lock::LockMode mode);
+  // engine's lock-wait histogram. Bounded by the env's LockWaitDeadline()
+  // except during compensation (§3.4: compensation always completes); on
+  // timeout the queued request is cancelled and kDeadlineExceeded returned.
+  Status AwaitTimed(lock::LockMode mode);
 
   // Lock a row and charge a statement; shared by the read paths.
   Status LockRowForStatement(const storage::Table& table, storage::RowId id,

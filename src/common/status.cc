@@ -22,6 +22,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DEADLOCK";
     case StatusCode::kWouldBlock:
       return "WOULD_BLOCK";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

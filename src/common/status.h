@@ -32,6 +32,13 @@ enum class StatusCode {
                  // rollback / compensation is in progress or required.
   kDeadlock,     // This request closed a deadlock cycle.
   kWouldBlock,   // Non-blocking request could not be granted immediately.
+  // Serving-layer outcomes (src/net, src/server). Typed so engine aborts and
+  // server rejections cross the wire as codes, not strings.
+  kDeadlineExceeded,  // Per-request deadline expired (queued too long or a
+                      // lock wait timed out); the transaction was rolled
+                      // back / compensated like any other abort.
+  kOverloaded,        // Admission control refused the request (bounded
+                      // queue full or server draining); nothing executed.
 };
 
 // Human-readable name of a StatusCode, e.g. "ABORTED".
@@ -69,6 +76,12 @@ class Status {
   }
   static Status WouldBlock(std::string msg) {
     return Status(StatusCode::kWouldBlock, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

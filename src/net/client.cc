@@ -1,0 +1,188 @@
+#include "net/client.h"
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace accdb::net {
+
+Result<Client> Client::Connect(uint16_t port) {
+  auto fd = ConnectLoopback(port);
+  if (!fd.ok()) return fd.status();
+  return Client(std::move(*fd));
+}
+
+Result<Message> Client::ReadMessage() {
+  for (;;) {
+    Message msg;
+    switch (decoder_.Next(&msg)) {
+      case DecodeResult::kMessage:
+        return msg;
+      case DecodeResult::kError:
+        return decoder_.error();
+      case DecodeResult::kNeedMore:
+        break;
+    }
+    char buf[4096];
+    size_t n = 0;
+    IoResult r = ReadSome(fd_.get(), buf, sizeof(buf), &n);
+    if (r == IoResult::kWouldBlock) continue;  // Blocking fd: spurious.
+    if (r == IoResult::kEof) {
+      return Status::Internal("connection closed by server");
+    }
+    if (r != IoResult::kOk) return Status::Internal("read failed");
+    decoder_.Append(std::string_view(buf, n));
+  }
+}
+
+Result<ExecResponse> Client::Call(const ExecRequest& req) {
+  std::string frame = EncodeFrame(Message(req));
+  if (WriteFull(fd_.get(), frame.data(), frame.size()) != IoResult::kOk) {
+    return Status::Internal("write failed");
+  }
+  auto msg = ReadMessage();
+  if (!msg.ok()) return msg.status();
+  auto* resp = std::get_if<ExecResponse>(&*msg);
+  if (resp == nullptr) {
+    return Status::Internal("unexpected message kind in response");
+  }
+  if (resp->request_id != req.request_id) {
+    return Status::Internal("response id mismatch");
+  }
+  return *resp;
+}
+
+Result<ExecResponse> Client::Execute(tpcc::TxnType type, uint32_t deadline_ms,
+                                     int retry_limit, uint64_t* retries_out) {
+  ExecRequest req;
+  req.request_id = next_request_id_++;
+  req.txn_type = static_cast<uint8_t>(type);
+  req.deadline_ms = deadline_ms;
+  for (int attempt = 0;; ++attempt) {
+    req.attempt = static_cast<uint32_t>(attempt);
+    auto resp = Call(req);
+    if (!resp.ok()) return resp.status();
+    if (resp->status != WireStatus::kAborted || attempt >= retry_limit) {
+      return resp;
+    }
+    if (retries_out != nullptr) ++*retries_out;
+  }
+}
+
+Result<std::string> Client::FetchStatsJson() {
+  StatsRequest req;
+  req.request_id = next_request_id_++;
+  std::string frame = EncodeFrame(Message(req));
+  if (WriteFull(fd_.get(), frame.data(), frame.size()) != IoResult::kOk) {
+    return Status::Internal("write failed");
+  }
+  auto msg = ReadMessage();
+  if (!msg.ok()) return msg.status();
+  auto* resp = std::get_if<StatsResponse>(&*msg);
+  if (resp == nullptr || resp->request_id != req.request_id) {
+    return Status::Internal("unexpected stats response");
+  }
+  return resp->json;
+}
+
+void LoadGenResult::MergeFrom(const LoadGenResult& other) {
+  response_all.Merge(other.response_all);
+  response_hist.Merge(other.response_hist);
+  for (int i = 0; i < tpcc::kNumTxnTypes; ++i) {
+    response_by_type[i].Merge(other.response_by_type[i]);
+  }
+  committed += other.committed;
+  aborted += other.aborted;
+  deadline_exceeded += other.deadline_exceeded;
+  overloaded += other.overloaded;
+  other_errors += other.other_errors;
+  compensated += other.compensated;
+  retries += other.retries;
+  transport_errors += other.transport_errors;
+  step_deadlock_retries += other.step_deadlock_retries;
+  txn_restarts += other.txn_restarts;
+}
+
+namespace {
+
+void RunOneConnection(uint16_t port, const LoadGenOptions& options,
+                      uint64_t seed, LoadGenResult* out) {
+  auto client = Client::Connect(port);
+  if (!client.ok()) {
+    ++out->transport_errors;
+    return;
+  }
+  tpcc::InputGenerator gen(options.inputs, seed);
+  const auto end = std::chrono::steady_clock::now() +
+                   std::chrono::duration<double>(options.seconds);
+  while (std::chrono::steady_clock::now() < end) {
+    tpcc::TxnType type = gen.NextType();
+    const auto start = std::chrono::steady_clock::now();
+    auto resp = client->Execute(type, options.deadline_ms,
+                                options.retry_limit, &out->retries);
+    const double response =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!resp.ok()) {
+      // Connection died (e.g. server shutdown mid-call): stop this loop.
+      ++out->transport_errors;
+      return;
+    }
+    out->response_all.Add(response);
+    out->response_hist.Add(response);
+    out->response_by_type[static_cast<int>(type)].Add(response);
+    if (resp->compensated) ++out->compensated;
+    out->step_deadlock_retries += resp->step_deadlock_retries;
+    out->txn_restarts += resp->txn_restarts;
+    switch (resp->status) {
+      case WireStatus::kOk:
+        ++out->committed;
+        break;
+      case WireStatus::kAborted:
+        ++out->aborted;
+        break;
+      case WireStatus::kDeadlineExceeded:
+        ++out->deadline_exceeded;
+        break;
+      case WireStatus::kOverloaded:
+      case WireStatus::kShuttingDown:
+        ++out->overloaded;
+        break;
+      default:
+        ++out->other_errors;
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<LoadGenResult> RunLoadGen(uint16_t port,
+                                 const LoadGenOptions& options) {
+  std::vector<std::unique_ptr<LoadGenResult>> locals;
+  std::vector<std::thread> threads;
+  locals.reserve(options.connections);
+  threads.reserve(options.connections);
+  for (int c = 0; c < options.connections; ++c) {
+    locals.push_back(std::make_unique<LoadGenResult>());
+    LoadGenResult* local = locals.back().get();
+    uint64_t seed = options.seed * 6364136223846793005ULL +
+                    static_cast<uint64_t>(c) * 1442695040888963407ULL + 1;
+    threads.emplace_back([port, &options, seed, local] {
+      RunOneConnection(port, options, seed, local);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  LoadGenResult merged;
+  for (const auto& local : locals) merged.MergeFrom(*local);
+  if (merged.issued() == 0 &&
+      merged.transport_errors >= static_cast<uint64_t>(options.connections)) {
+    return Status::Internal("no connection could issue any request");
+  }
+  return merged;
+}
+
+}  // namespace accdb::net

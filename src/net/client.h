@@ -1,0 +1,103 @@
+// Client side of the serving layer: a blocking single-connection client
+// with idempotent retry-on-abort, and a multi-connection closed-loop load
+// generator used by bench/net_tpcc and the server tests.
+
+#ifndef ACCDB_NET_CLIENT_H_
+#define ACCDB_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "sim/metrics.h"
+#include "tpcc/input.h"
+
+namespace accdb::net {
+
+// One blocking TCP connection to an AccdbServer. Not thread-safe; one
+// request in flight at a time (the protocol is strictly request/response
+// per connection).
+class Client {
+ public:
+  static Result<Client> Connect(uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  // One round trip: send `req`, await the matching response. Transport
+  // failures (EOF, reset) return non-OK; a response with a non-OK wire
+  // status is still an OK Result (the caller inspects response.status).
+  Result<ExecResponse> Call(const ExecRequest& req);
+
+  // Executes a canned transaction, retrying aborts up to `retry_limit`
+  // times with the same request id. Safe because an aborted execution left
+  // no database effects (rollback / completed compensation), so the retry
+  // is a fresh instance of the same idempotent request. Deadline and
+  // overload rejections are NOT retried — they are backpressure, and the
+  // caller decides how to shed load. `retries_out` (optional) accumulates
+  // the number of re-sends.
+  Result<ExecResponse> Execute(tpcc::TxnType type, uint32_t deadline_ms,
+                               int retry_limit, uint64_t* retries_out =
+                                                    nullptr);
+
+  // Server + engine counters as a JSON text (schema in DESIGN.md §11).
+  Result<std::string> FetchStatsJson();
+
+  // Half-close towards the server; outstanding server work still completes.
+  void Close() { fd_.Reset(); }
+  int fd() const { return fd_.get(); }
+
+ private:
+  explicit Client(ScopedFd fd) : fd_(std::move(fd)) {}
+
+  Result<Message> ReadMessage();
+
+  ScopedFd fd_;
+  FrameDecoder decoder_;
+  uint64_t next_request_id_ = 1;
+};
+
+// --- Closed-loop load generator ---
+
+struct LoadGenOptions {
+  int connections = 4;
+  double seconds = 2.0;       // Wall-clock run length per connection.
+  uint32_t deadline_ms = 0;   // Per-request deadline; 0 = none.
+  int retry_limit = 8;        // Abort retries per request.
+  uint64_t seed = 1;          // Per-connection type-mix seeds derive from it.
+  tpcc::InputGenConfig inputs;  // Transaction mix (weights only).
+};
+
+struct LoadGenResult {
+  // Client-observed response time per request, retries included.
+  sim::Accumulator response_all;
+  sim::Histogram response_hist;
+  sim::Accumulator response_by_type[tpcc::kNumTxnTypes];
+  uint64_t committed = 0;
+  uint64_t aborted = 0;            // Still aborted after all retries.
+  uint64_t deadline_exceeded = 0;
+  uint64_t overloaded = 0;         // Admission rejects + shutdown refusals.
+  uint64_t other_errors = 0;       // Invalid/internal wire statuses.
+  uint64_t compensated = 0;
+  uint64_t retries = 0;            // Abort re-sends across all requests.
+  uint64_t transport_errors = 0;   // Connection died mid-call.
+  // Engine-side counters echoed in the responses, summed across requests.
+  uint64_t step_deadlock_retries = 0;
+  uint64_t txn_restarts = 0;
+
+  uint64_t issued() const {
+    return committed + aborted + deadline_exceeded + overloaded +
+           other_errors;
+  }
+  void MergeFrom(const LoadGenResult& other);
+};
+
+// Runs `connections` closed-loop client threads against 127.0.0.1:`port`
+// for `seconds`, merging per-connection results. Fails only if no
+// connection could be established.
+Result<LoadGenResult> RunLoadGen(uint16_t port, const LoadGenOptions& options);
+
+}  // namespace accdb::net
+
+#endif  // ACCDB_NET_CLIENT_H_

@@ -1,0 +1,113 @@
+#include "net/event_loop.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace accdb::net {
+
+EventLoop::EventLoop() {
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    status_ = Status::Internal("pipe: wake pipe creation failed");
+    return;
+  }
+  wake_read_ = ScopedFd(pipe_fds[0]);
+  wake_write_ = ScopedFd(pipe_fds[1]);
+  status_ = SetNonBlocking(wake_read_.get());
+  if (status_.ok()) status_ = SetNonBlocking(wake_write_.get());
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::Add(int fd, FdHandler handler) {
+  fds_[fd] = FdState{std::move(handler), /*want_write=*/false};
+}
+
+void EventLoop::SetWriteInterest(int fd, bool enabled) {
+  auto it = fds_.find(fd);
+  if (it != fds_.end()) it->second.want_write = enabled;
+}
+
+void EventLoop::Remove(int fd) { fds_.erase(fd); }
+
+void EventLoop::Defer(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    deferred_.push_back(std::move(task));
+  }
+  Wake();
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stop_ = true;
+  }
+  Wake();
+}
+
+void EventLoop::Wake() {
+  char byte = 0;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+void EventLoop::DrainWakePipe() {
+  char buf[256];
+  while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+std::vector<std::function<void()>> EventLoop::TakeDeferred() {
+  std::lock_guard<std::mutex> guard(mu_);
+  return std::exchange(deferred_, {});
+}
+
+void EventLoop::Run() {
+  std::vector<pollfd> pollfds;
+  std::vector<int> poll_order;
+  for (;;) {
+    // Deferred tasks first: they may register fds, queue writes, or stop.
+    for (std::function<void()>& task : TakeDeferred()) task();
+    {
+      std::lock_guard<std::mutex> guard(mu_);
+      if (stop_) return;
+    }
+
+    pollfds.clear();
+    poll_order.clear();
+    pollfds.push_back(pollfd{wake_read_.get(), POLLIN, 0});
+    for (const auto& [fd, state] : fds_) {
+      short events = POLLIN;
+      if (state.want_write) events |= POLLOUT;
+      pollfds.push_back(pollfd{fd, events, 0});
+      poll_order.push_back(fd);
+    }
+
+    int rc = ::poll(pollfds.data(), pollfds.size(), /*timeout_ms=*/1000);
+    if (rc < 0) continue;  // EINTR.
+
+    if (pollfds[0].revents != 0) DrainWakePipe();
+    for (size_t i = 1; i < pollfds.size(); ++i) {
+      short revents = pollfds[i].revents;
+      if (revents == 0) continue;
+      int fd = poll_order[i - 1];
+      // A handler earlier in this iteration may have removed this fd (and
+      // the fd number may even have been reused — but not within one
+      // iteration, since only the loop thread closes registered fds).
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;
+      uint32_t events = 0;
+      if (revents & POLLIN) events |= kReadable;
+      if (revents & POLLOUT) events |= kWritable;
+      if (revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
+      // Copy the handler: it may Remove(fd), invalidating `it`.
+      FdHandler handler = it->second.handler;
+      handler(events);
+    }
+  }
+}
+
+}  // namespace accdb::net

@@ -1,0 +1,85 @@
+// Single-threaded poll(2) event loop for the serving layer.
+//
+// One thread calls Run(); every registered fd handler executes on that
+// thread, so handler state (the server's session table) needs no locking.
+// Other threads communicate with the loop exclusively through Defer(),
+// which enqueues a closure and wakes the loop via a self-pipe — that is how
+// worker threads publish transaction responses and how Stop() is delivered.
+
+#ifndef ACCDB_NET_EVENT_LOOP_H_
+#define ACCDB_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+
+namespace accdb::net {
+
+class EventLoop {
+ public:
+  // Event mask bits passed to fd handlers.
+  static constexpr uint32_t kReadable = 1u << 0;
+  static constexpr uint32_t kWritable = 1u << 1;
+  static constexpr uint32_t kError = 1u << 2;  // POLLERR / POLLHUP / POLLNVAL.
+
+  using FdHandler = std::function<void(uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Whether construction succeeded (self-pipe creation can fail).
+  const Status& status() const { return status_; }
+
+  // --- Loop-thread-only registration API ---
+  // (Also safe before Run() starts.)
+
+  // Registers `fd` with read interest. The handler runs on the loop thread.
+  void Add(int fd, FdHandler handler);
+  // Enables/disables write interest (read interest is always on).
+  void SetWriteInterest(int fd, bool enabled);
+  // Unregisters `fd`. Safe to call from inside any handler, including the
+  // fd's own (the dispatch loop re-checks registration per event).
+  void Remove(int fd);
+  bool Contains(int fd) const { return fds_.count(fd) != 0; }
+
+  // --- Cross-thread API ---
+
+  // Enqueues `task` to run on the loop thread and wakes the loop.
+  void Defer(std::function<void()> task);
+  // Makes Run() return after the current iteration. Thread-safe.
+  void Stop();
+
+  // Runs until Stop(). Dispatches deferred tasks, then poll events.
+  void Run();
+
+ private:
+  struct FdState {
+    FdHandler handler;
+    bool want_write = false;
+  };
+
+  void Wake();
+  void DrainWakePipe();
+  std::vector<std::function<void()>> TakeDeferred();
+
+  Status status_;
+  ScopedFd wake_read_;
+  ScopedFd wake_write_;
+  std::unordered_map<int, FdState> fds_;
+
+  std::mutex mu_;                                // Guards the two below.
+  std::vector<std::function<void()>> deferred_;
+  bool stop_ = false;
+};
+
+}  // namespace accdb::net
+
+#endif  // ACCDB_NET_EVENT_LOOP_H_

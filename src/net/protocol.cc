@@ -1,0 +1,289 @@
+#include "net/protocol.h"
+
+#include <cstring>
+
+#include "tpcc/input.h"
+
+namespace accdb::net {
+
+namespace {
+
+// --- Little-endian primitive writers/readers ---
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutF64(std::string& out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutString(std::string& out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s);
+}
+
+// Bounds-checked reader over one frame payload.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > data_.size()) return false;
+    *v = static_cast<uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) {
+      *v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > data_.size()) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+            << (8 * i);
+    }
+    return true;
+  }
+  bool F64(double* v) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(v, &bits, sizeof(*v));
+    return true;
+  }
+  bool String(std::string* v) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    v->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+  // Frames must parse to exactly their declared length — trailing bytes are
+  // as fatal as missing ones.
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+bool ParseBody(MsgKind kind, Reader& r, Message* out, std::string* why) {
+  switch (kind) {
+    case MsgKind::kExecRequest: {
+      ExecRequest m;
+      if (!r.U64(&m.request_id) || !r.U8(&m.txn_type) ||
+          !r.U32(&m.deadline_ms) || !r.U32(&m.attempt)) {
+        *why = "truncated exec request body";
+        return false;
+      }
+      if (m.txn_type >= tpcc::kNumTxnTypes) {
+        *why = "unknown transaction type";
+        return false;
+      }
+      *out = m;
+      return true;
+    }
+    case MsgKind::kExecResponse: {
+      ExecResponse m;
+      uint8_t status;
+      if (!r.U64(&m.request_id) || !r.U8(&status) || !r.U8(&m.compensated) ||
+          !r.U32(&m.step_deadlock_retries) || !r.U32(&m.txn_restarts) ||
+          !r.F64(&m.server_seconds) || !r.String(&m.message)) {
+        *why = "truncated exec response body";
+        return false;
+      }
+      if (status > kMaxWireStatus) {
+        *why = "unknown wire status";
+        return false;
+      }
+      m.status = static_cast<WireStatus>(status);
+      *out = m;
+      return true;
+    }
+    case MsgKind::kStatsRequest: {
+      StatsRequest m;
+      if (!r.U64(&m.request_id)) {
+        *why = "truncated stats request body";
+        return false;
+      }
+      *out = m;
+      return true;
+    }
+    case MsgKind::kStatsResponse: {
+      StatsResponse m;
+      if (!r.U64(&m.request_id) || !r.String(&m.json)) {
+        *why = "truncated stats response body";
+        return false;
+      }
+      *out = m;
+      return true;
+    }
+  }
+  *why = "unknown message kind";
+  return false;
+}
+
+}  // namespace
+
+std::string_view WireStatusName(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk:
+      return "OK";
+    case WireStatus::kAborted:
+      return "ABORTED";
+    case WireStatus::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case WireStatus::kOverloaded:
+      return "OVERLOADED";
+    case WireStatus::kShuttingDown:
+      return "SHUTTING_DOWN";
+    case WireStatus::kInvalidRequest:
+      return "INVALID_REQUEST";
+    case WireStatus::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+WireStatus ToWireStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireStatus::kOk;
+    case StatusCode::kAborted:
+    case StatusCode::kDeadlock:
+      return WireStatus::kAborted;
+    case StatusCode::kDeadlineExceeded:
+      return WireStatus::kDeadlineExceeded;
+    case StatusCode::kOverloaded:
+      return WireStatus::kOverloaded;
+    case StatusCode::kInvalidArgument:
+      return WireStatus::kInvalidRequest;
+    default:
+      return WireStatus::kInternal;
+  }
+}
+
+Status FromWireStatus(WireStatus status, std::string message) {
+  switch (status) {
+    case WireStatus::kOk:
+      return Status::Ok();
+    case WireStatus::kAborted:
+      return Status::Aborted(std::move(message));
+    case WireStatus::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case WireStatus::kOverloaded:
+    case WireStatus::kShuttingDown:
+      return Status::Overloaded(std::move(message));
+    case WireStatus::kInvalidRequest:
+      return Status::InvalidArgument(std::move(message));
+    case WireStatus::kInternal:
+      return Status::Internal(std::move(message));
+  }
+  return Status::Internal(std::move(message));
+}
+
+std::string EncodeFrame(const Message& msg) {
+  std::string payload;
+  std::visit(
+      [&payload](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ExecRequest>) {
+          PutU8(payload, static_cast<uint8_t>(MsgKind::kExecRequest));
+          PutU64(payload, m.request_id);
+          PutU8(payload, m.txn_type);
+          PutU32(payload, m.deadline_ms);
+          PutU32(payload, m.attempt);
+        } else if constexpr (std::is_same_v<T, ExecResponse>) {
+          PutU8(payload, static_cast<uint8_t>(MsgKind::kExecResponse));
+          PutU64(payload, m.request_id);
+          PutU8(payload, static_cast<uint8_t>(m.status));
+          PutU8(payload, m.compensated);
+          PutU32(payload, m.step_deadlock_retries);
+          PutU32(payload, m.txn_restarts);
+          PutF64(payload, m.server_seconds);
+          PutString(payload, m.message);
+        } else if constexpr (std::is_same_v<T, StatsRequest>) {
+          PutU8(payload, static_cast<uint8_t>(MsgKind::kStatsRequest));
+          PutU64(payload, m.request_id);
+        } else {
+          static_assert(std::is_same_v<T, StatsResponse>);
+          PutU8(payload, static_cast<uint8_t>(MsgKind::kStatsResponse));
+          PutU64(payload, m.request_id);
+          PutString(payload, m.json);
+        }
+      },
+      msg);
+  std::string frame;
+  frame.reserve(4 + payload.size());
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame.append(payload);
+  return frame;
+}
+
+DecodeResult FrameDecoder::Next(Message* out) {
+  if (!error_.ok()) return DecodeResult::kError;
+
+  // Compact the consumed prefix away once it dominates the buffer.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+
+  std::string_view view(buffer_);
+  view.remove_prefix(consumed_);
+  if (view.size() < 4) return DecodeResult::kNeedMore;
+
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(static_cast<uint8_t>(view[i]))
+                   << (8 * i);
+  }
+  if (payload_len == 0) {
+    error_ = Status::InvalidArgument("empty frame");
+    return DecodeResult::kError;
+  }
+  if (payload_len > max_payload_) {
+    error_ = Status::InvalidArgument("oversized frame");
+    return DecodeResult::kError;
+  }
+  if (view.size() < 4 + static_cast<size_t>(payload_len)) {
+    return DecodeResult::kNeedMore;
+  }
+
+  std::string_view payload = view.substr(4, payload_len);
+  Reader reader(payload.substr(1));
+  std::string why;
+  if (!ParseBody(static_cast<MsgKind>(static_cast<uint8_t>(payload[0])),
+                 reader, out, &why) ||
+      !reader.Done()) {
+    error_ = Status::InvalidArgument(why.empty() ? "trailing bytes in frame"
+                                                 : why);
+    return DecodeResult::kError;
+  }
+  consumed_ += 4 + payload_len;
+  return DecodeResult::kMessage;
+}
+
+}  // namespace accdb::net

@@ -1,0 +1,121 @@
+// Wire protocol of the ACC transaction server: length-prefixed binary
+// frames over TCP.
+//
+//   frame    := u32 payload_len (LE) | payload
+//   payload  := u8 kind | body
+//
+// All integers are little-endian fixed width; strings are u32 length +
+// bytes. A frame whose payload length is zero or exceeds kMaxPayloadBytes,
+// or whose body does not parse to exactly the declared length, is a
+// connection-fatal protocol error (the stream cannot be resynchronized).
+//
+// Requests name one of the canned TPC-C transactions by type; the inputs
+// are generated server-side, which is what makes retry-on-abort idempotent:
+// an aborted execution left no database effects (rollback under 2PL,
+// compensation under ACC), so re-sending the same request id simply runs a
+// fresh instance of the same transaction type.
+
+#ifndef ACCDB_NET_PROTOCOL_H_
+#define ACCDB_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/status.h"
+
+namespace accdb::net {
+
+// Payload ceiling: tiny request/response frames plus a JSON stats blob;
+// anything larger is a corrupt or hostile stream.
+inline constexpr size_t kMaxPayloadBytes = 1 << 20;
+
+enum class MsgKind : uint8_t {
+  kExecRequest = 1,
+  kExecResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+};
+
+// Stable wire error space (independent of StatusCode's numeric values).
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kAborted = 1,           // Rolled back / compensated; safe to retry.
+  kDeadlineExceeded = 2,  // Request deadline expired (queued or lock wait).
+  kOverloaded = 3,        // Admission control refused; nothing executed.
+  kShuttingDown = 4,      // Server draining; nothing executed.
+  kInvalidRequest = 5,    // Semantically bad request (unknown txn type).
+  kInternal = 6,
+};
+inline constexpr uint8_t kMaxWireStatus =
+    static_cast<uint8_t>(WireStatus::kInternal);
+
+std::string_view WireStatusName(WireStatus status);
+
+// Engine/server Status -> wire code (typed mapping, no string matching).
+WireStatus ToWireStatus(const Status& status);
+// Wire code -> typed client-side Status (kShuttingDown surfaces as
+// kOverloaded: both mean "back off and retry elsewhere/later").
+Status FromWireStatus(WireStatus status, std::string message);
+
+struct ExecRequest {
+  uint64_t request_id = 0;
+  uint8_t txn_type = 0;      // tpcc::TxnType, validated on decode.
+  uint32_t deadline_ms = 0;  // Budget from admission; 0 = no deadline.
+  uint32_t attempt = 0;      // Client retry counter (0 = first try).
+};
+
+struct ExecResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  uint8_t compensated = 0;
+  uint32_t step_deadlock_retries = 0;
+  uint32_t txn_restarts = 0;
+  double server_seconds = 0;  // Execution time on the worker (not queueing).
+  std::string message;        // Diagnostic only; usually empty.
+};
+
+struct StatsRequest {
+  uint64_t request_id = 0;
+};
+
+struct StatsResponse {
+  uint64_t request_id = 0;
+  std::string json;  // Server + engine counters, schema in DESIGN.md §11.
+};
+
+using Message =
+    std::variant<ExecRequest, ExecResponse, StatsRequest, StatsResponse>;
+
+// Serializes `msg` as one complete frame (length prefix included).
+std::string EncodeFrame(const Message& msg);
+
+enum class DecodeResult {
+  kMessage,   // One message extracted into *out.
+  kNeedMore,  // The buffer holds no complete frame yet.
+  kError,     // Protocol violation; connection must be dropped. See error().
+};
+
+// Incremental frame decoder: feed raw bytes, extract messages. After
+// kError the decoder is poisoned (every further Next() returns kError).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  void Append(std::string_view bytes) { buffer_.append(bytes); }
+  DecodeResult Next(Message* out);
+  const Status& error() const { return error_; }
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already parsed.
+  Status error_;
+};
+
+}  // namespace accdb::net
+
+#endif  // ACCDB_NET_PROTOCOL_H_

@@ -1,0 +1,140 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace accdb::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL)");
+  }
+  return Status::Ok();
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<ScopedFd> ListenLoopback(uint16_t port, int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  ACCDB_RETURN_IF_ERROR(SetNonBlocking(fd.get()));
+  return fd;
+}
+
+Result<uint16_t> LocalPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+Result<ScopedFd> ConnectLoopback(uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    return Errno("connect");
+  }
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+IoResult ReadSome(int fd, char* buf, size_t len, size_t* n) {
+  for (;;) {
+    ssize_t r = ::read(fd, buf, len);
+    if (r > 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (r == 0) return IoResult::kEof;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+IoResult WriteSome(int fd, const char* buf, size_t len, size_t* n) {
+  for (;;) {
+    ssize_t r = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (r >= 0) {
+      *n = static_cast<size_t>(r);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    return IoResult::kError;
+  }
+}
+
+IoResult ReadFull(int fd, char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    size_t n = 0;
+    IoResult r = ReadSome(fd, buf + off, len - off, &n);
+    if (r == IoResult::kWouldBlock) continue;  // Blocking fd: spurious only.
+    if (r != IoResult::kOk) return r;
+    off += n;
+  }
+  return IoResult::kOk;
+}
+
+IoResult WriteFull(int fd, const char* buf, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    size_t n = 0;
+    IoResult r = WriteSome(fd, buf + off, len - off, &n);
+    if (r == IoResult::kWouldBlock) continue;
+    if (r != IoResult::kOk) return r;
+    off += n;
+  }
+  return IoResult::kOk;
+}
+
+}  // namespace accdb::net

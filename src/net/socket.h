@@ -1,0 +1,78 @@
+// Thin POSIX socket layer for the serving stack: an owning fd wrapper and
+// the handful of loopback TCP helpers the server, client and tests need.
+// Everything here is Status-based; no exceptions, no global state.
+
+#ifndef ACCDB_NET_SOCKET_H_
+#define ACCDB_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace accdb::net {
+
+// Owning file descriptor. Move-only; closes on destruction.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();  // Closes if valid.
+
+ private:
+  int fd_ = -1;
+};
+
+// Creates a listening TCP socket bound to 127.0.0.1:`port` (0 = ephemeral),
+// non-blocking, SO_REUSEADDR set.
+Result<ScopedFd> ListenLoopback(uint16_t port, int backlog = 128);
+
+// The port a bound socket actually listens on (resolves ephemeral binds).
+Result<uint16_t> LocalPort(int fd);
+
+// Blocking TCP connect to 127.0.0.1:`port` (TCP_NODELAY set — the protocol
+// is request/response with tiny frames).
+Result<ScopedFd> ConnectLoopback(uint16_t port);
+
+// Puts `fd` into non-blocking mode.
+Status SetNonBlocking(int fd);
+
+// Disables Nagle (best-effort; tiny request/response frames).
+void SetNoDelay(int fd);
+
+// Result of one non-blocking read/write attempt.
+enum class IoResult {
+  kOk,        // >= 1 byte transferred (`*n` says how many).
+  kWouldBlock,
+  kEof,       // Read only: orderly shutdown by the peer.
+  kError,     // Connection-fatal errno (reset, pipe, ...).
+};
+
+IoResult ReadSome(int fd, char* buf, size_t len, size_t* n);
+IoResult WriteSome(int fd, const char* buf, size_t len, size_t* n);
+
+// Blocking helpers for the client side: transfer exactly `len` bytes.
+// kEof on orderly close mid-read; kError otherwise on failure.
+IoResult ReadFull(int fd, char* buf, size_t len);
+IoResult WriteFull(int fd, const char* buf, size_t len);
+
+}  // namespace accdb::net
+
+#endif  // ACCDB_NET_SOCKET_H_

@@ -1,6 +1,7 @@
 #include "runtime/thread_env.h"
 
 #include <cassert>
+#include <cmath>
 #include <thread>
 
 namespace accdb::runtime {
@@ -22,6 +23,33 @@ bool ThreadExecutionEnv::AwaitLock(lock::TxnId txn) {
   total_lock_wait_ += Now() - start;
   armed_ = false;
   return granted_;
+}
+
+acc::WaitVerdict ThreadExecutionEnv::AwaitLockUntil(lock::TxnId txn,
+                                                    double deadline) {
+  if (std::isinf(deadline)) {
+    return AwaitLock(txn) ? acc::WaitVerdict::kGranted
+                          : acc::WaitVerdict::kAborted;
+  }
+  std::unique_lock<std::mutex> lk(mu_);
+  assert(armed_ && armed_txn_ == txn && "AwaitLockUntil without PrepareWait");
+  const double start = Now();
+  // The deadline is on this env's clock (steady_clock seconds), so convert
+  // the remaining budget to a relative wait.
+  const auto until =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(deadline - start));
+  bool resolved = cv_.wait_until(lk, until, [this] { return resolved_; });
+  total_lock_wait_ += Now() - start;
+  if (!resolved) {
+    // Timed out: the request is still queued and the cell stays armed so a
+    // racing grant notification is still absorbed; the caller cancels the
+    // waiter and then discards the wait.
+    return acc::WaitVerdict::kTimedOut;
+  }
+  armed_ = false;
+  return granted_ ? acc::WaitVerdict::kGranted : acc::WaitVerdict::kAborted;
 }
 
 void ThreadExecutionEnv::DiscardWait(lock::TxnId txn) {

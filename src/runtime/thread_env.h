@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <limits>
 #include <mutex>
 #include <thread>
 
@@ -44,10 +45,21 @@ class ThreadExecutionEnv : public acc::ExecutionEnv {
 
   void PrepareWait(lock::TxnId txn) override;
   bool AwaitLock(lock::TxnId txn) override;
+  acc::WaitVerdict AwaitLockUntil(lock::TxnId txn, double deadline) override;
   void DiscardWait(lock::TxnId txn) override;
 
   void LockGranted(lock::TxnId txn) override;
   void LockAborted(lock::TxnId txn) override;
+
+  // Per-request deadline (serving layer): absolute time on this env's clock
+  // after which lock waits of the current execution give up with
+  // kTimedOut. Owner-thread only, set before Execute and cleared after;
+  // +infinity (the default) disables it.
+  void set_lock_wait_deadline(double deadline) { deadline_ = deadline; }
+  void clear_lock_wait_deadline() {
+    deadline_ = std::numeric_limits<double>::infinity();
+  }
+  double LockWaitDeadline() const override { return deadline_; }
 
   // Cumulative wall-clock time this env's transactions spent blocked on
   // locks. Owner-thread read; meaningful once the worker has quiesced.
@@ -60,6 +72,9 @@ class ThreadExecutionEnv : public acc::ExecutionEnv {
   }
 
   const double time_scale_;
+  // Owner-thread state: read inside AwaitLockUntil under mu_ only in the
+  // sense that the owner set it before arming the wait.
+  double deadline_ = std::numeric_limits<double>::infinity();
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -1,0 +1,101 @@
+// accdb_server: standalone TCP transaction server over the ACC engine.
+//
+// Builds a TPC-C system (ACC or strict-2PL mode), listens on loopback, and
+// serves EXEC/STATS requests until SIGINT/SIGTERM, then drains gracefully
+// and prints the final server counters as JSON. Drive it with the load
+// generator in bench/net_tpcc or any client speaking the protocol in
+// src/net/protocol.h (DESIGN.md §11).
+//
+//   accdb_server [--port=N] [--mode=acc|2pl] [--workers=N] [--max-queue=N]
+//                [--cost-scale=F] [--deadline-ms=N] [--seed=N]
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+[[noreturn]] void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port=N] [--mode=acc|2pl] [--workers=N]\n"
+               "          [--max-queue=N] [--cost-scale=F] [--deadline-ms=N]\n"
+               "          [--seed=N]\n",
+               argv0);
+  std::exit(2);
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace accdb;
+
+  server::ServerOptions options;
+  options.workload.seed = 20250806;
+  options.cost_scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseValue(argv[i], "--port", &value)) {
+      options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
+    } else if (ParseValue(argv[i], "--mode", &value)) {
+      if (value == "acc") {
+        options.workload.decomposed = true;
+      } else if (value == "2pl") {
+        options.workload.decomposed = false;
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (ParseValue(argv[i], "--workers", &value)) {
+      options.workers = std::atoi(value.c_str());
+    } else if (ParseValue(argv[i], "--max-queue", &value)) {
+      options.max_queue = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--cost-scale", &value)) {
+      options.cost_scale = std::atof(value.c_str());
+    } else if (ParseValue(argv[i], "--deadline-ms", &value)) {
+      options.default_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (ParseValue(argv[i], "--seed", &value)) {
+      options.workload.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      Usage(argv[0]);
+    }
+  }
+
+  // Block the shutdown signals before any thread spawns so every thread
+  // inherits the mask and sigwait below is the sole consumer.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  server::AccdbServer server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n",
+                 std::string(started.message()).c_str());
+    return 1;
+  }
+  std::printf("accdb_server: %s mode, %d workers, queue %zu, 127.0.0.1:%u\n",
+              options.workload.decomposed ? "acc" : "2pl", options.workers,
+              options.max_queue, server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("accdb_server: signal %d, draining...\n", sig);
+  server.Shutdown();
+  std::printf("%s\n", server.StatsJson().c_str());
+  return 0;
+}

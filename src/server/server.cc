@@ -1,0 +1,412 @@
+#include "server/server.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/json.h"
+#include "runtime/thread_env.h"
+#include "tpcc/input.h"
+
+namespace accdb::server {
+
+namespace {
+
+net::ExecResponse MakeReject(uint64_t request_id, net::WireStatus status,
+                             std::string message) {
+  net::ExecResponse resp;
+  resp.request_id = request_id;
+  resp.status = status;
+  resp.message = std::move(message);
+  return resp;
+}
+
+}  // namespace
+
+AccdbServer::AccdbServer(const ServerOptions& options)
+    : options_(options), system_(options.workload) {}
+
+AccdbServer::~AccdbServer() { Shutdown(); }
+
+double AccdbServer::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status AccdbServer::Start() {
+  if (started_) return Status::Internal("server already started");
+  loop_ = std::make_unique<net::EventLoop>();
+  ACCDB_RETURN_IF_ERROR(loop_->status());
+
+  auto listener = net::ListenLoopback(options_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  auto port = net::LocalPort(listener_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  loop_->Add(listener_.get(), [this](uint32_t events) {
+    if (events & net::EventLoop::kReadable) OnListenerReadable();
+  });
+
+  workers_.reserve(options_.workers);
+  for (int w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+  loop_thread_ = std::thread([this] { loop_->Run(); });
+  started_ = true;
+  return Status::Ok();
+}
+
+void AccdbServer::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+
+  // 1. Refuse new work: every EXEC request from here on gets SHUTTING_DOWN.
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    draining_ = true;
+  }
+  // 2. Stop accepting connections (on the loop thread, which owns the fd).
+  loop_->Defer([this] {
+    if (listener_.valid()) {
+      loop_->Remove(listener_.get());
+      listener_.Reset();
+    }
+  });
+  // 3. Wait until every admitted request has finished executing. Workers
+  //    post each response to the loop *before* dropping in_flight_, so at
+  //    quiescence all responses are already queued behind this point.
+  {
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    drain_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+
+  // 4. Flush: Stop() is processed after all already-deferred response
+  //    deliveries, so the loop writes them out before exiting.
+  loop_->Stop();
+  loop_thread_.join();
+  sessions_.clear();  // Loop is dead; safe to tear down from this thread.
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop thread.
+
+void AccdbServer::OnListenerReadable() {
+  for (;;) {
+    int fd = ::accept(listener_.get(), nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN / transient: poll will re-arm.
+    net::ScopedFd scoped(fd);
+    if (!net::SetNonBlocking(fd).ok()) continue;  // Drops the connection.
+    net::SetNoDelay(fd);
+
+    uint64_t id = next_session_id_++;
+    Session& session = sessions_[id];
+    session.id = id;
+    session.fd = std::move(scoped);
+    loop_->Add(session.fd.get(), [this, id](uint32_t events) {
+      OnSessionEvent(id, events);
+    });
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+void AccdbServer::OnSessionEvent(uint64_t session_id, uint32_t events) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+
+  if (events & net::EventLoop::kError) {
+    CloseSession(session_id);
+    return;
+  }
+  if (events & net::EventLoop::kWritable) {
+    FlushTx(session);
+    if (sessions_.count(session_id) == 0) return;  // Write error closed it.
+  }
+  if ((events & net::EventLoop::kReadable) == 0) return;
+
+  for (;;) {
+    char buf[4096];
+    size_t n = 0;
+    net::IoResult r = net::ReadSome(session.fd.get(), buf, sizeof(buf), &n);
+    if (r == net::IoResult::kWouldBlock) break;
+    if (r != net::IoResult::kOk) {  // EOF or reset: the client is gone.
+      CloseSession(session_id);
+      return;
+    }
+    session.decoder.Append(std::string_view(buf, n));
+  }
+
+  for (;;) {
+    net::Message msg;
+    switch (session.decoder.Next(&msg)) {
+      case net::DecodeResult::kMessage:
+        HandleMessage(session, msg);
+        if (sessions_.count(session_id) == 0) return;  // Violation closed it.
+        continue;
+      case net::DecodeResult::kNeedMore:
+        return;
+      case net::DecodeResult::kError: {
+        {
+          std::lock_guard<std::mutex> guard(stats_mu_);
+          ++stats_.malformed_frames;
+        }
+        CloseSession(session_id);
+        return;
+      }
+    }
+  }
+}
+
+void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
+  if (const auto* req = std::get_if<net::ExecRequest>(&msg)) {
+    {
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      ++stats_.requests_received;
+    }
+    bool admitted = false;
+    bool shutting_down = false;
+    {
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      if (draining_) {
+        shutting_down = true;
+      } else if (queue_.size() < options_.max_queue) {
+        queue_.push_back(Work{session.id, *req, NowSeconds()});
+        admitted = true;
+        std::lock_guard<std::mutex> stats_guard(stats_mu_);
+        ++stats_.requests_admitted;
+        if (queue_.size() > stats_.queue_depth_peak) {
+          stats_.queue_depth_peak = queue_.size();
+        }
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      if (shutting_down) {
+        ++stats_.shutdown_rejects;
+      } else {
+        ++stats_.admission_rejects;
+      }
+    }
+    Respond(session,
+            net::Message(MakeReject(req->request_id,
+                                    shutting_down
+                                        ? net::WireStatus::kShuttingDown
+                                        : net::WireStatus::kOverloaded,
+                                    shutting_down ? "server draining"
+                                                  : "request queue full")));
+    return;
+  }
+  if (const auto* req = std::get_if<net::StatsRequest>(&msg)) {
+    {
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      ++stats_.stats_requests;
+    }
+    net::StatsResponse resp;
+    resp.request_id = req->request_id;
+    resp.json = StatsJson();
+    Respond(session, net::Message(resp));
+    return;
+  }
+  // A client sending response kinds is violating the protocol.
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    ++stats_.malformed_frames;
+  }
+  CloseSession(session.id);
+}
+
+void AccdbServer::Respond(Session& session, const net::Message& msg) {
+  session.tx += net::EncodeFrame(msg);
+  FlushTx(session);
+}
+
+void AccdbServer::FlushTx(Session& session) {
+  while (!session.tx.empty()) {
+    size_t n = 0;
+    net::IoResult r =
+        net::WriteSome(session.fd.get(), session.tx.data(), session.tx.size(),
+                       &n);
+    if (r == net::IoResult::kOk) {
+      session.tx.erase(0, n);
+      continue;
+    }
+    if (r == net::IoResult::kWouldBlock) {
+      loop_->SetWriteInterest(session.fd.get(), true);
+      return;
+    }
+    CloseSession(session.id);  // Peer reset: responses are droppable.
+    return;
+  }
+  loop_->SetWriteInterest(session.fd.get(), false);
+}
+
+void AccdbServer::CloseSession(uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  loop_->Remove(it->second.fd.get());
+  sessions_.erase(it);
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  ++stats_.connections_closed;
+}
+
+void AccdbServer::DeliverResponse(uint64_t session_id, std::string frame) {
+  auto it = sessions_.find(session_id);
+  {
+    std::lock_guard<std::mutex> guard(stats_mu_);
+    if (it == sessions_.end()) {
+      // The connection died while its transaction ran; the execution still
+      // completed (commit or compensation), only the response is lost.
+      ++stats_.responses_dropped;
+      return;
+    }
+    ++stats_.responses_sent;
+  }
+  it->second.tx += frame;
+  FlushTx(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads.
+
+void AccdbServer::WorkerLoop(int worker_index) {
+  // Per-worker execution state, mirroring the real-thread runner: one env
+  // and one input stream per OS thread.
+  runtime::ThreadExecutionEnv env(options_.cost_scale);
+  tpcc::InputGenerator gen(
+      options_.workload.inputs,
+      options_.workload.seed * 7919 + 1000003ULL * (worker_index + 1));
+  const acc::ExecMode mode = options_.workload.decomposed
+                                 ? acc::ExecMode::kAccDecomposed
+                                 : acc::ExecMode::kSerializable;
+
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_workers_ and drained.
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    net::ExecResponse resp;
+    resp.request_id = work.request.request_id;
+
+    uint32_t deadline_ms = work.request.deadline_ms != 0
+                               ? work.request.deadline_ms
+                               : options_.default_deadline_ms;
+    const double deadline =
+        deadline_ms != 0 ? work.arrival + deadline_ms / 1000.0
+                         : std::numeric_limits<double>::infinity();
+    if (NowSeconds() >= deadline) {
+      // The budget expired while the request sat in the queue: don't start.
+      resp.status = net::WireStatus::kDeadlineExceeded;
+      resp.message = "deadline expired in queue";
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      ++stats_.deadline_exceeded_queue;
+    } else {
+      const tpcc::TxnType type =
+          static_cast<tpcc::TxnType>(work.request.txn_type);
+      env.set_lock_wait_deadline(deadline);
+      const double start = env.Now();
+      acc::ExecResult exec = tpcc::RunOneTpccTxn(
+          &system_.db(), &system_.engine(), gen, type,
+          options_.workload.compute_seconds, options_.workload.granularity,
+          env, mode);
+      env.clear_lock_wait_deadline();
+      resp.server_seconds = env.Now() - start;
+      resp.status = net::ToWireStatus(exec.status);
+      resp.compensated = exec.compensated ? 1 : 0;
+      resp.step_deadlock_retries =
+          static_cast<uint32_t>(exec.step_deadlock_retries);
+      resp.txn_restarts = static_cast<uint32_t>(exec.txn_restarts);
+      if (!exec.status.ok()) resp.message = std::string(exec.status.message());
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      switch (resp.status) {
+        case net::WireStatus::kOk:
+          ++stats_.committed;
+          break;
+        case net::WireStatus::kAborted:
+          ++stats_.aborted;
+          break;
+        case net::WireStatus::kDeadlineExceeded:
+          ++stats_.deadline_exceeded_exec;
+          break;
+        default:
+          ++stats_.internal_errors;
+          break;
+      }
+      if (exec.compensated) ++stats_.compensated;
+    }
+
+    // Post the response before dropping in_flight_: once Shutdown observes
+    // quiescence, every response is already queued ahead of the loop Stop.
+    std::string frame = net::EncodeFrame(net::Message(resp));
+    const uint64_t session_id = work.session_id;
+    loop_->Defer([this, session_id, frame = std::move(frame)]() mutable {
+      DeliverResponse(session_id, std::move(frame));
+    });
+    {
+      std::lock_guard<std::mutex> guard(queue_mu_);
+      --in_flight_;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+
+ServerStats AccdbServer::StatsSnapshot() const {
+  std::lock_guard<std::mutex> guard(stats_mu_);
+  return stats_;
+}
+
+std::string AccdbServer::StatsJson() const {
+  ServerStats s = StatsSnapshot();
+  size_t queue_depth = 0;
+  int in_flight = 0;
+  {
+    std::lock_guard<std::mutex> guard(queue_mu_);
+    queue_depth = queue_.size();
+    in_flight = in_flight_;
+  }
+  Json j = Json::Object();
+  j["connections_accepted"] = Json(s.connections_accepted);
+  j["connections_closed"] = Json(s.connections_closed);
+  j["malformed_frames"] = Json(s.malformed_frames);
+  j["requests_received"] = Json(s.requests_received);
+  j["requests_admitted"] = Json(s.requests_admitted);
+  j["admission_rejects"] = Json(s.admission_rejects);
+  j["shutdown_rejects"] = Json(s.shutdown_rejects);
+  j["stats_requests"] = Json(s.stats_requests);
+  j["committed"] = Json(s.committed);
+  j["aborted"] = Json(s.aborted);
+  j["compensated"] = Json(s.compensated);
+  j["deadline_exceeded_queue"] = Json(s.deadline_exceeded_queue);
+  j["deadline_exceeded_exec"] = Json(s.deadline_exceeded_exec);
+  j["internal_errors"] = Json(s.internal_errors);
+  j["responses_sent"] = Json(s.responses_sent);
+  j["responses_dropped"] = Json(s.responses_dropped);
+  j["queue_depth_peak"] = Json(s.queue_depth_peak);
+  j["queue_depth"] = Json(static_cast<uint64_t>(queue_depth));
+  j["in_flight"] = Json(static_cast<uint64_t>(in_flight));
+  return j.Dump();
+}
+
+}  // namespace accdb::server

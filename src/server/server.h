@@ -1,0 +1,179 @@
+// AccdbServer: the network serving layer over the concurrency-control
+// engine. A poll-based event loop owns the listener and the per-connection
+// sessions (framing, admission, response writes); a pool of worker threads
+// executes admitted TPC-C transactions through the same
+// TpccSystem / RunOneTpccTxn / ThreadExecutionEnv path as the real-thread
+// runner. Robustness machinery:
+//
+//   * per-request deadlines: the remaining budget bounds both queueing
+//     (checked at dequeue) and every lock wait (ThreadExecutionEnv
+//     timeout); expiry surfaces as the typed DEADLINE_EXCEEDED status;
+//   * admission control: a bounded request queue; when full, the request
+//     is refused immediately with OVERLOADED (explicit backpressure, no
+//     silent queueing);
+//   * connection death: an in-flight transaction whose connection dies
+//     still runs to completion — commit, rollback, or compensation (the
+//     §3.4 guarantee holds across connection death); only its response is
+//     dropped;
+//   * graceful drain: Shutdown() stops accepting, refuses new requests
+//     with SHUTTING_DOWN, lets every admitted request finish, flushes
+//     responses, then joins all threads.
+//
+// DESIGN.md §11 documents the wire format, the session state machine, and
+// how the serving threads fit the §10 latch order.
+
+#ifndef ACCDB_SERVER_SERVER_H_
+#define ACCDB_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/protocol.h"
+#include "net/socket.h"
+#include "tpcc/driver.h"
+
+namespace accdb::server {
+
+struct ServerOptions {
+  // System under test (ACC or 2PL) and the server-side input generation;
+  // `workload.terminals` / `sim_seconds` are ignored here.
+  tpcc::WorkloadConfig workload;
+
+  uint16_t port = 0;  // 0 = ephemeral; read the bound port via port().
+  int workers = 4;
+  // Admission bound: requests queued but not yet executing. One more
+  // request per worker may additionally be in flight.
+  size_t max_queue = 128;
+  // ThreadExecutionEnv time scale for the workers (0 = no modeled compute).
+  double cost_scale = 0.0;
+  // Deadline applied to requests that carry none (0 = unbounded).
+  uint32_t default_deadline_ms = 0;
+};
+
+// Cumulative serving-layer counters. Conservation invariants (asserted by
+// tests/net_server_test.cc after a drained shutdown):
+//   requests_received == requests_admitted + admission_rejects
+//                        + shutdown_rejects
+//   requests_admitted == committed + aborted + deadline_exceeded_queue
+//                        + deadline_exceeded_exec + internal_errors
+//   requests_admitted == responses_sent + responses_dropped
+struct ServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t malformed_frames = 0;  // Protocol violations (connection killed).
+
+  uint64_t requests_received = 0;  // Well-formed EXEC requests.
+  uint64_t requests_admitted = 0;
+  uint64_t admission_rejects = 0;  // Queue full -> OVERLOADED.
+  uint64_t shutdown_rejects = 0;   // Draining -> SHUTTING_DOWN.
+  uint64_t stats_requests = 0;
+
+  uint64_t committed = 0;
+  uint64_t aborted = 0;  // Rolled back / compensated (incl. deadlock loss).
+  uint64_t compensated = 0;
+  uint64_t deadline_exceeded_queue = 0;  // Expired before execution began.
+  uint64_t deadline_exceeded_exec = 0;   // Lock-wait timeout mid-execution.
+  uint64_t internal_errors = 0;
+
+  uint64_t responses_sent = 0;     // Handed to a live connection.
+  uint64_t responses_dropped = 0;  // Connection died before the response.
+
+  uint64_t queue_depth_peak = 0;  // High-water mark of the bounded queue.
+
+  uint64_t deadline_exceeded() const {
+    return deadline_exceeded_queue + deadline_exceeded_exec;
+  }
+};
+
+class AccdbServer {
+ public:
+  explicit AccdbServer(const ServerOptions& options);
+  ~AccdbServer();  // Calls Shutdown() if still running.
+
+  AccdbServer(const AccdbServer&) = delete;
+  AccdbServer& operator=(const AccdbServer&) = delete;
+
+  // Binds, listens, spawns the event loop and worker threads.
+  Status Start();
+  // The bound port (valid after Start; resolves ephemeral binds).
+  uint16_t port() const { return port_; }
+
+  // Graceful drain; idempotent, safe to call once Start succeeded.
+  void Shutdown();
+
+  ServerStats StatsSnapshot() const;
+  // Server counters + current queue/in-flight gauges as JSON (the STATS
+  // RPC payload; schema in DESIGN.md §11).
+  std::string StatsJson() const;
+
+  tpcc::TpccSystem& system() { return system_; }
+  acc::Engine& engine() { return system_.engine(); }
+
+ private:
+  struct Session {
+    uint64_t id = 0;
+    net::ScopedFd fd;
+    net::FrameDecoder decoder;
+    std::string tx;  // Encoded frames awaiting write.
+  };
+
+  struct Work {
+    uint64_t session_id = 0;
+    net::ExecRequest request;
+    double arrival = 0;  // Steady-clock seconds at admission.
+  };
+
+  static double NowSeconds();
+
+  // --- Event-loop thread only ---
+  void OnListenerReadable();
+  void OnSessionEvent(uint64_t session_id, uint32_t events);
+  void HandleMessage(Session& session, const net::Message& msg);
+  void Respond(Session& session, const net::Message& msg);
+  void FlushTx(Session& session);
+  void CloseSession(uint64_t session_id);
+  void DeliverResponse(uint64_t session_id, std::string frame);
+
+  // --- Worker threads ---
+  void WorkerLoop(int worker_index);
+
+  ServerOptions options_;
+  tpcc::TpccSystem system_;
+
+  net::ScopedFd listener_;
+  uint16_t port_ = 0;
+  std::unique_ptr<net::EventLoop> loop_;
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  // Session table: event-loop thread only.
+  uint64_t next_session_id_ = 1;
+  std::unordered_map<uint64_t, Session> sessions_;
+
+  // Request queue + drain state.
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // Workers wait for work / stop.
+  std::condition_variable drain_cv_;  // Shutdown waits for quiescence.
+  std::deque<Work> queue_;
+  int in_flight_ = 0;
+  bool draining_ = false;
+  bool stop_workers_ = false;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace accdb::server
+
+#endif  // ACCDB_SERVER_SERVER_H_

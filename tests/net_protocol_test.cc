@@ -1,0 +1,225 @@
+// Wire-protocol codec tests: round-trips for every message kind, incremental
+// (byte-by-byte) decoding, and rejection of malformed, truncated, oversized,
+// and trailing-garbage frames. The decoder is connection-fatal on error, so
+// every rejection case also checks the poisoned state sticks.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <variant>
+
+#include "net/protocol.h"
+#include "tpcc/input.h"
+
+namespace accdb::net {
+namespace {
+
+std::string PutU32(uint32_t v) {
+  std::string out;
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+  return out;
+}
+
+// A frame with an arbitrary payload (length prefix computed).
+std::string RawFrame(const std::string& payload) {
+  return PutU32(static_cast<uint32_t>(payload.size())) + payload;
+}
+
+TEST(ProtocolTest, ExecRequestRoundTrip) {
+  ExecRequest req;
+  req.request_id = 0x1122334455667788ULL;
+  req.txn_type = 1;
+  req.deadline_ms = 250;
+  req.attempt = 3;
+
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(Message(req)));
+  Message out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kMessage);
+  auto* got = std::get_if<ExecRequest>(&out);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->request_id, req.request_id);
+  EXPECT_EQ(got->txn_type, req.txn_type);
+  EXPECT_EQ(got->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(got->attempt, req.attempt);
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kNeedMore);
+}
+
+TEST(ProtocolTest, ExecResponseRoundTrip) {
+  ExecResponse resp;
+  resp.request_id = 42;
+  resp.status = WireStatus::kDeadlineExceeded;
+  resp.compensated = 1;
+  resp.step_deadlock_retries = 7;
+  resp.txn_restarts = 2;
+  resp.server_seconds = 0.034251;
+  resp.message = "lock wait deadline";
+
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(Message(resp)));
+  Message out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kMessage);
+  auto* got = std::get_if<ExecResponse>(&out);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->request_id, resp.request_id);
+  EXPECT_EQ(got->status, resp.status);
+  EXPECT_EQ(got->compensated, resp.compensated);
+  EXPECT_EQ(got->step_deadlock_retries, resp.step_deadlock_retries);
+  EXPECT_EQ(got->txn_restarts, resp.txn_restarts);
+  EXPECT_DOUBLE_EQ(got->server_seconds, resp.server_seconds);
+  EXPECT_EQ(got->message, resp.message);
+}
+
+TEST(ProtocolTest, StatsRoundTrip) {
+  StatsRequest req;
+  req.request_id = 9;
+  StatsResponse resp;
+  resp.request_id = 9;
+  resp.json = "{\"requests_admitted\":17}";
+
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(Message(req)));
+  decoder.Append(EncodeFrame(Message(resp)));
+  Message out;
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kMessage);
+  ASSERT_NE(std::get_if<StatsRequest>(&out), nullptr);
+  EXPECT_EQ(std::get<StatsRequest>(out).request_id, 9u);
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kMessage);
+  auto* got = std::get_if<StatsResponse>(&out);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->json, resp.json);
+}
+
+TEST(ProtocolTest, ByteByByteFeedNeedsMoreUntilComplete) {
+  ExecRequest req;
+  req.request_id = 5;
+  req.txn_type = 0;
+  std::string frame = EncodeFrame(Message(req));
+
+  FrameDecoder decoder;
+  Message out;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    decoder.Append(std::string_view(&frame[i], 1));
+    ASSERT_EQ(decoder.Next(&out), DecodeResult::kNeedMore) << "byte " << i;
+  }
+  decoder.Append(std::string_view(&frame[frame.size() - 1], 1));
+  ASSERT_EQ(decoder.Next(&out), DecodeResult::kMessage);
+  EXPECT_EQ(std::get<ExecRequest>(out).request_id, 5u);
+}
+
+TEST(ProtocolTest, EmptyFrameIsFatal) {
+  FrameDecoder decoder;
+  decoder.Append(PutU32(0));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+  EXPECT_FALSE(decoder.error().ok());
+  // Poisoned: more (valid) data cannot resurrect the stream.
+  decoder.Append(EncodeFrame(Message(ExecRequest{})));
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, OversizedFrameIsFatal) {
+  FrameDecoder decoder;
+  decoder.Append(PutU32(static_cast<uint32_t>(kMaxPayloadBytes + 1)));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, CustomPayloadCeilingApplies) {
+  // A frame legal under the default ceiling but over a smaller one.
+  StatsResponse resp;
+  resp.request_id = 1;
+  resp.json = std::string(128, 'x');
+  FrameDecoder decoder(/*max_payload=*/64);
+  decoder.Append(EncodeFrame(Message(resp)));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, UnknownKindIsFatal) {
+  FrameDecoder decoder;
+  decoder.Append(RawFrame(std::string(1, '\x7F')));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, TruncatedBodyIsFatal) {
+  // Declared length covers the kind byte plus two bytes — far short of an
+  // exec request body. The frame is complete, the body is not.
+  std::string payload;
+  payload.push_back(static_cast<char>(MsgKind::kExecRequest));
+  payload += "ab";
+  FrameDecoder decoder;
+  decoder.Append(RawFrame(payload));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, TrailingBytesAreFatal) {
+  std::string frame = EncodeFrame(Message(StatsRequest{11}));
+  // Extend the declared payload length by two and append two junk bytes:
+  // the body parses but does not consume the frame exactly.
+  uint32_t len = static_cast<uint32_t>(frame.size() - 4) + 2;
+  std::string payload = frame.substr(4) + "zz";
+  FrameDecoder decoder;
+  decoder.Append(PutU32(len) + payload);
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, UnknownTxnTypeIsFatal) {
+  ExecRequest req;
+  req.txn_type = static_cast<uint8_t>(tpcc::kNumTxnTypes);
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(Message(req)));
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, UnknownWireStatusIsFatal) {
+  std::string frame = EncodeFrame(Message(ExecResponse{}));
+  frame[4 + 1 + 8] = static_cast<char>(kMaxWireStatus + 1);  // Status byte.
+  FrameDecoder decoder;
+  decoder.Append(frame);
+  Message out;
+  EXPECT_EQ(decoder.Next(&out), DecodeResult::kError);
+}
+
+TEST(ProtocolTest, StatusMappingRoundTrips) {
+  EXPECT_EQ(ToWireStatus(Status::Ok()), WireStatus::kOk);
+  EXPECT_EQ(ToWireStatus(Status::Aborted("x")), WireStatus::kAborted);
+  EXPECT_EQ(ToWireStatus(Status::Deadlock("x")), WireStatus::kAborted);
+  EXPECT_EQ(ToWireStatus(Status::DeadlineExceeded("x")),
+            WireStatus::kDeadlineExceeded);
+  EXPECT_EQ(ToWireStatus(Status::Overloaded("x")), WireStatus::kOverloaded);
+  EXPECT_EQ(ToWireStatus(Status::InvalidArgument("x")),
+            WireStatus::kInvalidRequest);
+  EXPECT_EQ(ToWireStatus(Status::Internal("x")), WireStatus::kInternal);
+
+  EXPECT_TRUE(FromWireStatus(WireStatus::kOk, "").ok());
+  EXPECT_EQ(FromWireStatus(WireStatus::kAborted, "m").code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(FromWireStatus(WireStatus::kDeadlineExceeded, "m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(FromWireStatus(WireStatus::kOverloaded, "m").code(),
+            StatusCode::kOverloaded);
+  // Shutdown surfaces as overload client-side: both mean "back off".
+  EXPECT_EQ(FromWireStatus(WireStatus::kShuttingDown, "m").code(),
+            StatusCode::kOverloaded);
+  EXPECT_EQ(FromWireStatus(WireStatus::kInvalidRequest, "m").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, WireStatusNamesAreStable) {
+  EXPECT_EQ(WireStatusName(WireStatus::kOk), "OK");
+  EXPECT_EQ(WireStatusName(WireStatus::kOverloaded), "OVERLOADED");
+  EXPECT_EQ(WireStatusName(WireStatus::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_EQ(WireStatusName(WireStatus::kShuttingDown), "SHUTTING_DOWN");
+}
+
+}  // namespace
+}  // namespace accdb::net

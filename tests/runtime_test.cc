@@ -6,10 +6,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <thread>
 
+#include "acc/catalog.h"
+#include "acc/conflict_resolver.h"
+#include "acc/function_program.h"
+#include "acc/interference.h"
+#include "acc/txn_context.h"
 #include "runtime/rt_runner.h"
 #include "runtime/thread_env.h"
+#include "storage/database.h"
 
 namespace accdb::runtime {
 namespace {
@@ -55,12 +63,134 @@ TEST(ThreadExecutionEnvTest, StaleNotificationsAreDropped) {
   EXPECT_TRUE(env.AwaitLock(6));
 }
 
+TEST(ThreadExecutionEnvTest, AwaitLockUntilTimesOut) {
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  env.PrepareWait(4);
+  const double start = env.Now();
+  acc::WaitVerdict verdict = env.AwaitLockUntil(4, env.Now() + 0.05);
+  EXPECT_EQ(verdict, acc::WaitVerdict::kTimedOut);
+  EXPECT_GE(env.Now() - start, 0.045);
+  // The cell stays armed after a timeout, so a racing grant is absorbed
+  // rather than hitting a disarmed cell; the caller then discards it.
+  env.LockGranted(4);
+  env.DiscardWait(4);
+}
+
+TEST(ThreadExecutionEnvTest, AwaitLockUntilGrantBeatsDeadline) {
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  env.PrepareWait(8);
+  std::thread granter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    env.LockGranted(8);
+  });
+  EXPECT_EQ(env.AwaitLockUntil(8, env.Now() + 5.0),
+            acc::WaitVerdict::kGranted);
+  granter.join();
+}
+
+TEST(ThreadExecutionEnvTest, AwaitLockUntilAbortBeatsDeadline) {
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  env.PrepareWait(8);
+  std::thread aborter([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    env.LockAborted(8);
+  });
+  EXPECT_EQ(env.AwaitLockUntil(8, env.Now() + 5.0),
+            acc::WaitVerdict::kAborted);
+  aborter.join();
+}
+
+TEST(ThreadExecutionEnvTest, AwaitLockUntilInfiniteDelegates) {
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  env.PrepareWait(3);
+  env.LockGranted(3);
+  EXPECT_EQ(env.AwaitLockUntil(
+                3, std::numeric_limits<double>::infinity()),
+            acc::WaitVerdict::kGranted);
+}
+
+TEST(ThreadExecutionEnvTest, ReusableAfterTimeout) {
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  env.PrepareWait(1);
+  EXPECT_EQ(env.AwaitLockUntil(1, env.Now() + 0.01),
+            acc::WaitVerdict::kTimedOut);
+  env.DiscardWait(1);
+  // The cell re-arms cleanly for the next transaction.
+  env.PrepareWait(2);
+  env.LockGranted(2);
+  EXPECT_TRUE(env.AwaitLock(2));
+}
+
 TEST(ThreadExecutionEnvTest, ClockIsMonotonic) {
   ThreadExecutionEnv env(/*time_scale=*/1.0);
   double a = env.Now();
   env.ClientDelay(0.01);
   double b = env.Now();
   EXPECT_GE(b - a, 0.009);
+}
+
+// A lock wait that outlives the env's per-request deadline must surface as
+// the typed kDeadlineExceeded status (serving-layer path), release
+// everything the transaction held, and leave the engine healthy for
+// subsequent executions.
+TEST(ThreadEnvEngineTest, LockWaitDeadlineSurfacesAsTypedStatus) {
+  storage::Database db;
+  storage::Table* counter = db.CreateVariable("c", 0);
+  acc::Catalog catalog;
+  acc::InterferenceTable table;
+  acc::AccConflictResolver resolver(&table);
+  acc::EngineConfig config;
+  config.charge_acc_overheads = false;
+  acc::Engine engine(&db, &resolver, config);
+  const lock::ActorId step = catalog.RegisterStepType("w");
+
+  std::atomic<bool> holder_has_lock{false};
+  std::atomic<bool> release{false};
+
+  auto increment = [&](acc::TxnContext& c) -> Status {
+    ACCDB_ASSIGN_OR_RETURN(int64_t v, c.ReadVariable(*counter, true));
+    return c.WriteVariable(*counter, v + 1);
+  };
+
+  std::thread holder([&] {
+    ThreadExecutionEnv env(/*time_scale=*/0);
+    acc::FunctionProgram prog("holder", [&](acc::TxnContext& ctx) {
+      return ctx.RunStep(step, {1}, acc::AssertionInstance{},
+                         [&](acc::TxnContext& c) -> Status {
+                           ACCDB_RETURN_IF_ERROR(increment(c));
+                           holder_has_lock.store(true);
+                           while (!release.load()) {
+                             std::this_thread::sleep_for(
+                                 std::chrono::milliseconds(1));
+                           }
+                           return Status::Ok();
+                         });
+    });
+    acc::ExecResult result =
+        engine.Execute(prog, env, acc::ExecMode::kSerializable);
+    EXPECT_TRUE(result.status.ok());
+  });
+  while (!holder_has_lock.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  ThreadExecutionEnv env(/*time_scale=*/0);
+  acc::FunctionProgram prog("waiter", [&](acc::TxnContext& ctx) {
+    return ctx.RunStep(step, {1}, acc::AssertionInstance{}, increment);
+  });
+  env.set_lock_wait_deadline(env.Now() + 0.05);
+  acc::ExecResult result =
+      engine.Execute(prog, env, acc::ExecMode::kSerializable);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded)
+      << result.status.message();
+  release.store(true);
+  holder.join();
+
+  // The timed-out waiter holds nothing; an unbounded rerun succeeds.
+  env.clear_lock_wait_deadline();
+  result = engine.Execute(prog, env, acc::ExecMode::kSerializable);
+  EXPECT_TRUE(result.status.ok()) << result.status.message();
+  EXPECT_EQ(db.ReadVariable(*counter), 2);
 }
 
 RtConfig SmallConfig(bool decomposed) {
