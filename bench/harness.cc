@@ -336,12 +336,14 @@ BenchReport::BenchReport(const BenchOptions& options)
   root_["sweeps"] = Json::Array();
 }
 
-void BenchReport::AddPairSweep(const std::string& label,
-                               const std::string& x_axis,
-                               const std::vector<PairResult>& sweep) {
+void BenchReport::AddPairSweep(
+    const std::string& label, const std::string& x_axis,
+    const std::vector<PairResult>& sweep,
+    const std::vector<std::pair<std::string, Json>>& extra_fields) {
   Json entry = Json::Object();
   entry["label"] = label;
   entry["x_axis"] = x_axis;
+  for (const auto& [key, value] : extra_fields) entry[key] = value;
   Json points = Json::Array();
   for (const PairResult& pair : sweep) {
     Json point = Json::Object();

@@ -155,9 +155,13 @@ class BenchReport {
  public:
   explicit BenchReport(const BenchOptions& options);
 
-  // Appends a sweep of pair results under `label`.
+  // Appends a sweep of pair results under `label`. `extra_fields` are
+  // merged into the sweep object alongside "label"/"x_axis" — e.g.
+  // {"warehouses", Json(4)} tags a multi-warehouse sweep with its W.
   void AddPairSweep(const std::string& label, const std::string& x_axis,
-                    const std::vector<PairResult>& sweep);
+                    const std::vector<PairResult>& sweep,
+                    const std::vector<std::pair<std::string, Json>>&
+                        extra_fields = {});
 
   // Appends a sweep of single-system runs under `label`.
   void AddRunSweep(const std::string& label, const std::string& x_axis,

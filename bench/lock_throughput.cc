@@ -16,6 +16,11 @@
 //   deadlock       two hot items locked in opposite order by alternating
 //                  threads (constant cycle detection + victim aborts)
 //
+// A fourth table measures transaction-id allocation (acc::TxnIdAllocator)
+// across the same thread sweep for block sizes 1 (the shared atomic
+// counter every transaction start used to funnel through) and the batched
+// default, pinning the win from per-thread id blocks.
+//
 // Wall-clock numbers, hardware-dependent; the table format and the
 // BENCH_lock_throughput.json report follow the bench-harness conventions.
 //
@@ -36,6 +41,7 @@
 #include <thread>
 #include <vector>
 
+#include "acc/engine.h"
 #include "bench/harness.h"
 #include "lock/conflict.h"
 #include "lock/lock_manager.h"
@@ -258,6 +264,62 @@ CellResult RunCell(Profile profile, int threads, size_t partitions,
   return cell;
 }
 
+// Transaction-id allocation cell: every thread draws ids as fast as it can
+// from one shared allocator for the measured window.
+struct TxnIdCell {
+  int threads = 0;
+  uint32_t block = 0;
+  double seconds = 0;
+  uint64_t ids = 0;
+
+  double IdsPerSec() const { return seconds > 0 ? ids / seconds : 0.0; }
+};
+
+TxnIdCell RunTxnIdCell(int threads, uint32_t block, double seconds) {
+  accdb::acc::TxnIdAllocator allocator(block);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> total_ids{0};
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      uint64_t ids = 0;
+      TxnId last = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        last = allocator.Next();
+        ++ids;
+      }
+      (void)last;
+      total_ids.fetch_add(ids);
+    });
+  }
+  const auto start = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  TxnIdCell cell;
+  cell.threads = threads;
+  cell.block = block;
+  cell.seconds = elapsed;
+  cell.ids = total_ids.load();
+  return cell;
+}
+
+Json TxnIdCellJson(const TxnIdCell& cell) {
+  Json j = Json::Object();
+  j["threads"] = Json(static_cast<int64_t>(cell.threads));
+  j["block"] = Json(static_cast<uint64_t>(cell.block));
+  j["seconds"] = Json(cell.seconds);
+  j["ids"] = Json(cell.ids);
+  j["ids_per_sec"] = Json(cell.IdsPerSec());
+  return j;
+}
+
 Json CellJson(const CellResult& cell) {
   Json j = Json::Object();
   j["threads"] = Json(static_cast<int64_t>(cell.threads));
@@ -316,6 +378,28 @@ int main(int argc, char** argv) {
     scenario["points"] = std::move(points);
     scenarios.Append(scenario);
   }
+
+  const std::vector<uint32_t> blocks = {
+      1, accdb::acc::TxnIdAllocator::kDefaultBlock};
+  std::printf("\n[txn_id_alloc] ids/sec (shared allocator)\n");
+  std::printf("%-8s", "threads");
+  for (uint32_t block : blocks) std::printf(" %9ub", block);
+  std::printf("\n");
+  Json txn_id_points = Json::Array();
+  for (int threads : options.threads) {
+    std::printf("%-8d", threads);
+    for (uint32_t block : blocks) {
+      TxnIdCell cell = RunTxnIdCell(threads, block, options.seconds);
+      std::printf(" %10.0f", cell.IdsPerSec());
+      std::fflush(stdout);
+      txn_id_points.Append(TxnIdCellJson(cell));
+    }
+    std::printf("\n");
+  }
+  Json txn_id_scenario = Json::Object();
+  txn_id_scenario["name"] = Json("txn_id_alloc");
+  txn_id_scenario["points"] = std::move(txn_id_points);
+  scenarios.Append(txn_id_scenario);
 
   report.root()["environment"] = Json("real-thread");
   report.root()["measured_seconds"] = Json(options.seconds);

@@ -14,6 +14,8 @@
 //
 // Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
 //   --connections=1,2,4,8,16  comma-separated client-connection sweep
+//   --warehouses=1,4       comma-separated warehouse-count sweep (falls back
+//                          to the ACCDB_WAREHOUSES environment variable)
 //   --seconds=S            measured window per cell (default 2)
 //   --workers=N            server worker threads (default 4)
 //   --max-queue=N          admission queue bound (default 128)
@@ -38,6 +40,7 @@ namespace {
 
 struct NetOptions {
   std::vector<int> connections = {1, 2, 4, 8, 16};
+  std::vector<int> warehouses = {1, 4};
   double seconds = 2.0;
   int workers = 4;
   size_t max_queue = 128;
@@ -51,7 +54,8 @@ struct NetOptions {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--connections=1,2,4,8,16] [--seconds=S] [--workers=N]\n"
+      "usage: %s [--connections=1,2,4,8,16] [--warehouses=1,4]\n"
+      "          [--seconds=S] [--workers=N]\n"
       "          [--max-queue=N] [--deadline-ms=N] [--retry-limit=N]\n"
       "          [--seed=N] [--cost-scale=F] [--json=PATH | --no-json]\n",
       argv0);
@@ -65,21 +69,34 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+// Parses a comma-separated list of positive ints; empty result on error.
+std::vector<int> ParseIntList(const std::string& value) {
+  std::vector<int> out;
+  for (size_t pos = 0; pos < value.size();) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    int n = std::atoi(value.substr(pos, comma - pos).c_str());
+    if (n <= 0) return {};
+    out.push_back(n);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 NetOptions ParseOptions(int argc, char** argv) {
   NetOptions options;
+  if (const char* env = std::getenv("ACCDB_WAREHOUSES")) {
+    std::vector<int> parsed = ParseIntList(env);
+    if (!parsed.empty()) options.warehouses = parsed;
+  }
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseValue(argv[i], "--connections", &value)) {
-      options.connections.clear();
-      for (size_t pos = 0; pos < value.size();) {
-        size_t comma = value.find(',', pos);
-        if (comma == std::string::npos) comma = value.size();
-        int n = std::atoi(value.substr(pos, comma - pos).c_str());
-        if (n <= 0) Usage(argv[0]);
-        options.connections.push_back(n);
-        pos = comma + 1;
-      }
+      options.connections = ParseIntList(value);
       if (options.connections.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--warehouses", &value)) {
+      options.warehouses = ParseIntList(value);
+      if (options.warehouses.empty()) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--seconds", &value)) {
       options.seconds = std::atof(value.c_str());
     } else if (ParseValue(argv[i], "--workers", &value)) {
@@ -116,13 +133,14 @@ struct NetCell {
 };
 
 NetCell RunNetCell(const NetOptions& options, bool decomposed,
-                   int connections) {
+                   int warehouses, int connections) {
   using namespace accdb;
   NetCell cell;
 
   server::ServerOptions sopts;
   sopts.workload = bench::BaseConfig(options.seed);
   sopts.workload.decomposed = decomposed;
+  sopts.workload.inputs.scale.warehouses = warehouses;
   sopts.workload.inputs.skew_districts = true;
   sopts.workload.inputs.hot_districts = 1;
   sopts.workload.inputs.hot_fraction = 0.5;
@@ -229,73 +247,6 @@ int main(int argc, char** argv) {
               options.workers, options.max_queue, options.deadline_ms,
               options.cost_scale);
 
-  std::vector<PairResult> sweep;
-  std::vector<server::ServerStats> acc_server_stats;
-  std::vector<server::ServerStats> non_acc_server_stats;
-  bool consistent = true;
-  bool all_cells_ok = true;
-  for (int connections : options.connections) {
-    NetCell acc_cell = RunNetCell(options, /*decomposed=*/true, connections);
-    NetCell non_acc_cell =
-        RunNetCell(options, /*decomposed=*/false, connections);
-    if (!acc_cell.ok || !non_acc_cell.ok) {
-      std::fprintf(stderr, "!! cell failed at %d connections: %s\n",
-                   connections,
-                   (!acc_cell.ok ? acc_cell.error : non_acc_cell.error)
-                       .c_str());
-      all_cells_ok = false;
-      continue;
-    }
-    PairResult pair;
-    pair.terminals = connections;
-    pair.sweep_x = connections;
-    pair.acc = acc_cell.result;
-    pair.non_acc = non_acc_cell.result;
-    if (!pair.acc.consistent || !pair.non_acc.consistent) {
-      std::printf("!! consistency violation at %d connections (%s)\n",
-                  connections,
-                  (!pair.acc.consistent ? pair.acc.first_violation
-                                        : pair.non_acc.first_violation)
-                      .c_str());
-      consistent = false;
-    }
-    sweep.push_back(std::move(pair));
-    acc_server_stats.push_back(acc_cell.server);
-    non_acc_server_stats.push_back(non_acc_cell.server);
-  }
-
-  std::printf("%-6s %12s %12s %12s %12s %10s\n", "conns", "acc tput/s",
-              "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
-  for (const PairResult& pair : sweep) {
-    std::printf("%-6d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.sweep_x,
-                pair.acc.throughput(), pair.non_acc.throughput(),
-                TailCell(pair.acc.response_all.mean()).c_str(),
-                TailCell(pair.non_acc.response_all.mean()).c_str(),
-                pair.ResponseRatio(), DegenerateMark(pair));
-  }
-
-  std::printf("\nserver-side counters (per system):\n");
-  std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "conns", "system",
-              "admit", "reject", "dl_q", "dl_exec", "peak_q", "dropped");
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    const auto print_row = [&](const char* system,
-                               const server::ServerStats& s) {
-      std::printf("%-6d %8s %8llu %8llu %8llu %8llu %8llu %8llu\n",
-                  sweep[i].sweep_x, system,
-                  static_cast<unsigned long long>(s.requests_admitted),
-                  static_cast<unsigned long long>(s.admission_rejects),
-                  static_cast<unsigned long long>(s.deadline_exceeded_queue),
-                  static_cast<unsigned long long>(s.deadline_exceeded_exec),
-                  static_cast<unsigned long long>(s.queue_depth_peak),
-                  static_cast<unsigned long long>(s.responses_dropped));
-    };
-    print_row("acc", acc_server_stats[i]);
-    print_row("2pl", non_acc_server_stats[i]);
-  }
-
-  std::printf("\n");
-  PrintPairTailTable("networked TPC-C (skewed districts)", "conns", sweep);
-
   report.root()["environment"] = Json("net-loopback");
   report.root()["measured_seconds"] = Json(options.seconds);
   report.root()["workers"] = Json(static_cast<uint64_t>(options.workers));
@@ -303,15 +254,94 @@ int main(int argc, char** argv) {
   report.root()["deadline_ms"] =
       Json(static_cast<uint64_t>(options.deadline_ms));
   report.root()["cost_scale"] = Json(options.cost_scale);
-  report.AddPairSweep("net_skewed", "connections", sweep);
-  // Server-side counters ride next to the pair sweep, same point order.
+
+  bool consistent = true;
+  bool all_cells_ok = true;
+  // Server-side counters ride next to the pair sweeps: one point per cell,
+  // tagged with its warehouse count, same order as the sweeps.
   Json servers = Json::Array();
-  for (size_t i = 0; i < sweep.size(); ++i) {
-    Json point = Json::Object();
-    point["x"] = Json(static_cast<int64_t>(sweep[i].sweep_x));
-    point["acc"] = ServerStatsJson(acc_server_stats[i]);
-    point["non_acc"] = ServerStatsJson(non_acc_server_stats[i]);
-    servers.Append(std::move(point));
+  for (int warehouses : options.warehouses) {
+    std::printf("\n== warehouses = %d ==\n", warehouses);
+    std::vector<PairResult> sweep;
+    std::vector<server::ServerStats> acc_server_stats;
+    std::vector<server::ServerStats> non_acc_server_stats;
+    for (int connections : options.connections) {
+      NetCell acc_cell =
+          RunNetCell(options, /*decomposed=*/true, warehouses, connections);
+      NetCell non_acc_cell =
+          RunNetCell(options, /*decomposed=*/false, warehouses, connections);
+      if (!acc_cell.ok || !non_acc_cell.ok) {
+        std::fprintf(stderr, "!! cell failed at W=%d, %d connections: %s\n",
+                     warehouses, connections,
+                     (!acc_cell.ok ? acc_cell.error : non_acc_cell.error)
+                         .c_str());
+        all_cells_ok = false;
+        continue;
+      }
+      PairResult pair;
+      pair.terminals = connections;
+      pair.sweep_x = connections;
+      pair.acc = acc_cell.result;
+      pair.non_acc = non_acc_cell.result;
+      if (!pair.acc.consistent || !pair.non_acc.consistent) {
+        std::printf("!! consistency violation at W=%d, %d connections (%s)\n",
+                    warehouses, connections,
+                    (!pair.acc.consistent ? pair.acc.first_violation
+                                          : pair.non_acc.first_violation)
+                        .c_str());
+        consistent = false;
+      }
+      sweep.push_back(std::move(pair));
+      acc_server_stats.push_back(acc_cell.server);
+      non_acc_server_stats.push_back(non_acc_cell.server);
+    }
+
+    std::printf("%-6s %12s %12s %12s %12s %10s\n", "conns", "acc tput/s",
+                "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
+    for (const PairResult& pair : sweep) {
+      std::printf("%-6d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.sweep_x,
+                  pair.acc.throughput(), pair.non_acc.throughput(),
+                  TailCell(pair.acc.response_all.mean()).c_str(),
+                  TailCell(pair.non_acc.response_all.mean()).c_str(),
+                  pair.ResponseRatio(), DegenerateMark(pair));
+    }
+
+    std::printf("\nserver-side counters (per system):\n");
+    std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "conns", "system",
+                "admit", "reject", "dl_q", "dl_exec", "peak_q", "dropped");
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      const auto print_row = [&](const char* system,
+                                 const server::ServerStats& s) {
+        std::printf("%-6d %8s %8llu %8llu %8llu %8llu %8llu %8llu\n",
+                    sweep[i].sweep_x, system,
+                    static_cast<unsigned long long>(s.requests_admitted),
+                    static_cast<unsigned long long>(s.admission_rejects),
+                    static_cast<unsigned long long>(s.deadline_exceeded_queue),
+                    static_cast<unsigned long long>(s.deadline_exceeded_exec),
+                    static_cast<unsigned long long>(s.queue_depth_peak),
+                    static_cast<unsigned long long>(s.responses_dropped));
+      };
+      print_row("acc", acc_server_stats[i]);
+      print_row("2pl", non_acc_server_stats[i]);
+    }
+
+    std::printf("\n");
+    PrintPairTailTable("networked TPC-C (skewed districts, W=" +
+                           std::to_string(warehouses) + ")",
+                       "conns", sweep);
+
+    const std::string label =
+        warehouses == 1 ? "net_skewed" : "net_w" + std::to_string(warehouses);
+    report.AddPairSweep(label, "connections", sweep,
+                        {{"warehouses", Json(warehouses)}});
+    for (size_t i = 0; i < sweep.size(); ++i) {
+      Json point = Json::Object();
+      point["x"] = Json(static_cast<int64_t>(sweep[i].sweep_x));
+      point["warehouses"] = Json(warehouses);
+      point["acc"] = ServerStatsJson(acc_server_stats[i]);
+      point["non_acc"] = ServerStatsJson(non_acc_server_stats[i]);
+      servers.Append(std::move(point));
+    }
   }
   report.root()["server_stats"] = std::move(servers);
   report.Write();

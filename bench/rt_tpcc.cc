@@ -12,6 +12,10 @@
 //
 // Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
 //   --threads=1,2,4,8,16   comma-separated worker-thread sweep
+//   --warehouses=1,2,4,8   comma-separated warehouse-count sweep (falls back
+//                          to the ACCDB_WAREHOUSES environment variable);
+//                          W>1 cells shard storage per warehouse and bind
+//                          worker t to home warehouse (t mod W) + 1
 //   --seconds=S            measured wall-clock window per cell (default 2)
 //   --warmup=S             warmup excluded from metrics (default 0.5)
 //   --seed=N               workload seed (default 20250806)
@@ -34,20 +38,25 @@ namespace {
 
 struct RtOptions {
   std::vector<int> threads = {1, 2, 4, 8, 16};
+  std::vector<int> warehouses = {1, 2, 4, 8};
   double seconds = 2.0;
   double warmup = 0.5;
   uint64_t seed = 20250806;
   double cost_scale = 1.0;
   double think_scale = 0.0;
   size_t lock_partitions = 0;  // 0 = auto.
+  bool affinity = true;
+  uint32_t txn_id_block = accdb::acc::TxnIdAllocator::kDefaultBlock;
   std::string json_path = "BENCH_rt_tpcc.json";
 };
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--threads=1,2,4,8,16] [--seconds=S] [--warmup=S]\n"
-               "          [--seed=N] [--cost-scale=F] [--think-scale=F]\n"
-               "          [--lock-partitions=N] [--json=PATH | --no-json]\n",
+               "usage: %s [--threads=1,2,4,8,16] [--warehouses=1,2,4,8]\n"
+               "          [--seconds=S] [--warmup=S] [--seed=N]\n"
+               "          [--cost-scale=F] [--think-scale=F]\n"
+               "          [--lock-partitions=N] [--affinity=0|1]\n"
+               "          [--txn-id-block=N] [--json=PATH | --no-json]\n",
                argv0);
   std::exit(2);
 }
@@ -59,25 +68,38 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
   return true;
 }
 
+// Parses a comma-separated list of positive ints; empty result on error.
+std::vector<int> ParseIntList(const std::string& value) {
+  std::vector<int> out;
+  for (size_t pos = 0; pos < value.size();) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    int n = std::atoi(value.substr(pos, comma - pos).c_str());
+    if (n <= 0) return {};
+    out.push_back(n);
+    pos = comma + 1;
+  }
+  return out;
+}
+
 RtOptions ParseOptions(int argc, char** argv) {
   RtOptions options;
-  // Flag overrides the environment variable; both default to auto sizing.
+  // Flags override the environment variables.
   if (const char* env = std::getenv("ACCDB_LOCK_PARTITIONS")) {
     options.lock_partitions = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("ACCDB_WAREHOUSES")) {
+    std::vector<int> parsed = ParseIntList(env);
+    if (!parsed.empty()) options.warehouses = parsed;
   }
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseValue(argv[i], "--threads", &value)) {
-      options.threads.clear();
-      for (size_t pos = 0; pos < value.size();) {
-        size_t comma = value.find(',', pos);
-        if (comma == std::string::npos) comma = value.size();
-        int n = std::atoi(value.substr(pos, comma - pos).c_str());
-        if (n <= 0) Usage(argv[0]);
-        options.threads.push_back(n);
-        pos = comma + 1;
-      }
+      options.threads = ParseIntList(value);
       if (options.threads.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--warehouses", &value)) {
+      options.warehouses = ParseIntList(value);
+      if (options.warehouses.empty()) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--seconds", &value)) {
       options.seconds = std::atof(value.c_str());
     } else if (ParseValue(argv[i], "--warmup", &value)) {
@@ -90,6 +112,12 @@ RtOptions ParseOptions(int argc, char** argv) {
       options.think_scale = std::atof(value.c_str());
     } else if (ParseValue(argv[i], "--lock-partitions", &value)) {
       options.lock_partitions = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--affinity", &value)) {
+      options.affinity = std::atoi(value.c_str()) != 0;
+    } else if (ParseValue(argv[i], "--txn-id-block", &value)) {
+      options.txn_id_block = static_cast<uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+      if (options.txn_id_block < 1) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--json", &value)) {
       options.json_path = value;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -127,47 +155,12 @@ int main(int argc, char** argv) {
   base.cost_scale = options.cost_scale;
   base.think_scale = options.think_scale;
   base.workload.engine.lock_partitions = options.lock_partitions;
+  base.warehouse_affinity = options.affinity;
+  base.txn_id_block = options.txn_id_block;
   const size_t resolved_partitions =
       lock::LockManager::ResolvePartitionCount(options.lock_partitions);
   std::printf("lock partitions: %zu%s\n", resolved_partitions,
               options.lock_partitions == 0 ? " (auto)" : "");
-
-  std::vector<PairResult> sweep;
-  sweep.reserve(options.threads.size());
-  for (int threads : options.threads) {
-    runtime::RtConfig config = base;
-    config.workload.terminals = threads;
-    PairResult pair;
-    pair.terminals = threads;
-    pair.sweep_x = threads;
-    config.workload.decomposed = true;
-    pair.acc = runtime::RunRtWorkload(config);
-    config.workload.decomposed = false;
-    pair.non_acc = runtime::RunRtWorkload(config);
-    sweep.push_back(pair);
-  }
-
-  std::printf("%-8s %12s %12s %12s %12s %10s\n", "threads", "acc tput/s",
-              "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
-  bool consistent = true;
-  for (const PairResult& pair : sweep) {
-    std::printf("%-8d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.terminals,
-                pair.acc.throughput(), pair.non_acc.throughput(),
-                TailCell(pair.acc.response_all.mean()).c_str(),
-                TailCell(pair.non_acc.response_all.mean()).c_str(),
-                pair.ResponseRatio(), DegenerateMark(pair));
-    if (!pair.acc.consistent || !pair.non_acc.consistent) {
-      std::printf("!! consistency violation at %d threads (%s)\n",
-                  pair.terminals,
-                  (!pair.acc.consistent ? pair.acc.first_violation
-                                        : pair.non_acc.first_violation)
-                      .c_str());
-      consistent = false;
-    }
-  }
-
-  std::printf("\n");
-  PrintPairTailTable("real-thread TPC-C (skewed districts)", "thr", sweep);
 
   report.root()["environment"] = Json("real-thread");
   report.root()["measured_seconds"] = Json(options.seconds);
@@ -176,7 +169,63 @@ int main(int argc, char** argv) {
   report.root()["think_scale"] = Json(options.think_scale);
   report.root()["lock_partitions"] =
       Json(static_cast<uint64_t>(resolved_partitions));
-  report.AddPairSweep("rt_skewed", "threads", sweep);
+
+  bool consistent = true;
+  for (int warehouses : options.warehouses) {
+    // Every W keeps the same per-warehouse regime (one hot district, 50%
+    // of that warehouse's traffic): the W=1 cells reproduce the
+    // single-warehouse contention figures, the W>1 cells show the load —
+    // spread by worker-to-warehouse affinity and per-warehouse storage
+    // shards — scaling out.
+    std::printf("\n== warehouses = %d ==\n", warehouses);
+    std::vector<PairResult> sweep;
+    sweep.reserve(options.threads.size());
+    for (int threads : options.threads) {
+      runtime::RtConfig config = base;
+      config.workload.inputs.scale.warehouses = warehouses;
+      config.workload.terminals = threads;
+      PairResult pair;
+      pair.terminals = threads;
+      pair.sweep_x = threads;
+      config.workload.decomposed = true;
+      pair.acc = runtime::RunRtWorkload(config);
+      config.workload.decomposed = false;
+      pair.non_acc = runtime::RunRtWorkload(config);
+      sweep.push_back(pair);
+    }
+
+    std::printf("%-8s %12s %12s %12s %12s %10s\n", "threads", "acc tput/s",
+                "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
+    for (const PairResult& pair : sweep) {
+      std::printf("%-8d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.terminals,
+                  pair.acc.throughput(), pair.non_acc.throughput(),
+                  TailCell(pair.acc.response_all.mean()).c_str(),
+                  TailCell(pair.non_acc.response_all.mean()).c_str(),
+                  pair.ResponseRatio(), DegenerateMark(pair));
+      if (!pair.acc.consistent || !pair.non_acc.consistent) {
+        std::printf("!! consistency violation at W=%d, %d threads (%s: %s)\n",
+                    warehouses, pair.terminals,
+                    !pair.acc.consistent ? "acc" : "2pl",
+                    (!pair.acc.consistent ? pair.acc.first_violation
+                                          : pair.non_acc.first_violation)
+                        .c_str());
+        consistent = false;
+      }
+    }
+
+    std::printf("\n");
+    PrintPairTailTable(
+        "real-thread TPC-C (skewed districts, W=" +
+            std::to_string(warehouses) + ")",
+        "thr", sweep);
+
+    // W=1 keeps the historical sweep label so existing report consumers
+    // line up; every sweep carries the new "warehouses" field.
+    const std::string label =
+        warehouses == 1 ? "rt_skewed" : "rt_w" + std::to_string(warehouses);
+    report.AddPairSweep(label, "threads", sweep,
+                        {{"warehouses", Json(warehouses)}});
+  }
   report.Write();
   return consistent ? 0 : 1;
 }

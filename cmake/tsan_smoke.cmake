@@ -17,7 +17,8 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P tsan_smoke.cmake")
 endif()
 
-set(SMOKE_TESTS runtime_test lock_mt_stress_test net_server_test)
+set(SMOKE_TESTS runtime_test rt_multiwh_test lock_mt_stress_test
+    net_server_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

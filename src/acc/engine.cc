@@ -22,12 +22,31 @@ lock::ItemId AssertionDeclItem(lock::AssertionId decl) {
   return lock::ItemId{/*table=*/0xFFFFFFFFu, /*row=*/decl};
 }
 
+thread_local TxnIdAllocator::Cache TxnIdAllocator::cache_;
+std::atomic<uint64_t> TxnIdAllocator::next_epoch_{1};
+
+lock::TxnId TxnIdAllocator::Next() {
+  if (block_size_ == 1) {
+    return last_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  Cache& cache = cache_;
+  if (cache.epoch != epoch_ || cache.next == cache.end) {
+    const lock::TxnId base =
+        last_id_.fetch_add(block_size_, std::memory_order_relaxed);
+    cache.epoch = epoch_;
+    cache.next = base + 1;
+    cache.end = base + block_size_ + 1;
+  }
+  return cache.next++;
+}
+
 Engine::Engine(storage::Database* db, const lock::ConflictResolver* resolver,
                EngineConfig config)
     : db_(db),
       config_(std::move(config)),
       lock_manager_(resolver,
-                    lock::LockManagerOptions{config_.lock_partitions, {}}) {
+                    lock::LockManagerOptions{config_.lock_partitions, {}}),
+      txn_ids_(config_.txn_id_block) {
   lock_manager_.set_listener(this);
 }
 

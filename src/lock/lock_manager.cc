@@ -91,7 +91,7 @@ LockManager::LockManager(const ConflictResolver* resolver,
 
 size_t LockManager::PartitionIndex(const ItemId& item) const {
   if (partition_fn_) return partition_fn_(item) % partitions_.size();
-  return ItemIdHash{}(item) & partition_mask_;
+  return ItemPartitionHash{}(item) & partition_mask_;
 }
 
 bool LockManager::HoldsComp(const ItemState& state, TxnId txn) {

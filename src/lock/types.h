@@ -56,12 +56,38 @@ struct ItemId {
   std::string ToString() const;
 };
 
+// Bucket hash for the unordered_maps keyed by ItemId. Iteration order of
+// those maps (notably a transaction's held-item index) feeds the lock
+// manager's release schedule, which sim_identity_test pins byte-for-byte —
+// so this function must not change. Its weakness — table and row are folded
+// together at bit 48 before mixing, so ids that collide there hash equal —
+// only costs bucket collisions here; partition selection uses the stronger
+// ItemPartitionHash below.
 struct ItemIdHash {
   size_t operator()(const ItemId& item) const {
     uint64_t h = (static_cast<uint64_t>(item.table) << 48) ^ item.row;
     h ^= h >> 33;
     h *= 0xff51afd7ed558ccdULL;
     h ^= h >> 33;
+    return static_cast<size_t>(h);
+  }
+};
+
+// Partition-selection hash: mixes table and row independently so that rows
+// whose high bits carry a storage-shard id (storage::MakeRowId) still spread
+// uniformly across lock-table partitions, and distinct tables never alias.
+// Safe to evolve: partition assignment does not affect the grant schedule
+// (the per-txn holder index above is one map across partitions).
+struct ItemPartitionHash {
+  size_t operator()(const ItemId& item) const {
+    uint64_t h = item.row;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    h += static_cast<uint64_t>(item.table) * 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 29;
+    h *= 0xc4ceb9fe1a85ec53ULL;
+    h ^= h >> 32;
     return static_cast<size_t>(h);
   }
 };

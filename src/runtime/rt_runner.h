@@ -36,6 +36,18 @@ struct RtConfig {
   // a saturated closed loop, which is what makes small wall-clock windows
   // produce meaningful contention.
   double think_scale = 0.0;
+
+  // With several warehouses, bind worker t to home warehouse (t mod W) + 1
+  // — the spec's terminal model, and what lets throughput scale with W
+  // (each worker's home-district traffic stays on its own storage shard and
+  // hot district). Remote payments/supply lines still cross warehouses.
+  // When false (or at W=1) every transaction draws its warehouse uniformly.
+  bool warehouse_affinity = true;
+
+  // Per-thread transaction-id block size (EngineConfig::txn_id_block). Real
+  // threads default to batched allocation; set 1 to force the shared
+  // counter.
+  uint32_t txn_id_block = acc::TxnIdAllocator::kDefaultBlock;
 };
 
 // Builds the system (same construction path as the simulation driver), runs

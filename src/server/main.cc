@@ -8,6 +8,10 @@
 //
 //   accdb_server [--port=N] [--mode=acc|2pl] [--workers=N] [--max-queue=N]
 //                [--cost-scale=F] [--deadline-ms=N] [--seed=N]
+//                [--warehouses=N]
+//
+// --warehouses falls back to the ACCDB_WAREHOUSES environment variable
+// (first list element when a sweep list is given).
 
 #include <signal.h>
 
@@ -24,7 +28,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--mode=acc|2pl] [--workers=N]\n"
                "          [--max-queue=N] [--cost-scale=F] [--deadline-ms=N]\n"
-               "          [--seed=N]\n",
+               "          [--seed=N] [--warehouses=N]\n",
                argv0);
   std::exit(2);
 }
@@ -44,6 +48,10 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.workload.seed = 20250806;
   options.cost_scale = 1.0;
+  if (const char* env = std::getenv("ACCDB_WAREHOUSES")) {
+    int w = std::atoi(env);  // First element of a sweep list parses too.
+    if (w > 0) options.workload.inputs.scale.warehouses = w;
+  }
   for (int i = 1; i < argc; ++i) {
     std::string value;
     if (ParseValue(argv[i], "--port", &value)) {
@@ -67,6 +75,10 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseValue(argv[i], "--seed", &value)) {
       options.workload.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(argv[i], "--warehouses", &value)) {
+      int w = std::atoi(value.c_str());
+      if (w <= 0) Usage(argv[0]);
+      options.workload.inputs.scale.warehouses = w;
     } else {
       Usage(argv[0]);
     }

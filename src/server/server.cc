@@ -23,10 +23,18 @@ net::ExecResponse MakeReject(uint64_t request_id, net::WireStatus status,
   return resp;
 }
 
+// Engine knobs implied by the serving context: worker threads draw txn ids
+// in per-thread blocks.
+tpcc::WorkloadConfig ServerWorkload(const ServerOptions& options) {
+  tpcc::WorkloadConfig workload = options.workload;
+  workload.engine.txn_id_block = options.txn_id_block;
+  return workload;
+}
+
 }  // namespace
 
 AccdbServer::AccdbServer(const ServerOptions& options)
-    : options_(options), system_(options.workload) {}
+    : options_(options), system_(ServerWorkload(options)) {}
 
 AccdbServer::~AccdbServer() { Shutdown(); }
 
@@ -284,10 +292,16 @@ void AccdbServer::DeliverResponse(uint64_t session_id, std::string frame) {
 
 void AccdbServer::WorkerLoop(int worker_index) {
   // Per-worker execution state, mirroring the real-thread runner: one env
-  // and one input stream per OS thread.
+  // and one input stream per OS thread, with the worker's home-warehouse
+  // binding applied to the inputs it generates.
   runtime::ThreadExecutionEnv env(options_.cost_scale);
+  tpcc::InputGenConfig inputs = options_.workload.inputs;
+  const int64_t warehouses = inputs.scale.warehouses;
+  if (options_.warehouse_affinity && warehouses > 1) {
+    inputs.home_warehouse = (worker_index % warehouses) + 1;
+  }
   tpcc::InputGenerator gen(
-      options_.workload.inputs,
+      inputs,
       options_.workload.seed * 7919 + 1000003ULL * (worker_index + 1));
   const acc::ExecMode mode = options_.workload.decomposed
                                  ? acc::ExecMode::kAccDecomposed

@@ -57,6 +57,13 @@ struct ServerOptions {
   double cost_scale = 0.0;
   // Deadline applied to requests that carry none (0 = unbounded).
   uint32_t default_deadline_ms = 0;
+  // With several warehouses, bind worker w to home warehouse (w mod W) + 1
+  // for the inputs it generates (remote payments/supply lines still cross
+  // warehouses); false draws uniformly per request.
+  bool warehouse_affinity = true;
+  // Per-thread transaction-id block size (EngineConfig::txn_id_block);
+  // worker threads default to batched allocation.
+  uint32_t txn_id_block = acc::TxnIdAllocator::kDefaultBlock;
 };
 
 // Cumulative serving-layer counters. Conservation invariants (asserted by

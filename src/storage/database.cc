@@ -4,10 +4,12 @@
 
 namespace accdb::storage {
 
-Table* Database::CreateTable(const std::string& name, Schema schema) {
+Table* Database::CreateTable(const std::string& name, Schema schema,
+                             size_t shards) {
   assert(!by_name_.contains(name) && "duplicate table name");
   TableId id = static_cast<TableId>(tables_.size());
-  tables_.push_back(std::make_unique<Table>(id, name, std::move(schema)));
+  tables_.push_back(
+      std::make_unique<Table>(id, name, std::move(schema), shards));
   by_name_.emplace(name, id);
   return tables_.back().get();
 }

@@ -24,7 +24,10 @@ class Database {
 
   // Creates a table; the returned pointer stays valid for the database's
   // lifetime. Dies on duplicate names (schema setup is programmer error).
-  Table* CreateTable(const std::string& name, Schema schema);
+  // `shards` > 1 data-partitions the table by its first key column (see
+  // Table).
+  Table* CreateTable(const std::string& name, Schema schema,
+                     size_t shards = 1);
 
   // nullptr when absent.
   Table* GetTable(const std::string& name);

@@ -38,38 +38,68 @@ Status Schema::Validate(const Row& row) const {
   return Status::Ok();
 }
 
-Table::Table(TableId id, std::string name, Schema schema)
+Table::Table(TableId id, std::string name, Schema schema, size_t shards)
     : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
   assert(!schema_.key_columns.empty() && "table requires a primary key");
+  if (shards < 1) shards = 1;
+  assert(shards <= kMaxTableShards && "shard count exceeds RowId shard bits");
+  assert((shards == 1 ||
+          schema_.columns[schema_.key_columns[0]].type == ColumnType::kInt64) &&
+         "sharding routes by the first key column, which must be an int64");
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+size_t Table::ShardOfValue(const Value& value) const {
+  const auto n = static_cast<int64_t>(shards_.size());
+  if (n == 1) return 0;
+  const int64_t m = value.AsInt64() % n;
+  return static_cast<size_t>(m < 0 ? m + n : m);
+}
+
+size_t Table::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> latch(shard->mu);
+    total += shard->rows.size();
+  }
+  return total;
 }
 
 IndexId Table::AddIndex(std::string name, std::vector<int> columns) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
-  assert(rows_.empty() && "indexes must be created before inserts");
-  indexes_.push_back(SecondaryIndex{std::move(name), std::move(columns), {}});
+  assert(!columns.empty());
+  const bool routable = columns[0] == schema_.key_columns[0];
+  indexes_.push_back(IndexDef{std::move(name), std::move(columns), routable});
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> latch(shard->mu);
+    assert(shard->rows.empty() && "indexes must be created before inserts");
+    shard->index_entries.emplace_back();
+  }
   return static_cast<IndexId>(indexes_.size() - 1);
 }
 
-CompositeKey Table::IndexKeyOf(const SecondaryIndex& index,
-                               const Row& row) const {
+CompositeKey Table::IndexKeyOf(const IndexDef& index, const Row& row) const {
   CompositeKey key;
   key.reserve(index.columns.size());
   for (int c : index.columns) key.push_back(row[c]);
   return key;
 }
 
-void Table::IndexInsert(RowId id, const Row& row) {
-  for (auto& index : indexes_) {
-    index.entries.emplace(IndexKeyOf(index, row), id);
+void Table::IndexInsert(Shard& shard, RowId id, const Row& row) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    shard.index_entries[i].emplace(IndexKeyOf(indexes_[i], row), id);
   }
 }
 
-void Table::IndexErase(RowId id, const Row& row) {
-  for (auto& index : indexes_) {
-    auto [lo, hi] = index.entries.equal_range(IndexKeyOf(index, row));
+void Table::IndexErase(Shard& shard, RowId id, const Row& row) {
+  for (size_t i = 0; i < indexes_.size(); ++i) {
+    auto [lo, hi] =
+        shard.index_entries[i].equal_range(IndexKeyOf(indexes_[i], row));
     for (auto it = lo; it != hi; ++it) {
       if (it->second == id) {
-        index.entries.erase(it);
+        shard.index_entries[i].erase(it);
         break;
       }
     }
@@ -82,16 +112,18 @@ Result<RowId> Table::Insert(const Row& row) {
 
 Result<RowId> Table::Insert(const Row& row,
                             const std::function<void(RowId)>& before_publish) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
   ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
   CompositeKey key = schema_.KeyOf(row);
-  if (pk_index_.contains(key)) {
+  const size_t s = ShardOfKey(key);
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> latch(shard.mu);
+  if (shard.pk_index.contains(key)) {
     return Status::AlreadyExists(name_ + " pk " + CompositeKeyToString(key));
   }
-  RowId id = next_row_id_++;
-  pk_index_.emplace(std::move(key), id);
-  IndexInsert(id, row);
-  rows_.emplace(id, row);
+  RowId id = MakeRowId(s, shard.next_seq++);
+  shard.pk_index.emplace(std::move(key), id);
+  IndexInsert(shard, id, row);
+  shard.rows.emplace(id, row);
   // Still under the exclusive latch: the id exists in every index but no
   // reader has been able to observe it yet.
   if (before_publish) before_publish(id);
@@ -99,33 +131,49 @@ Result<RowId> Table::Insert(const Row& row,
 }
 
 Status Table::InsertWithId(RowId id, const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
   ACCDB_RETURN_IF_ERROR(schema_.Validate(row));
-  if (rows_.contains(id)) {
+  CompositeKey key = schema_.KeyOf(row);
+  const size_t s = ShardOfKey(key);
+  if (RowIdShard(id) != s) {
+    return Status::InvalidArgument(
+        StrFormat("row id %llu belongs to shard %zu, key routes to %zu",
+                  static_cast<unsigned long long>(id), RowIdShard(id), s));
+  }
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> latch(shard.mu);
+  if (shard.rows.contains(id)) {
     return Status::AlreadyExists(StrFormat("row id %llu live",
                                            static_cast<unsigned long long>(id)));
   }
-  CompositeKey key = schema_.KeyOf(row);
-  if (pk_index_.contains(key)) {
+  if (shard.pk_index.contains(key)) {
     return Status::AlreadyExists(name_ + " pk " + CompositeKeyToString(key));
   }
-  pk_index_.emplace(std::move(key), id);
-  IndexInsert(id, row);
-  rows_.emplace(id, row);
-  next_row_id_ = std::max(next_row_id_, id + 1);
+  shard.pk_index.emplace(std::move(key), id);
+  IndexInsert(shard, id, row);
+  shard.rows.emplace(id, row);
+  shard.next_seq = std::max(shard.next_seq, RowIdSeq(id) + 1);
   return Status::Ok();
 }
 
 const Row* Table::Get(RowId id) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
-  auto it = rows_.find(id);
-  return it == rows_.end() ? nullptr : &it->second;
+  const size_t s = RowIdShard(id);
+  if (s >= shards_.size()) return nullptr;
+  const Shard& shard = *shards_[s];
+  std::shared_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.rows.find(id);
+  return it == shard.rows.end() ? nullptr : &it->second;
 }
 
 Status Table::Update(RowId id, const Row& row) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
+  const size_t s = RowIdShard(id);
+  if (s >= shards_.size()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.rows.find(id);
+  if (it == shard.rows.end()) {
     return Status::NotFound(StrFormat("row id %llu",
                                       static_cast<unsigned long long>(id)));
   }
@@ -133,17 +181,23 @@ Status Table::Update(RowId id, const Row& row) {
   if (schema_.KeyOf(row) != schema_.KeyOf(it->second)) {
     return Status::InvalidArgument("primary key update not supported");
   }
-  IndexErase(id, it->second);
+  IndexErase(shard, id, it->second);
   it->second = row;
-  IndexInsert(id, it->second);
+  IndexInsert(shard, id, it->second);
   return Status::Ok();
 }
 
 Status Table::UpdateColumns(
     RowId id, const std::vector<std::pair<int, Value>>& updates) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
+  const size_t s = RowIdShard(id);
+  if (s >= shards_.size()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.rows.find(id);
+  if (it == shard.rows.end()) {
     return Status::NotFound(StrFormat("row id %llu",
                                       static_cast<unsigned long long>(id)));
   }
@@ -170,29 +224,36 @@ Status Table::UpdateColumns(
       }
     }
   }
-  if (touches_index) IndexErase(id, it->second);
+  if (touches_index) IndexErase(shard, id, it->second);
   for (const auto& [col, value] : updates) it->second[col] = value;
-  if (touches_index) IndexInsert(id, it->second);
+  if (touches_index) IndexInsert(shard, id, it->second);
   return Status::Ok();
 }
 
 Status Table::Delete(RowId id) {
-  std::unique_lock<std::shared_mutex> latch(mu_);
-  auto it = rows_.find(id);
-  if (it == rows_.end()) {
+  const size_t s = RowIdShard(id);
+  if (s >= shards_.size()) {
     return Status::NotFound(StrFormat("row id %llu",
                                       static_cast<unsigned long long>(id)));
   }
-  pk_index_.erase(schema_.KeyOf(it->second));
-  IndexErase(id, it->second);
-  rows_.erase(it);
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.rows.find(id);
+  if (it == shard.rows.end()) {
+    return Status::NotFound(StrFormat("row id %llu",
+                                      static_cast<unsigned long long>(id)));
+  }
+  shard.pk_index.erase(schema_.KeyOf(it->second));
+  IndexErase(shard, id, it->second);
+  shard.rows.erase(it);
   return Status::Ok();
 }
 
 std::optional<RowId> Table::LookupPk(const CompositeKey& key) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
-  auto it = pk_index_.find(key);
-  if (it == pk_index_.end()) return std::nullopt;
+  const Shard& shard = *shards_[ShardOfKey(key)];
+  std::shared_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.pk_index.find(key);
+  if (it == shard.pk_index.end()) return std::nullopt;
   return it->second;
 }
 
@@ -205,53 +266,124 @@ bool Table::IsPrefix(const CompositeKey& prefix, const CompositeKey& full) {
 }
 
 std::vector<RowId> Table::ScanPkPrefix(const CompositeKey& prefix) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
   std::vector<RowId> out;
-  for (auto it = pk_index_.lower_bound(prefix);
-       it != pk_index_.end() && IsPrefix(prefix, it->first); ++it) {
-    out.push_back(it->second);
+  if (!prefix.empty() || shards_.size() == 1) {
+    const Shard& shard =
+        *shards_[prefix.empty() ? 0 : ShardOfKey(prefix)];
+    std::shared_lock<std::shared_mutex> latch(shard.mu);
+    for (auto it = shard.pk_index.lower_bound(prefix);
+         it != shard.pk_index.end() && IsPrefix(prefix, it->first); ++it) {
+      out.push_back(it->second);
+    }
+    return out;
   }
+  // Unprefixed scan of a sharded table: collect per shard (one latch at a
+  // time), then merge into global key order.
+  std::vector<std::pair<CompositeKey, RowId>> merged;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> latch(shard->mu);
+    for (const auto& [key, id] : shard->pk_index) merged.emplace_back(key, id);
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) {
+              return CompositeKeyCompare{}(a.first, b.first);
+            });
+  out.reserve(merged.size());
+  for (auto& [key, id] : merged) out.push_back(id);
   return out;
 }
 
 std::optional<RowId> Table::MinPkPrefix(const CompositeKey& prefix) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
-  auto it = pk_index_.lower_bound(prefix);
-  if (it == pk_index_.end() || !IsPrefix(prefix, it->first)) {
-    return std::nullopt;
+  if (!prefix.empty() || shards_.size() == 1) {
+    const Shard& shard =
+        *shards_[prefix.empty() ? 0 : ShardOfKey(prefix)];
+    std::shared_lock<std::shared_mutex> latch(shard.mu);
+    auto it = shard.pk_index.lower_bound(prefix);
+    if (it == shard.pk_index.end() || !IsPrefix(prefix, it->first)) {
+      return std::nullopt;
+    }
+    return it->second;
   }
-  return it->second;
+  std::optional<RowId> best;
+  CompositeKey best_key;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> latch(shard->mu);
+    auto it = shard->pk_index.begin();
+    if (it == shard->pk_index.end()) continue;
+    if (!best.has_value() || CompositeKeyCompare{}(it->first, best_key)) {
+      best = it->second;
+      best_key = it->first;
+    }
+  }
+  return best;
 }
 
 std::vector<RowId> Table::LookupIndex(IndexId index,
                                       const CompositeKey& key) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
   assert(index < indexes_.size());
   std::vector<RowId> out;
-  auto [lo, hi] = indexes_[index].entries.equal_range(key);
-  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  const bool one_shard =
+      shards_.size() == 1 || (indexes_[index].routable && !key.empty());
+  if (one_shard) {
+    const Shard& shard = *shards_[key.empty() ? 0 : ShardOfKey(key)];
+    std::shared_lock<std::shared_mutex> latch(shard.mu);
+    auto [lo, hi] = shard.index_entries[index].equal_range(key);
+    for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+  } else {
+    for (const auto& shard : shards_) {
+      std::shared_lock<std::shared_mutex> latch(shard->mu);
+      auto [lo, hi] = shard->index_entries[index].equal_range(key);
+      for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+    }
+  }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<RowId> Table::ScanIndexPrefix(IndexId index,
                                           const CompositeKey& prefix) const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
   assert(index < indexes_.size());
   std::vector<RowId> out;
-  const auto& entries = indexes_[index].entries;
-  for (auto it = entries.lower_bound(prefix);
-       it != entries.end() && IsPrefix(prefix, it->first); ++it) {
-    out.push_back(it->second);
+  const bool one_shard =
+      shards_.size() == 1 || (indexes_[index].routable && !prefix.empty());
+  if (one_shard) {
+    const Shard& shard = *shards_[prefix.empty() ? 0 : ShardOfKey(prefix)];
+    std::shared_lock<std::shared_mutex> latch(shard.mu);
+    const auto& entries = shard.index_entries[index];
+    for (auto it = entries.lower_bound(prefix);
+         it != entries.end() && IsPrefix(prefix, it->first); ++it) {
+      out.push_back(it->second);
+    }
+    return out;
   }
+  // Merge across shards; ties on the full index key break by RowId so the
+  // result is deterministic regardless of shard count.
+  std::vector<std::pair<CompositeKey, RowId>> merged;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> latch(shard->mu);
+    const auto& entries = shard->index_entries[index];
+    for (auto it = entries.lower_bound(prefix);
+         it != entries.end() && IsPrefix(prefix, it->first); ++it) {
+      merged.emplace_back(it->first, it->second);
+    }
+  }
+  std::sort(merged.begin(), merged.end(), [](const auto& a, const auto& b) {
+    if (CompositeKeyCompare{}(a.first, b.first)) return true;
+    if (CompositeKeyCompare{}(b.first, a.first)) return false;
+    return a.second < b.second;
+  });
+  out.reserve(merged.size());
+  for (auto& [key, id] : merged) out.push_back(id);
   return out;
 }
 
 std::vector<RowId> Table::ScanAll() const {
-  std::shared_lock<std::shared_mutex> latch(mu_);
   std::vector<RowId> out;
-  out.reserve(rows_.size());
-  for (const auto& [id, row] : rows_) out.push_back(id);
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> latch(shard->mu);
+    out.reserve(out.size() + shard->rows.size());
+    for (const auto& [id, row] : shard->rows) out.push_back(id);
+  }
   std::sort(out.begin(), out.end());
   return out;
 }

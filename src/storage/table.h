@@ -1,18 +1,31 @@
 // In-memory relational table with a primary-key index and optional ordered
-// secondary indexes.
+// secondary indexes, internally partitioned into data shards.
 //
 // Rows are addressed by a stable RowId assigned at insert time; RowIds are
 // never reused while the table lives (deleted ids stay dead), which makes
 // them safe identities for the lock manager to attach locks to. Restoring a
 // deleted row under its original RowId is supported for undo/compensation.
 //
-// The table itself performs no transactional concurrency control and no
-// logging; those are the responsibility of the transaction layer above it
-// (src/acc). It is, however, safe for physical concurrency: a table-level
-// shared_mutex latch serializes structural mutation against lookups, so the
-// same code runs both under the simulation kernel (one active process at a
-// time — the latch is uncontended and changes nothing) and under the
-// real-thread runtime (src/runtime), where OS workers operate in parallel.
+// Sharding: a table may be created with S > 1 shards, each owning a disjoint
+// slice of the rows plus its own pk index, secondary-index entries and latch.
+// Rows are routed by the first primary-key column (an int64, e.g. the TPC-C
+// warehouse id) modulo S, and the owning shard is encoded in the high bits
+// of the RowId — so every id-addressed operation goes straight to its shard
+// without consulting any shared structure, and lock-table partitioning stays
+// uniform because distinct shards produce distinct RowId bit patterns.
+// Keyed lookups and scans whose key/prefix names the first key column touch
+// exactly one shard; unprefixed scans merge across shards in key order.
+// With S == 1 (the default) ids and behavior are identical to the historical
+// unsharded table, which the deterministic simulation golden relies on.
+//
+// The table performs no transactional concurrency control and no logging;
+// those are the responsibility of the transaction layer above it (src/acc).
+// It is, however, safe for physical concurrency: a per-shard shared_mutex
+// latch serializes structural mutation against lookups, so the same code
+// runs both under the simulation kernel (one active process at a time — the
+// latch is uncontended and changes nothing) and under the real-thread
+// runtime (src/runtime), where OS workers operate in parallel and workers
+// bound to different warehouses never touch the same latch.
 //
 // Row contents returned by Get() are protected by the caller's row locks,
 // not by the latch: unordered_map guarantees reference stability, so a Row*
@@ -25,6 +38,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <shared_mutex>
@@ -42,6 +56,21 @@ using RowId = uint64_t;
 using IndexId = uint32_t;
 
 inline constexpr RowId kInvalidRowId = 0;
+
+// RowId layout: the owning shard in the top 16 bits, a per-shard sequence
+// number in the low 48. Shard 0 ids are plain sequence numbers, so a
+// 1-shard table assigns the same ids it always has.
+inline constexpr int kRowIdShardShift = 48;
+inline constexpr RowId kRowIdSeqMask = (RowId{1} << kRowIdShardShift) - 1;
+inline constexpr size_t kMaxTableShards = size_t{1} << 16;
+
+constexpr RowId MakeRowId(size_t shard, RowId seq) {
+  return (static_cast<RowId>(shard) << kRowIdShardShift) | seq;
+}
+constexpr size_t RowIdShard(RowId id) {
+  return static_cast<size_t>(id >> kRowIdShardShift);
+}
+constexpr RowId RowIdSeq(RowId id) { return id & kRowIdSeqMask; }
 
 struct ColumnDef {
   std::string name;
@@ -67,7 +96,9 @@ struct Schema {
 
 class Table {
  public:
-  Table(TableId id, std::string name, Schema schema);
+  // `shards` > 1 requires the first key column to be kInt64 (asserted): it
+  // is the routing attribute.
+  Table(TableId id, std::string name, Schema schema, size_t shards = 1);
 
   Table(const Table&) = delete;
   Table& operator=(const Table&) = delete;
@@ -75,10 +106,8 @@ class Table {
   TableId id() const { return id_; }
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> latch(mu_);
-    return rows_.size();
-  }
+  size_t shards() const { return shards_.size(); }
+  size_t size() const;
 
   // Adds an ordered secondary index over the given column positions.
   // Must be called before rows are inserted (asserted).
@@ -87,8 +116,8 @@ class Table {
   // Inserts a row; fails with kAlreadyExists on a duplicate primary key.
   Result<RowId> Insert(const Row& row);
 
-  // Insert with a publication hook: `before_publish` runs under the
-  // exclusive table latch after the RowId is assigned and the row is
+  // Insert with a publication hook: `before_publish` runs under the owning
+  // shard's exclusive latch after the RowId is assigned and the row is
   // indexed, but before any other thread can observe it. The transaction
   // layer uses this to X-lock freshly inserted rows with no window in which
   // a concurrent scanner could see the row unlocked. The callback must not
@@ -97,6 +126,7 @@ class Table {
                        const std::function<void(RowId)>& before_publish);
 
   // Re-inserts a previously deleted row under its original id (undo path).
+  // The id's shard bits must match where the row's key routes (checked).
   Status InsertWithId(RowId id, const Row& row);
 
   // nullptr if the id is not live.
@@ -116,6 +146,7 @@ class Table {
   std::optional<RowId> LookupPk(const CompositeKey& key) const;
 
   // All live rows whose primary key has `prefix` as a prefix, in key order.
+  // A non-empty prefix touches one shard; an empty prefix merges all shards.
   std::vector<RowId> ScanPkPrefix(const CompositeKey& prefix) const;
 
   // First (smallest-key) row matching the primary-key prefix, if any.
@@ -125,23 +156,46 @@ class Table {
   std::vector<RowId> LookupIndex(IndexId index, const CompositeKey& key) const;
 
   // All live rows in index-key order whose index key has `prefix` as a
-  // prefix.
+  // prefix. Ties on the full index key break by RowId.
   std::vector<RowId> ScanIndexPrefix(IndexId index,
                                      const CompositeKey& prefix) const;
 
-  // Full scan in RowId order (tests / consistency checks only).
+  // Full scan in RowId order — shard-major, insertion order within a shard
+  // (tests / consistency checks only).
   std::vector<RowId> ScanAll() const;
 
  private:
-  struct SecondaryIndex {
+  struct IndexDef {
     std::string name;
     std::vector<int> columns;
-    std::multimap<CompositeKey, RowId, CompositeKeyCompare> entries;
+    // True when columns[0] is the routing attribute: every key/prefix
+    // naming it resolves within one shard.
+    bool routable = false;
   };
 
-  CompositeKey IndexKeyOf(const SecondaryIndex& index, const Row& row) const;
-  void IndexInsert(RowId id, const Row& row);
-  void IndexErase(RowId id, const Row& row);
+  // One data shard: rows, pk index and per-index entry maps, owned by `mu`.
+  // Latch ordering: the transaction layer may request locks from inside
+  // `before_publish` (shard latch -> lock-manager latch); the lock manager
+  // never calls back into storage, so no cycle exists. No operation holds
+  // two shard latches at once.
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unordered_map<RowId, Row> rows;
+    std::map<CompositeKey, RowId, CompositeKeyCompare> pk_index;
+    std::vector<std::multimap<CompositeKey, RowId, CompositeKeyCompare>>
+        index_entries;
+    RowId next_seq = 1;
+  };
+
+  // Shard owning the given routing-attribute value / primary key.
+  size_t ShardOfValue(const Value& value) const;
+  size_t ShardOfKey(const CompositeKey& key) const {
+    return ShardOfValue(key[0]);
+  }
+
+  CompositeKey IndexKeyOf(const IndexDef& index, const Row& row) const;
+  void IndexInsert(Shard& shard, RowId id, const Row& row);
+  void IndexErase(Shard& shard, RowId id, const Row& row);
 
   // True if `key` is a prefix of `full`.
   static bool IsPrefix(const CompositeKey& prefix, const CompositeKey& full);
@@ -150,15 +204,8 @@ class Table {
   const std::string name_;
   const Schema schema_;
 
-  // Latch ordering: the transaction layer may request locks from inside
-  // `before_publish` (table latch -> lock-manager latch); the lock manager
-  // never calls back into storage, so no cycle exists.
-  mutable std::shared_mutex mu_;
-
-  std::unordered_map<RowId, Row> rows_;
-  std::map<CompositeKey, RowId, CompositeKeyCompare> pk_index_;
-  std::vector<SecondaryIndex> indexes_;
-  RowId next_row_id_ = 1;
+  std::vector<IndexDef> indexes_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace accdb::storage

@@ -71,6 +71,11 @@ ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
   // Delivered amounts credited to the ordering customer need the order's
   // customer; collect per order first.
   std::map<OrderKey, Money> order_delivered_amount;
+  // Per (supplying warehouse, item): quantity sold, number of sales, and
+  // how many of those sales were remote (ordered by another warehouse) —
+  // the cross-warehouse view the stock counters must agree with.
+  using StockKey = std::pair<int64_t, int64_t>;  // (supply_w, item).
+  std::map<StockKey, int64_t> sold_qty, sold_cnt, sold_remote;
   for (storage::RowId id : db.order_line->ScanAll()) {
     const storage::Row& row = *db.order_line->Get(id);
     DistrictKey dk{row[db.ol_w_id].AsInt64(), row[db.ol_d_id].AsInt64()};
@@ -82,6 +87,10 @@ ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
     } else {
       order_delivered_amount[ok] += row[db.ol_amount].AsMoney();
     }
+    StockKey sk{row[db.ol_supply_w_id].AsInt64(), row[db.ol_i_id].AsInt64()};
+    sold_qty[sk] += row[db.ol_quantity].AsInt64();
+    ++sold_cnt[sk];
+    if (sk.first != dk.first) ++sold_remote[sk];
   }
   std::map<OrderKey, int64_t> order_customer;
   for (storage::RowId id : db.orders->ScanAll()) {
@@ -212,20 +221,25 @@ ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
 
   // --- Conditions 8 & 9: YTD vs history sums ---
   // The loader starts warehouses at $300000 and districts at $30000 with
-  // customers_per_district initial $10 history rows per district.
+  // customers_per_district initial $10 history rows per district. Customer
+  // counts (which size the initial history) are gathered in one pass so
+  // these conditions stay linear at high warehouse counts.
+  std::map<int64_t, int64_t> customers_by_warehouse;
+  std::map<DistrictKey, int64_t> customers_by_district;
+  for (storage::RowId id : db.customer->ScanAll()) {
+    const storage::Row& row = *db.customer->Get(id);
+    ++customers_by_warehouse[row[db.c_w_id].AsInt64()];
+    ++customers_by_district[DistrictKey{row[db.c_w_id].AsInt64(),
+                                        row[db.c_d_id].AsInt64()}];
+  }
   for (const auto& [w, ytd] : w_ytd) {
     Money base = Money::FromDollars(300000);
     Money hist = history_by_warehouse.contains(w) ? history_by_warehouse[w]
                                                   : Money();
     // Initial history rows: one $10 per customer of the warehouse.
     // They are included in `hist`, and the loaded w_ytd excludes them, so:
-    // w_ytd = base + (hist - initial_hist). Compute initial from customer
-    // counts.
-    int64_t customers = 0;
-    for (storage::RowId id : db.customer->ScanAll()) {
-      if ((*db.customer->Get(id))[db.c_w_id].AsInt64() == w) ++customers;
-    }
-    Money initial_hist = Money::FromDollars(10) * customers;
+    // w_ytd = base + (hist - initial_hist).
+    Money initial_hist = Money::FromDollars(10) * customers_by_warehouse[w];
     if (ytd != base + hist - initial_hist) {
       report.Fail(StrFormat("C8: w_ytd %s != 300000 + payments %s",
                             ytd.ToString().c_str(),
@@ -236,15 +250,7 @@ ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
     Money base = Money::FromDollars(30000);
     Money hist = history_by_district.contains(dk) ? history_by_district[dk]
                                                   : Money();
-    int64_t customers = 0;
-    for (storage::RowId id : db.customer->ScanAll()) {
-      const storage::Row& row = *db.customer->Get(id);
-      if (row[db.c_w_id].AsInt64() == dk.first &&
-          row[db.c_d_id].AsInt64() == dk.second) {
-        ++customers;
-      }
-    }
-    Money initial_hist = Money::FromDollars(10) * customers;
+    Money initial_hist = Money::FromDollars(10) * customers_by_district[dk];
     if (ytd != base + hist - initial_hist) {
       report.Fail(StrFormat("C9: d_ytd %s mismatch @(%lld,%lld)",
                             ytd.ToString().c_str(),
@@ -285,6 +291,31 @@ ConsistencyReport CheckConsistency(const TpccDb& db, bool strict) {
                             static_cast<long long>(std::get<2>(ck)),
                             (balance + ytd_payment).ToString().c_str(),
                             delivered.ToString().c_str()));
+    }
+  }
+
+  // --- Condition 13: STOCK counters vs ORDER-LINE, across warehouses ---
+  // s_ytd / s_order_cnt / s_remote_cnt summarize every order line this
+  // warehouse *supplied*, wherever the order was placed — the condition
+  // that catches a lost or double-applied remote-warehouse stock update,
+  // and a compensation that failed to restore a remote shard.
+  for (storage::RowId id : db.stock->ScanAll()) {
+    const storage::Row& row = *db.stock->Get(id);
+    StockKey sk{row[db.s_w_id].AsInt64(), row[db.s_i_id].AsInt64()};
+    int64_t qty = sold_qty.contains(sk) ? sold_qty[sk] : 0;
+    int64_t cnt = sold_cnt.contains(sk) ? sold_cnt[sk] : 0;
+    int64_t remote = sold_remote.contains(sk) ? sold_remote[sk] : 0;
+    if (row[db.s_ytd].AsInt64() != qty || row[db.s_order_cnt].AsInt64() != cnt ||
+        row[db.s_remote_cnt].AsInt64() != remote) {
+      report.Fail(StrFormat(
+          "C13: stock (%lld,%lld) ytd=%lld/cnt=%lld/remote=%lld != order "
+          "lines %lld/%lld/%lld",
+          static_cast<long long>(sk.first), static_cast<long long>(sk.second),
+          static_cast<long long>(row[db.s_ytd].AsInt64()),
+          static_cast<long long>(row[db.s_order_cnt].AsInt64()),
+          static_cast<long long>(row[db.s_remote_cnt].AsInt64()),
+          static_cast<long long>(qty), static_cast<long long>(cnt),
+          static_cast<long long>(remote)));
     }
   }
 

@@ -1,5 +1,6 @@
 #include "tpcc/driver.h"
 
+#include <algorithm>
 #include <memory>
 
 #include "acc/conflict_resolver.h"
@@ -81,7 +82,10 @@ class Terminal {
 }  // namespace
 
 TpccSystem::TpccSystem(const WorkloadConfig& config)
-    : db_(&database_), acc_resolver_(&db_.interference) {
+    : db_(&database_,
+          static_cast<size_t>(std::max<int64_t>(
+              1, config.inputs.scale.warehouses))),
+      acc_resolver_(&db_.interference) {
   LoadDatabase(db_, config.inputs.scale, config.seed);
   db_.interference.set_key_refinement(config.key_refinement);
   const lock::ConflictResolver* resolver =

@@ -32,6 +32,7 @@ TxnType InputGenerator::NextType() {
 }
 
 int64_t InputGenerator::PickWarehouse() {
+  if (config_.home_warehouse > 0) return config_.home_warehouse;
   return rng_.UniformInt(1, config_.scale.warehouses);
 }
 

@@ -84,6 +84,12 @@ struct InputGenConfig {
   // payments made for a remote customer (clause 2.5.1.2).
   double remote_supply_fraction = 0.01;
   double remote_payment_fraction = 0.15;
+  // Terminal-to-warehouse affinity: > 0 fixes every transaction's
+  // originating warehouse to this id without consuming an RNG draw (the
+  // spec's model — each terminal belongs to one warehouse); remote
+  // supply/payment draws still cross warehouses. 0 draws the home warehouse
+  // uniformly per transaction.
+  int64_t home_warehouse = 0;
   // Transaction mix (weights; spec-approximate mix by default).
   double mix[kNumTxnTypes] = {0.45, 0.43, 0.04, 0.04, 0.04};
 };

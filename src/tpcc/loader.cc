@@ -1,6 +1,8 @@
 #include "tpcc/loader.h"
 
 #include <cassert>
+#include <map>
+#include <utility>
 
 #include "common/money.h"
 
@@ -44,6 +46,11 @@ void LoadDatabase(TpccDb& db, const ScaleConfig& scale, uint64_t seed) {
                {Value(w), Value("wh-" + rng.AlnumString(4, 8)),
                 Value(rng.UniformInt(0, 2000) / 10000.0),
                 Value(Money::FromDollars(300000))});
+
+    // Quantities sold per item by this (supplying) warehouse's initial
+    // order lines; folded into the stock counters below so the
+    // stock-vs-order-line consistency condition holds from the start.
+    std::map<int64_t, std::pair<int64_t, int64_t>> stock_tally;
 
     // Stock.
     for (int64_t i = 1; i <= scale.item_count; ++i) {
@@ -92,12 +99,29 @@ void LoadDatabase(TpccDb& db, const ScaleConfig& scale, uint64_t seed) {
                                Value(ol_cnt), Value(int64_t{1})});
         for (int64_t n = 1; n <= ol_cnt; ++n) {
           int64_t item_id = rng.UniformInt(1, scale.item_count);
+          int64_t quantity = rng.UniformInt(1, 10);
           MustInsert(db.order_line,
                      {Value(w), Value(d), Value(o), Value(n), Value(item_id),
                       Value(w), Value(int64_t{1}),  // Delivered.
-                      Value(rng.UniformInt(1, 10)), Value(Money())});
+                      Value(quantity), Value(Money())});
+          auto& tally = stock_tally[item_id];
+          tally.first += quantity;
+          tally.second += 1;
         }
       }
+    }
+
+    // Back-fill s_ytd / s_order_cnt from the initial order lines (all
+    // supplied locally, so s_remote_cnt stays 0). Done after the fact to
+    // keep the RNG draw sequence identical to the historical loader.
+    for (const auto& [item_id, tally] : stock_tally) {
+      auto row_id = db.stock->LookupPk(storage::Key(w, item_id));
+      assert(row_id.has_value());
+      Status updated = db.stock->UpdateColumns(
+          *row_id, {{db.s_ytd, Value(tally.first)},
+                    {db.s_order_cnt, Value(tally.second)}});
+      assert(updated.ok());
+      (void)updated;
     }
   }
 }

@@ -14,7 +14,9 @@ int Col(Schema& schema, const char* name, ColumnType type) {
 
 }  // namespace
 
-TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
+TpccDb::TpccDb(storage::Database* db_in, size_t warehouse_shards)
+    : db(db_in) {
+  if (warehouse_shards < 1) warehouse_shards = 1;
   // --- warehouse ---
   {
     Schema s;
@@ -23,7 +25,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     w_tax = Col(s, "w_tax", ColumnType::kDouble);
     w_ytd = Col(s, "w_ytd", ColumnType::kMoney);
     s.key_columns = {w_id};
-    warehouse = db->CreateTable("warehouse", std::move(s));
+    warehouse = db->CreateTable("warehouse", std::move(s), warehouse_shards);
   }
   // --- district ---
   {
@@ -35,7 +37,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     d_ytd = Col(s, "d_ytd", ColumnType::kMoney);
     d_next_o_id = Col(s, "d_next_o_id", ColumnType::kInt64);
     s.key_columns = {d_w_id, d_id};
-    district = db->CreateTable("district", std::move(s));
+    district = db->CreateTable("district", std::move(s), warehouse_shards);
   }
   // --- customer ---
   {
@@ -53,7 +55,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     c_delivery_cnt = Col(s, "c_delivery_cnt", ColumnType::kInt64);
     c_data = Col(s, "c_data", ColumnType::kString);
     s.key_columns = {c_w_id, c_d_id, c_id};
-    customer = db->CreateTable("customer", std::move(s));
+    customer = db->CreateTable("customer", std::move(s), warehouse_shards);
     customer_by_last =
         customer->AddIndex("customer_by_last", {c_w_id, c_d_id, c_last});
   }
@@ -68,7 +70,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     h_w_id = Col(s, "h_w_id", ColumnType::kInt64);
     h_amount = Col(s, "h_amount", ColumnType::kMoney);
     s.key_columns = {h_c_w_id, h_c_d_id, h_c_id, h_seq};
-    history = db->CreateTable("history", std::move(s));
+    history = db->CreateTable("history", std::move(s), warehouse_shards);
   }
   // --- new_order ---
   {
@@ -77,7 +79,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     no_d_id = Col(s, "no_d_id", ColumnType::kInt64);
     no_o_id = Col(s, "no_o_id", ColumnType::kInt64);
     s.key_columns = {no_w_id, no_d_id, no_o_id};
-    new_order = db->CreateTable("new_order", std::move(s));
+    new_order = db->CreateTable("new_order", std::move(s), warehouse_shards);
   }
   // --- orders ---
   {
@@ -91,7 +93,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     o_ol_cnt = Col(s, "o_ol_cnt", ColumnType::kInt64);
     o_all_local = Col(s, "o_all_local", ColumnType::kInt64);
     s.key_columns = {o_w_id, o_d_id, o_id};
-    orders = db->CreateTable("orders", std::move(s));
+    orders = db->CreateTable("orders", std::move(s), warehouse_shards);
     orders_by_customer =
         orders->AddIndex("orders_by_customer", {o_w_id, o_d_id, o_c_id, o_id});
   }
@@ -108,7 +110,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     ol_quantity = Col(s, "ol_quantity", ColumnType::kInt64);
     ol_amount = Col(s, "ol_amount", ColumnType::kMoney);
     s.key_columns = {ol_w_id, ol_d_id, ol_o_id, ol_number};
-    order_line = db->CreateTable("order_line", std::move(s));
+    order_line = db->CreateTable("order_line", std::move(s), warehouse_shards);
   }
   // --- item ---
   {
@@ -132,7 +134,7 @@ TpccDb::TpccDb(storage::Database* db_in) : db(db_in) {
     s_remote_cnt = Col(s, "s_remote_cnt", ColumnType::kInt64);
     s_data = Col(s, "s_data", ColumnType::kString);
     s.key_columns = {s_w_id, s_i_id};
-    stock = db->CreateTable("stock", std::move(s));
+    stock = db->CreateTable("stock", std::move(s), warehouse_shards);
   }
 
   // --- Step types, prefixes, assertions ---

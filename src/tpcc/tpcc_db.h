@@ -42,8 +42,13 @@
 namespace accdb::tpcc {
 
 struct TpccDb {
-  // Creates the schema and registers the analysis products.
-  explicit TpccDb(storage::Database* db);
+  // Creates the schema and registers the analysis products. With
+  // `warehouse_shards` > 1, every warehouse-keyed table is data-partitioned
+  // into that many storage shards routed by its leading warehouse-id key
+  // column (ITEM, which is warehouse-less and read-only, stays unsharded) —
+  // workers bound to different warehouses then never contend on a storage
+  // latch. Pass the warehouse count to give every warehouse its own shard.
+  explicit TpccDb(storage::Database* db, size_t warehouse_shards = 1);
 
   storage::Database* db;
 

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "acc/catalog.h"
@@ -512,6 +515,68 @@ TEST_F(EngineTest, CrashRecoveryCompensatesInFlight) {
   EXPECT_EQ(report.in_flight, 1);
   EXPECT_EQ(report.compensated, 1);
   EXPECT_EQ(ReadCounter(counter_a_), 0);
+}
+
+
+// --- TxnIdAllocator ---
+
+TEST(TxnIdAllocatorTest, BlockOneIsSequential) {
+  // block_size == 1 must reproduce the historical shared counter exactly:
+  // the deterministic simulation's txn ids (and thus its schedules) depend
+  // on it.
+  TxnIdAllocator allocator(1);
+  for (lock::TxnId expect = 1; expect <= 100; ++expect) {
+    EXPECT_EQ(allocator.Next(), expect);
+  }
+}
+
+TEST(TxnIdAllocatorTest, BatchedIdsUniqueAndDenseAcrossThreads) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  TxnIdAllocator allocator(TxnIdAllocator::kDefaultBlock);
+  std::vector<std::vector<lock::TxnId>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&allocator, &ids = per_thread[t]] {
+      ids.reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) ids.push_back(allocator.Next());
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::vector<lock::TxnId> all;
+  for (const auto& ids : per_thread) {
+    // Each thread sees strictly increasing ids (blocks are consumed in
+    // order within a thread).
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    all.insert(all.end(), ids.begin(), ids.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  // Ids never exceed blocks handed out: the last id is bounded by the
+  // number of blocks any thread could have drawn.
+  EXPECT_GE(all.back(), static_cast<lock::TxnId>(kThreads * kPerThread));
+  EXPECT_LE(all.back(),
+            static_cast<lock::TxnId>(kThreads * kPerThread +
+                                     kThreads * TxnIdAllocator::kDefaultBlock));
+}
+
+TEST(TxnIdAllocatorTest, InterleavedAllocatorsNeverShareBlocks) {
+  // Two live allocators drawn from the same thread: the epoch tag must
+  // keep their thread-local blocks apart (an id from A's space never comes
+  // out of B and vice versa).
+  TxnIdAllocator a(16);
+  TxnIdAllocator b(16);
+  std::vector<lock::TxnId> from_a, from_b;
+  for (int i = 0; i < 200; ++i) {
+    from_a.push_back(a.Next());
+    from_b.push_back(b.Next());
+  }
+  std::sort(from_a.begin(), from_a.end());
+  std::sort(from_b.begin(), from_b.end());
+  EXPECT_TRUE(std::adjacent_find(from_a.begin(), from_a.end()) ==
+              from_a.end());
+  EXPECT_TRUE(std::adjacent_find(from_b.begin(), from_b.end()) ==
+              from_b.end());
 }
 
 }  // namespace

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+#include <vector>
+
 #include "storage/database.h"
 #include "storage/table.h"
 #include "storage/value.h"
@@ -227,6 +231,131 @@ TEST(TableTest, ScanIndexPrefix) {
   }
   EXPECT_EQ(t.ScanIndexPrefix(by_b, Key(1)).size(), 2u);  // a = 1 and 3.
   EXPECT_EQ(t.ScanIndexPrefix(by_b, Key(0)).size(), 1u);  // a = 2.
+}
+
+// --- Sharded tables ---
+
+TEST(RowIdTest, ShardEncodingRoundTrips) {
+  const RowId id = MakeRowId(5, 42);
+  EXPECT_EQ(RowIdShard(id), 5u);
+  EXPECT_EQ(RowIdSeq(id), 42u);
+  // Shard 0 ids are plain sequence numbers (unsharded compatibility).
+  EXPECT_EQ(MakeRowId(0, 7), RowId{7});
+  EXPECT_EQ(RowIdShard(kRowIdSeqMask), 0u);
+}
+
+TEST(ShardedTableTest, InsertRoutesByFirstKeyColumn) {
+  Table t(0, "t", CompositeSchema(), /*shards=*/4);
+  EXPECT_EQ(t.shards(), 4u);
+  for (int a = 0; a < 8; ++a) {
+    auto id = t.Insert({Value(a), Value(1), Value(a)});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(RowIdShard(*id), static_cast<size_t>(a % 4));
+    EXPECT_EQ(t.LookupPk(Key(a, 1)), *id);
+  }
+  EXPECT_EQ(t.size(), 8u);
+  // Per-shard sequences both start at 1: distinct shards, same seq.
+  auto id0 = t.LookupPk(Key(0, 1));
+  auto id1 = t.LookupPk(Key(1, 1));
+  ASSERT_TRUE(id0 && id1);
+  EXPECT_EQ(RowIdSeq(*id0), RowIdSeq(*id1));
+  EXPECT_NE(*id0, *id1);
+}
+
+TEST(ShardedTableTest, SingleShardIdsMatchHistoricalSequence) {
+  Table t(0, "t", TwoColSchema());
+  for (int i = 1; i <= 3; ++i) {
+    auto id = t.Insert({Value(i), Value("x")});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<RowId>(i));
+  }
+}
+
+TEST(ShardedTableTest, PrefixedScanTouchesOneShardMergedScanSortsByKey) {
+  Table t(0, "t", CompositeSchema(), /*shards=*/3);
+  for (int a = 5; a >= 1; --a) {
+    for (int b = 1; b <= 3; ++b) {
+      ASSERT_TRUE(t.Insert({Value(a), Value(b), Value(a * 10 + b)}).ok());
+    }
+  }
+  // Routing prefix: single shard, key order within it.
+  std::vector<RowId> one = t.ScanPkPrefix(Key(4));
+  ASSERT_EQ(one.size(), 3u);
+  for (RowId id : one) EXPECT_EQ(RowIdShard(id), 4u % 3);
+  // Empty prefix: all 15 rows merged across shards in global key order.
+  std::vector<RowId> all = t.ScanPkPrefix({});
+  ASSERT_EQ(all.size(), 15u);
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Row* row = t.Get(all[i]);
+    ASSERT_NE(row, nullptr);
+    EXPECT_EQ((*row)[0].AsInt64(), static_cast<int64_t>(i / 3 + 1));
+    EXPECT_EQ((*row)[1].AsInt64(), static_cast<int64_t>(i % 3 + 1));
+  }
+  // MinPkPrefix agrees with the merged order.
+  auto min = t.MinPkPrefix({});
+  ASSERT_TRUE(min.has_value());
+  EXPECT_EQ(*min, all[0]);
+}
+
+TEST(ShardedTableTest, RoutableAndNonRoutableIndexes) {
+  Table t(0, "t", CompositeSchema(), /*shards=*/4);
+  // by_ab leads with the routing column; by_b does not and must merge.
+  IndexId by_ab = t.AddIndex("by_ab", {0, 1});
+  IndexId by_b = t.AddIndex("by_b", {1});
+  std::vector<RowId> inserted;
+  for (int a = 1; a <= 6; ++a) {
+    auto id = t.Insert({Value(a), Value(a % 2), Value(0)});
+    ASSERT_TRUE(id.ok());
+    inserted.push_back(*id);
+  }
+  EXPECT_EQ(t.LookupIndex(by_ab, Key(3, 1)).size(), 1u);
+  // Non-routable lookup gathers from every shard, RowId-sorted.
+  std::vector<RowId> odd = t.LookupIndex(by_b, Key(1));
+  ASSERT_EQ(odd.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(odd.begin(), odd.end()));
+  for (RowId id : odd) EXPECT_EQ((*t.Get(id))[0].AsInt64() % 2, 1);
+  // Prefix scan over the non-routable index: key order across shards.
+  std::vector<RowId> scanned = t.ScanIndexPrefix(by_b, {});
+  ASSERT_EQ(scanned.size(), 6u);
+  for (size_t i = 1; i < scanned.size(); ++i) {
+    EXPECT_LE((*t.Get(scanned[i - 1]))[1].AsInt64(),
+              (*t.Get(scanned[i]))[1].AsInt64());
+  }
+}
+
+TEST(ShardedTableTest, InsertWithIdRejectsShardMismatch) {
+  Table t(0, "t", CompositeSchema(), /*shards=*/4);
+  auto id = t.Insert({Value(2), Value(1), Value(9)});
+  ASSERT_TRUE(id.ok());
+  Row saved = *t.Get(*id);
+  ASSERT_TRUE(t.Delete(*id).ok());
+  // An id whose shard bits disagree with the key's route is rejected.
+  RowId wrong = MakeRowId(1, RowIdSeq(*id));
+  EXPECT_EQ(t.InsertWithId(wrong, saved).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(t.InsertWithId(*id, saved).ok());
+  EXPECT_EQ(t.LookupPk(Key(2, 1)), *id);
+}
+
+TEST(ShardedTableTest, ConcurrentInsertsAcrossShards) {
+  constexpr int kShards = 8;
+  constexpr int kRowsPerShard = 500;
+  Table t(0, "t", CompositeSchema(), kShards);
+  std::vector<std::thread> threads;
+  threads.reserve(kShards);
+  for (int w = 0; w < kShards; ++w) {
+    threads.emplace_back([&t, w] {
+      for (int b = 1; b <= kRowsPerShard; ++b) {
+        ASSERT_TRUE(t.Insert({Value(w), Value(b), Value(w * 1000 + b)}).ok());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(t.size(), static_cast<size_t>(kShards * kRowsPerShard));
+  for (int w = 0; w < kShards; ++w) {
+    EXPECT_EQ(t.ScanPkPrefix(Key(w)).size(),
+              static_cast<size_t>(kRowsPerShard));
+  }
 }
 
 // --- Database ---
