@@ -23,6 +23,10 @@
 //   --think-scale=F        scales keying/think times (default 0: saturated)
 //   --lock-partitions=N    lock-table partitions (0 = auto; falls back to
 //                          the ACCDB_LOCK_PARTITIONS environment variable)
+//   --wal-path=FILE        write-ahead log path; every cell starts from an
+//                          empty log (default: no WAL, pure in-memory)
+//   --group-commit-us=N    group-commit window in microseconds (0 = fsync
+//                          per commit; only meaningful with --wal-path)
 //   --json=PATH | --no-json  report destination (default BENCH_rt_tpcc.json)
 
 #include <cstdio>
@@ -47,6 +51,8 @@ struct RtOptions {
   size_t lock_partitions = 0;  // 0 = auto.
   bool affinity = true;
   uint32_t txn_id_block = accdb::acc::TxnIdAllocator::kDefaultBlock;
+  std::string wal_path;
+  uint32_t group_commit_us = 0;
   std::string json_path = "BENCH_rt_tpcc.json";
 };
 
@@ -56,7 +62,8 @@ struct RtOptions {
                "          [--seconds=S] [--warmup=S] [--seed=N]\n"
                "          [--cost-scale=F] [--think-scale=F]\n"
                "          [--lock-partitions=N] [--affinity=0|1]\n"
-               "          [--txn-id-block=N] [--json=PATH | --no-json]\n",
+               "          [--txn-id-block=N] [--wal-path=FILE]\n"
+               "          [--group-commit-us=N] [--json=PATH | --no-json]\n",
                argv0);
   std::exit(2);
 }
@@ -118,6 +125,11 @@ RtOptions ParseOptions(int argc, char** argv) {
       options.txn_id_block = static_cast<uint32_t>(
           std::strtoul(value.c_str(), nullptr, 10));
       if (options.txn_id_block < 1) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--wal-path", &value)) {
+      options.wal_path = value;
+    } else if (ParseValue(argv[i], "--group-commit-us", &value)) {
+      options.group_commit_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (ParseValue(argv[i], "--json", &value)) {
       options.json_path = value;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -155,6 +167,8 @@ int main(int argc, char** argv) {
   base.cost_scale = options.cost_scale;
   base.think_scale = options.think_scale;
   base.workload.engine.lock_partitions = options.lock_partitions;
+  base.workload.engine.wal.path = options.wal_path;
+  base.workload.engine.wal.group_commit_us = options.group_commit_us;
   base.warehouse_affinity = options.affinity;
   base.txn_id_block = options.txn_id_block;
   const size_t resolved_partitions =
@@ -169,6 +183,11 @@ int main(int argc, char** argv) {
   report.root()["think_scale"] = Json(options.think_scale);
   report.root()["lock_partitions"] =
       Json(static_cast<uint64_t>(resolved_partitions));
+  if (!options.wal_path.empty()) {
+    report.root()["wal_path"] = Json(options.wal_path);
+    report.root()["group_commit_us"] =
+        Json(static_cast<uint64_t>(options.group_commit_us));
+  }
 
   bool consistent = true;
   for (int warehouses : options.warehouses) {

@@ -11,14 +11,16 @@
 # wait-tier paths all run under the race detector), the storage table
 # latches, and the metrics recording — everything PR 3 made concurrent —
 # plus the serving layer (net_server_test): event-loop Defer/Wake handoffs,
-# the bounded request queue, worker-pool deadlines, and graceful drain.
+# the bounded request queue, worker-pool deadlines, and graceful drain, and
+# the WAL (wal_test, wal_recovery_test): concurrent Append/WaitDurable
+# committers against the group-commit flusher thread.
 
 if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P tsan_smoke.cmake")
 endif()
 
 set(SMOKE_TESTS runtime_test rt_multiwh_test lock_mt_stress_test
-    net_server_test)
+    net_server_test wal_test wal_recovery_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

@@ -48,6 +48,10 @@ Engine::Engine(storage::Database* db, const lock::ConflictResolver* resolver,
                     lock::LockManagerOptions{config_.lock_partitions, {}}),
       txn_ids_(config_.txn_id_block) {
   lock_manager_.set_listener(this);
+  if (!config_.wal.path.empty()) {
+    wal_ = Wal::Open(config_.wal, &wal_status_);
+    if (wal_ != nullptr) txn_ids_.FloorTo(wal_->max_recovered_txn());
+  }
 }
 
 void Engine::OnGranted(lock::TxnId txn) {
@@ -80,6 +84,15 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
     Status status;
     if (mode == ExecMode::kAccDecomposed) {
       recovery_log_.Begin(txn, std::string(program.name()));
+      if (wal_ != nullptr) {
+        // Not forced: a begin with no durable end-of-step is invisible to
+        // recovery, so it may ride along with the first step's force.
+        WalRecord rec;
+        rec.type = LogRecordType::kBegin;
+        rec.txn = txn;
+        rec.program = std::string(program.name());
+        wal_->Append(std::move(rec));
+      }
       status = ctx.AcquireInitialAssertion(program.InitialAssertion());
     }
     if (status.ok()) {
@@ -100,9 +113,30 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
     result.step_deadlock_retries += ctx.step_deadlock_retries();
 
     if (status.ok()) {
-      if (mode == ExecMode::kAccDecomposed) recovery_log_.Commit(txn);
+      uint64_t commit_lsn = 0;
+      if (mode == ExecMode::kAccDecomposed) {
+        recovery_log_.Commit(txn);
+        if (wal_ != nullptr) {
+          WalRecord rec;
+          rec.type = LogRecordType::kCommit;
+          rec.txn = txn;
+          commit_lsn = wal_->Append(std::move(rec));
+        }
+      } else if (wal_ != nullptr) {
+        // Serializable baseline: nothing was logged before this point, so
+        // the single commit record carries the whole transaction's redo.
+        WalRecord rec;
+        rec.type = LogRecordType::kCommit;
+        rec.txn = txn;
+        rec.redo = ctx.TakeRedo();
+        commit_lsn = wal_->Append(std::move(rec));
+      }
       ctx.FinishCommit();
       UnbindEnv(txn);
+      // Locks are already released: any transaction that read our writes
+      // logs behind us, and durability is prefix-ordered, so it cannot
+      // become durable first.
+      if (commit_lsn != 0) wal_->WaitDurable(commit_lsn);
       result.status = Status::Ok();
       record_txn_latency();
       return result;
@@ -133,12 +167,31 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
         }
         result.compensated = true;
         recovery_log_.Compensated(txn);
+        if (wal_ != nullptr) {
+          // The compensating step's redo rides inside its kCompensated
+          // record: either both are durable (replay applies the undo and
+          // recovery skips the txn) or neither is (recovery re-runs the
+          // compensation from scratch) — never half.
+          WalRecord rec;
+          rec.type = LogRecordType::kCompensated;
+          rec.txn = txn;
+          rec.redo = ctx.TakeRedo();
+          wal_->WaitDurable(wal_->Append(std::move(rec)));
+        }
         result.status = FinalAbortStatus(status);
         record_txn_latency();
         return result;
       }
       // No step completed: the transaction simply evaporates.
       recovery_log_.Compensated(txn);
+      if (wal_ != nullptr) {
+        // Unforced bookkeeping: no durable end-of-step exists, so recovery
+        // ignores this txn either way.
+        WalRecord rec;
+        rec.type = LogRecordType::kCompensated;
+        rec.txn = txn;
+        wal_->Append(std::move(rec));
+      }
       ctx.ReleaseLocks();
       UnbindEnv(txn);
       if (status.code() == StatusCode::kDeadlock &&
@@ -168,7 +221,7 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
 Status Engine::ExecuteCompensation(
     const std::string& program_name, lock::ActorId comp_step_type,
     std::vector<int64_t> comp_keys, ExecutionEnv& env,
-    const std::function<Status(TxnContext&)>& body) {
+    const std::function<Status(TxnContext&)>& body, lock::TxnId logged_txn) {
   // A minimal program shell so TxnContext has a program to talk to.
   class RecoveryShell : public TransactionProgram {
    public:
@@ -189,7 +242,21 @@ Status Engine::ExecuteCompensation(
                  /*analyzed=*/true);
   Status status = ctx.RunCompensation(comp_step_type, std::move(comp_keys),
                                       body, program_name);
-  if (status.ok()) recovery_log_.Compensated(txn);
+  if (status.ok()) {
+    // Log under the crashed transaction's id (when given), so that a crash
+    // during recovery does not lead to a double compensation on the next
+    // restart.
+    const lock::TxnId logged =
+        logged_txn != lock::kInvalidTxn ? logged_txn : txn;
+    recovery_log_.Compensated(logged);
+    if (wal_ != nullptr) {
+      WalRecord rec;
+      rec.type = LogRecordType::kCompensated;
+      rec.txn = logged;
+      rec.redo = ctx.TakeRedo();
+      wal_->WaitDurable(wal_->Append(std::move(rec)));
+    }
+  }
   ctx.ReleaseLocks();
   UnbindEnv(txn);
   return status;

@@ -26,6 +26,7 @@
 
 #include "acc/program.h"
 #include "acc/recovery_log.h"
+#include "acc/wal.h"
 #include "common/status.h"
 #include "lock/lock_manager.h"
 #include "sim/metrics.h"
@@ -90,6 +91,13 @@ struct EngineConfig {
   // simulation — and is exactly the historical single-atomic behaviour; the
   // real-thread runtime and the server default to a larger block.
   uint32_t txn_id_block = 1;
+  // Durable write-ahead log. An empty path (the default) keeps the
+  // historical in-memory RecoveryLog only — the simulation always runs this
+  // way, so sim results stay byte-identical. With a path set, the engine
+  // opens (or recovers) the WAL in its constructor; check wal_status()
+  // before executing. Transaction ids are floored past the largest id in
+  // the recovered log so a restarted process never reuses a logged id.
+  Wal::Options wal;
 };
 
 // Sharded transaction-id allocation. Worker threads draw ids from
@@ -111,6 +119,14 @@ class TxnIdAllocator {
   TxnIdAllocator& operator=(const TxnIdAllocator&) = delete;
 
   lock::TxnId Next();
+
+  // Raises the global counter to at least `id`, so every id handed out
+  // afterwards is > id. Call before any Next() (recovery floors the
+  // allocator past the ids found in the WAL); not latched against
+  // concurrent allocation.
+  void FloorTo(lock::TxnId id) {
+    if (last_id_.load(std::memory_order_relaxed) < id) last_id_.store(id);
+  }
 
   uint32_t block_size() const { return block_size_; }
 
@@ -258,15 +274,23 @@ class Engine : public lock::LockManager::Listener {
                      ExecMode mode);
 
   // Runs a bare compensating step for crash recovery: `completed_steps`
-  // forward steps of `program_name` are compensated by `body`.
+  // forward steps of `program_name` are compensated by `body`. `logged_txn`
+  // is the id of the crashed transaction being compensated: its kCompensated
+  // record is written (and forced) under that id, so a second crash does not
+  // re-compensate. kInvalidTxn logs under the shell's own fresh id.
   Status ExecuteCompensation(
       const std::string& program_name, lock::ActorId comp_step_type,
       std::vector<int64_t> comp_keys, ExecutionEnv& env,
-      const std::function<Status(TxnContext&)>& body);
+      const std::function<Status(TxnContext&)>& body,
+      lock::TxnId logged_txn = lock::kInvalidTxn);
 
   storage::Database& db() { return *db_; }
   lock::LockManager& lock_manager() { return lock_manager_; }
   RecoveryLog& recovery_log() { return recovery_log_; }
+  // Null when EngineConfig::wal.path is empty or Open failed (wal_status()).
+  Wal* wal() { return wal_.get(); }
+  const Wal* wal() const { return wal_.get(); }
+  const Status& wal_status() const { return wal_status_; }
   const EngineConfig& config() const { return config_; }
   // Quiescent access only (no concurrent executions in flight).
   EngineMetrics& metrics() { return metrics_; }
@@ -310,6 +334,8 @@ class Engine : public lock::LockManager::Listener {
   EngineConfig config_;
   lock::LockManager lock_manager_;
   RecoveryLog recovery_log_;
+  std::unique_ptr<Wal> wal_;
+  Status wal_status_;
   TxnIdAllocator txn_ids_;
   mutable std::mutex metrics_mu_;
   EngineMetrics metrics_;

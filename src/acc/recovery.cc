@@ -30,8 +30,14 @@ RecoveryReport RunRecovery(Engine& engine, const RecoveryLog& log,
         txn.program, compensator->comp_step_type, /*comp_keys=*/{}, env,
         [&](TxnContext& ctx) {
           return compensator->fn(ctx, txn.work_area, txn.completed_steps);
-        });
-    if (status.ok()) ++report.compensated;
+        },
+        /*logged_txn=*/txn.txn);
+    if (status.ok()) {
+      ++report.compensated;
+    } else {
+      ++report.failed;
+      if (report.first_error.ok()) report.first_error = status;
+    }
   }
   return report;
 }

@@ -43,6 +43,13 @@ struct RecoveryReport {
   int in_flight = 0;
   int compensated = 0;
   int missing_compensator = 0;
+  // Compensations that ran but returned a non-OK status. A clean recovery
+  // requires failed == 0 && missing_compensator == 0; `first_error` carries
+  // the first failure for diagnostics.
+  int failed = 0;
+  Status first_error;
+
+  bool clean() const { return failed == 0 && missing_compensator == 0; }
 };
 
 // Runs recovery against `engine` (a fresh post-crash engine over the

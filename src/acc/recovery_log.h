@@ -66,8 +66,12 @@ class RecoveryLog {
   void Commit(lock::TxnId txn);
   void Compensated(lock::TxnId txn);
 
-  // Quiescent access only.
-  const std::vector<LogRecord>& records() const { return records_; }
+  // Latched copy of the record sequence — safe against live appenders
+  // (server stats, tests polling a running engine).
+  std::vector<LogRecord> Snapshot() const {
+    std::lock_guard<std::mutex> guard(mu_);
+    return records_;
+  }
   size_t size() const {
     std::lock_guard<std::mutex> guard(mu_);
     return records_.size();
@@ -79,11 +83,6 @@ class RecoveryLog {
   std::vector<InFlightTxn> FindInFlight() const;
 
  private:
-  std::vector<LogRecord> Snapshot() const {
-    std::lock_guard<std::mutex> guard(mu_);
-    return records_;
-  }
-
   mutable std::mutex mu_;
   std::vector<LogRecord> records_;
 };

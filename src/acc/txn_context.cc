@@ -222,6 +222,14 @@ Result<storage::RowId> TxnContext::Insert(storage::Table& table,
   storage::RowId id = *inserted;
   undo_.WillInsert(table.id(), id);
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  if (engine_->wal() != nullptr) {
+    WalRedoOp op;
+    op.kind = WalRedoOp::Kind::kInsert;
+    op.table = table.id();
+    op.row = id;
+    op.row_data = std::move(row);
+    redo_.push_back(std::move(op));
+  }
   ChargeStatement(engine_->config().costs.write_statement);
   return id;
 }
@@ -241,6 +249,14 @@ Status TxnContext::Update(
   undo_.WillUpdate(table.id(), id, *before);
   ACCDB_RETURN_IF_ERROR(table.UpdateColumns(id, updates));
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  if (engine_->wal() != nullptr) {
+    WalRedoOp op;
+    op.kind = WalRedoOp::Kind::kUpdate;
+    op.table = table.id();
+    op.row = id;
+    op.columns = updates;
+    redo_.push_back(std::move(op));
+  }
   ChargeStatement(engine_->config().costs.write_statement);
   return Status::Ok();
 }
@@ -258,6 +274,13 @@ Status TxnContext::Delete(storage::Table& table, storage::RowId id) {
   undo_.WillDelete(table.id(), id, *before);
   ACCDB_RETURN_IF_ERROR(table.Delete(id));
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
+  if (engine_->wal() != nullptr) {
+    WalRedoOp op;
+    op.kind = WalRedoOp::Kind::kDelete;
+    op.table = table.id();
+    op.row = id;
+    redo_.push_back(std::move(op));
+  }
   ChargeStatement(engine_->config().costs.write_statement);
   return Status::Ok();
 }
@@ -380,6 +403,7 @@ Status TxnContext::RunStep(lock::ActorId step_type,
 
   storage::UndoLog::Savepoint sp = undo_.Mark();
   assert(sp == 0 && "ACC steps release undo at step end");
+  step_redo_mark_ = redo_.size();
 
   bool granted_next = false;
   int attempts = 0;
@@ -443,9 +467,23 @@ void TxnContext::CompleteStep(const AssertionInstance& next_assertion,
   if (config.charge_acc_overheads) {
     env_->UseServer(config.costs.acc_step_end_overhead);
   }
+  uint64_t force_lsn = 0;
   if (!in_compensation_) {
+    std::string work_area = program_->SerializeWorkArea();
+    if (engine_->wal() != nullptr) {
+      // The step's redo rides in the end-of-step record: a durable record
+      // means the step's writes replay at recovery, an absent record means
+      // none of them happened — the atomic-step contract.
+      WalRecord rec;
+      rec.type = LogRecordType::kEndOfStep;
+      rec.txn = txn_;
+      rec.step_index = completed_steps_ + 1;
+      rec.work_area = work_area;
+      rec.redo = TakeRedo();
+      force_lsn = engine_->wal()->Append(std::move(rec));
+    }
     engine_->recovery_log().EndOfStep(txn_, completed_steps_ + 1,
-                                      program_->SerializeWorkArea());
+                                      std::move(work_area));
   }
 
   // Items written by this step: kComp markers (compensation reservation and
@@ -486,6 +524,12 @@ void TxnContext::CompleteStep(const AssertionInstance& next_assertion,
   current_assertion_.held = !next_assertion.empty();
   ++completed_steps_;
   step_writes_.clear();
+
+  // Force the end-of-step record before the step's result publishes to the
+  // program. Locks were already released above: anything that reads this
+  // step's writes logs behind our record, and durability is prefix-ordered,
+  // so releasing early is safe and keeps lock hold times off the fsync path.
+  if (force_lsn != 0) engine_->wal()->WaitDurable(force_lsn);
 }
 
 void TxnContext::RollbackStep(storage::UndoLog::Savepoint sp) {
@@ -494,6 +538,8 @@ void TxnContext::RollbackStep(storage::UndoLog::Savepoint sp) {
   (void)status;
   engine_->lock_manager().ReleaseConventional(txn_);
   step_writes_.clear();
+  // The rolled-back step's writes were physically undone; drop their redo.
+  if (redo_.size() > step_redo_mark_) redo_.resize(step_redo_mark_);
 }
 
 Status TxnContext::AcquireInitialAssertion(const AssertionInstance& assertion) {
@@ -566,6 +612,7 @@ void TxnContext::PhysicalRollbackAll() {
   Status status = undo_.RollbackAll();
   assert(status.ok() && "transaction undo must succeed");
   (void)status;
+  redo_.clear();
   ReleaseLocks();
 }
 

@@ -109,6 +109,16 @@ class TxnContext {
   bool in_compensation() const { return in_compensation_; }
   ExecMode mode() const { return mode_; }
 
+  // Drains the redo ops accumulated since the last drain (WAL attached
+  // only; empty otherwise). ACC forward steps drain into their end-of-step
+  // records internally; the engine drains the remainder for serializable
+  // commit records and compensation records.
+  std::vector<WalRedoOp> TakeRedo() {
+    std::vector<WalRedoOp> out = std::move(redo_);
+    redo_.clear();
+    return out;
+  }
+
  private:
   friend class Engine;
 
@@ -200,6 +210,13 @@ class TxnContext {
   AssertionInstance pending_next_assertion_;
   uint32_t pending_next_number_ = 0;
   int pending_lock_ops_ = 0;  // Lock-manager calls since last ChargeStatement.
+
+  // Physical redo captured by Insert/Update/Delete when the engine has a
+  // WAL (always empty otherwise — the simulation takes no extra work).
+  // ACC forward steps drain it per step; serializable mode accumulates to
+  // commit; a rolled-back step truncates back to step_redo_mark_.
+  std::vector<WalRedoOp> redo_;
+  size_t step_redo_mark_ = 0;
 };
 
 }  // namespace accdb::acc

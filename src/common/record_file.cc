@@ -1,0 +1,154 @@
+#include "common/record_file.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace accdb {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::Internal(StrFormat("%s %s: %s", what, path.c_str(),
+                                    strerror(errno)));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len) {
+  static const std::array<uint32_t, 256> kTable = BuildCrcTable();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void AppendFrame(std::string* buffer, std::string_view payload) {
+  PutU32(buffer, static_cast<uint32_t>(payload.size()));
+  PutU32(buffer, Crc32(payload.data(), payload.size()));
+  buffer->append(payload.data(), payload.size());
+}
+
+RecordScan ScanRecordBytes(std::string_view bytes) {
+  RecordScan scan;
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      scan.torn_tail = true;
+      break;
+    }
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (bytes.size() - pos - 8 < len) {
+      scan.torn_tail = true;
+      break;
+    }
+    const char* payload = bytes.data() + pos + 8;
+    if (Crc32(payload, len) != crc) {
+      scan.torn_tail = true;
+      break;
+    }
+    scan.payloads.emplace_back(payload, len);
+    pos += 8 + static_cast<size_t>(len);
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+Result<RecordScan> ScanRecordFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return RecordScan{};
+    return Errno("open", path);
+  }
+  std::string bytes;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    bytes.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return ScanRecordBytes(bytes);
+}
+
+RecordFileWriter::~RecordFileWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RecordFileWriter::Open(const std::string& path, uint64_t truncate_to) {
+  if (fd_ >= 0) return Status::Internal("record file already open");
+  int fd = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd < 0) return Errno("open", path);
+  if (::ftruncate(fd, static_cast<off_t>(truncate_to)) != 0) {
+    ::close(fd);
+    return Errno("ftruncate", path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status RecordFileWriter::Write(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat("wal write: %s", strerror(errno)));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecordFileWriter::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::Internal(StrFormat("wal fsync: %s", strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace accdb

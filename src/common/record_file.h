@@ -1,0 +1,85 @@
+// Checksummed record framing for append-only log files.
+//
+// A record file is a byte stream of frames:
+//
+//   [u32 payload_len][u32 crc32(payload)][payload bytes]   (little-endian)
+//
+// Appenders frame payloads into a buffer (the WAL's group-commit buffer)
+// and write whole buffers with a durable writer. Readers scan frames until
+// the end of the file; a torn tail — the incomplete last write of a crashed
+// process — is detected (truncated header, payload shorter than its length,
+// or checksum mismatch) and reported, never parsed as a record. Because
+// writes are strictly append-only and fsync ordering is frame order, a
+// corrupt frame implies everything after it is also unwritten, so scanning
+// stops at the first bad frame.
+
+#ifndef ACCDB_COMMON_RECORD_FILE_H_
+#define ACCDB_COMMON_RECORD_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace accdb {
+
+// CRC-32 (IEEE 802.3 polynomial, reflected), the classic zlib checksum.
+uint32_t Crc32(const void* data, size_t len);
+
+// Frames `payload` onto the end of `buffer`.
+void AppendFrame(std::string* buffer, std::string_view payload);
+
+// Result of scanning a record file.
+struct RecordScan {
+  std::vector<std::string> payloads;
+  // True when trailing bytes existed but did not form a complete, checksummed
+  // frame (the torn tail of an interrupted append). The valid prefix is in
+  // `payloads`.
+  bool torn_tail = false;
+  // Byte offset of the end of the last valid frame (= where an appender
+  // should logically resume; with O_APPEND semantics the torn bytes stay in
+  // the file and the reader re-skips them every scan, so writers instead
+  // truncate to this offset before reusing a file).
+  uint64_t valid_bytes = 0;
+};
+
+// Reads every valid frame of `path`. A missing file yields an OK empty scan
+// (a WAL that never existed is an empty WAL); I/O errors are returned.
+Result<RecordScan> ScanRecordFile(const std::string& path);
+
+// Parses frames out of an in-memory byte string (testing and buffered use).
+RecordScan ScanRecordBytes(std::string_view bytes);
+
+// Append-only writer with explicit durability. Not internally synchronized;
+// the owner (the WAL) serializes Write/Sync calls.
+class RecordFileWriter {
+ public:
+  RecordFileWriter() = default;
+  ~RecordFileWriter();
+
+  RecordFileWriter(const RecordFileWriter&) = delete;
+  RecordFileWriter& operator=(const RecordFileWriter&) = delete;
+
+  // Opens (creating if needed) for appending. `truncate_to` trims the file
+  // first — recovery passes RecordScan::valid_bytes so a torn tail never
+  // accumulates garbage ahead of new records.
+  Status Open(const std::string& path, uint64_t truncate_to);
+
+  // Appends raw (already framed) bytes.
+  Status Write(std::string_view bytes);
+
+  // fsync.
+  Status Sync();
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace accdb
+
+#endif  // ACCDB_COMMON_RECORD_FILE_H_

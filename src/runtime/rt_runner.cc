@@ -1,7 +1,11 @@
 #include "runtime/rt_runner.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -111,8 +115,20 @@ class Worker {
 tpcc::WorkloadResult RunRtWorkload(const RtConfig& config) {
   RtConfig run_config = config;
   run_config.workload.engine.txn_id_block = config.txn_id_block;
+  // Each run is a fresh cell over a freshly loaded database; a WAL left by
+  // a previous cell would replay foreign history, so start from an empty
+  // log (the crash-recovery flows live in the server, not here).
+  if (!run_config.workload.engine.wal.path.empty()) {
+    ::unlink(run_config.workload.engine.wal.path.c_str());
+  }
   tpcc::TpccSystem system(run_config.workload);
   acc::Engine& engine = system.engine();
+  if (!run_config.workload.engine.wal.path.empty() &&
+      !engine.wal_status().ok()) {
+    std::fprintf(stderr, "rt_runner: wal open failed: %s\n",
+                 engine.wal_status().ToString().c_str());
+    std::abort();
+  }
 
   const bool has_warmup = run_config.warmup_seconds > 0;
   std::atomic<bool> measuring{!has_warmup};

@@ -8,10 +8,18 @@
 //
 //   accdb_server [--port=N] [--mode=acc|2pl] [--workers=N] [--max-queue=N]
 //                [--cost-scale=F] [--deadline-ms=N] [--seed=N]
-//                [--warehouses=N]
+//                [--warehouses=N] [--wal-path=FILE] [--group-commit-us=N]
+//                [--recover-only]
 //
 // --warehouses falls back to the ACCDB_WAREHOUSES environment variable
 // (first list element when a sweep list is given).
+//
+// With --wal-path, the server recovers at startup (replay the surviving
+// WAL's redo onto the reloaded database, compensate in-flight transactions
+// per §3.4) before serving. --recover-only performs that recovery, runs the
+// TPC-C consistency checker, prints a JSON report, and exits without
+// serving — exit status 0 iff recovery was clean and the database checks
+// out (the kill-9 harness's verification step).
 
 #include <signal.h>
 
@@ -21,6 +29,7 @@
 #include <string>
 
 #include "server/server.h"
+#include "tpcc/consistency.h"
 
 namespace {
 
@@ -28,7 +37,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--mode=acc|2pl] [--workers=N]\n"
                "          [--max-queue=N] [--cost-scale=F] [--deadline-ms=N]\n"
-               "          [--seed=N] [--warehouses=N]\n",
+               "          [--seed=N] [--warehouses=N] [--wal-path=FILE]\n"
+               "          [--group-commit-us=N] [--recover-only]\n",
                argv0);
   std::exit(2);
 }
@@ -48,6 +58,7 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.workload.seed = 20250806;
   options.cost_scale = 1.0;
+  bool recover_only = false;
   if (const char* env = std::getenv("ACCDB_WAREHOUSES")) {
     int w = std::atoi(env);  // First element of a sweep list parses too.
     if (w > 0) options.workload.inputs.scale.warehouses = w;
@@ -79,9 +90,38 @@ int main(int argc, char** argv) {
       int w = std::atoi(value.c_str());
       if (w <= 0) Usage(argv[0]);
       options.workload.inputs.scale.warehouses = w;
+    } else if (ParseValue(argv[i], "--wal-path", &value)) {
+      options.wal_path = value;
+    } else if (ParseValue(argv[i], "--group-commit-us", &value)) {
+      options.group_commit_us =
+          static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--recover-only") == 0) {
+      recover_only = true;
     } else {
       Usage(argv[0]);
     }
+  }
+
+  if (recover_only) {
+    if (options.wal_path.empty()) {
+      std::fprintf(stderr, "--recover-only requires --wal-path\n");
+      return 2;
+    }
+    server::AccdbServer server(options);
+    Status recovered = server.RecoverFromWal();
+    const acc::RecoveryReport& report = server.recovery_report();
+    tpcc::ConsistencyReport consistency = tpcc::CheckConsistency(
+        server.system().db(), /*strict=*/report.compensated == 0);
+    std::printf(
+        "{\"recovered\": %s, \"in_flight\": %d, \"compensated\": %d, "
+        "\"failed\": %d, \"missing_compensator\": %d, \"consistent\": %s, "
+        "\"first_violation\": \"%s\", \"error\": \"%s\"}\n",
+        recovered.ok() ? "true" : "false", report.in_flight,
+        report.compensated, report.failed, report.missing_compensator,
+        consistency.ok ? "true" : "false",
+        consistency.ok ? "" : consistency.violations[0].c_str(),
+        recovered.ok() ? "" : recovered.ToString().c_str());
+    return (recovered.ok() && report.clean() && consistency.ok) ? 0 : 1;
   }
 
   // Block the shutdown signals before any thread spawns so every thread
@@ -102,6 +142,14 @@ int main(int argc, char** argv) {
   std::printf("accdb_server: %s mode, %d workers, queue %zu, 127.0.0.1:%u\n",
               options.workload.decomposed ? "acc" : "2pl", options.workers,
               options.max_queue, server.port());
+  if (!options.wal_path.empty()) {
+    const acc::RecoveryReport& report = server.recovery_report();
+    std::printf(
+        "accdb_server: wal %s (group-commit %u us), recovered %d in-flight, "
+        "%d compensated\n",
+        options.wal_path.c_str(), options.group_commit_us, report.in_flight,
+        report.compensated);
+  }
   std::fflush(stdout);
 
   int sig = 0;

@@ -28,6 +28,8 @@ net::ExecResponse MakeReject(uint64_t request_id, net::WireStatus status,
 tpcc::WorkloadConfig ServerWorkload(const ServerOptions& options) {
   tpcc::WorkloadConfig workload = options.workload;
   workload.engine.txn_id_block = options.txn_id_block;
+  workload.engine.wal.path = options.wal_path;
+  workload.engine.wal.group_commit_us = options.group_commit_us;
   return workload;
 }
 
@@ -44,8 +46,44 @@ double AccdbServer::NowSeconds() {
       .count();
 }
 
+Status AccdbServer::RecoverFromWal() {
+  if (recovered_) return Status::Ok();
+  recovered_ = true;
+  acc::Engine& engine = system_.engine();
+  if (options_.wal_path.empty()) return Status::Ok();
+  // The engine opened (and scanned) the WAL in its constructor.
+  ACCDB_RETURN_IF_ERROR(engine.wal_status());
+  acc::Wal* wal = engine.wal();
+  if (wal->recovered().empty()) return Status::Ok();
+
+  // Redo pass: the database was just deterministically reloaded from the
+  // seed, so replaying every logged write in LSN order reconstructs the
+  // exact durable state of the crashed process.
+  ACCDB_RETURN_IF_ERROR(acc::ReplayWal(system_.database(), wal->recovered()));
+
+  // Compensation pass (§3.4): every transaction with durable forward steps
+  // but no commit/compensated record runs its compensating step, which logs
+  // (and forces) a kCompensated record through the engine's live WAL.
+  acc::RecoveryLog log = acc::RebuildRecoveryLog(wal->recovered());
+  acc::CompensatorRegistry registry;
+  tpcc::RegisterTpccCompensators(&system_.db(), &registry);
+  acc::ImmediateEnv env;
+  recovery_report_ = acc::RunRecovery(engine, log, registry, env);
+  if (!recovery_report_.clean()) {
+    return Status::Internal(
+        "recovery not clean: " + std::to_string(recovery_report_.failed) +
+        " failed, " + std::to_string(recovery_report_.missing_compensator) +
+        " missing compensators" +
+        (recovery_report_.first_error.ok()
+             ? std::string()
+             : "; first error: " + recovery_report_.first_error.ToString()));
+  }
+  return Status::Ok();
+}
+
 Status AccdbServer::Start() {
   if (started_) return Status::Internal("server already started");
+  ACCDB_RETURN_IF_ERROR(RecoverFromWal());
   loop_ = std::make_unique<net::EventLoop>();
   ACCDB_RETURN_IF_ERROR(loop_->status());
 
@@ -420,6 +458,16 @@ std::string AccdbServer::StatsJson() const {
   j["queue_depth_peak"] = Json(s.queue_depth_peak);
   j["queue_depth"] = Json(static_cast<uint64_t>(queue_depth));
   j["in_flight"] = Json(static_cast<uint64_t>(in_flight));
+  if (const acc::Wal* wal = system_.engine().wal()) {
+    acc::Wal::Stats ws = wal->StatsSnapshot();
+    j["wal_appends"] = Json(ws.appends);
+    j["wal_fsyncs"] = Json(ws.fsyncs);
+    j["wal_bytes_written"] = Json(ws.bytes_written);
+    j["wal_durable_lsn"] = Json(wal->durable_lsn());
+    j["recovery_in_flight"] = Json(uint64_t(recovery_report_.in_flight));
+    j["recovery_compensated"] = Json(uint64_t(recovery_report_.compensated));
+    j["recovery_failed"] = Json(uint64_t(recovery_report_.failed));
+  }
   return j.Dump();
 }
 

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "acc/recovery.h"
 #include "net/event_loop.h"
 #include "net/protocol.h"
 #include "net/socket.h"
@@ -64,6 +65,13 @@ struct ServerOptions {
   // Per-thread transaction-id block size (EngineConfig::txn_id_block);
   // worker threads default to batched allocation.
   uint32_t txn_id_block = acc::TxnIdAllocator::kDefaultBlock;
+  // Durable WAL (empty = volatile in-memory log only, the historical
+  // behaviour). With a path set, Start() first recovers: replays the
+  // surviving log's redo onto the freshly loaded database, rebuilds the
+  // in-flight set, and runs §3.4 compensators — then serves.
+  std::string wal_path;
+  // Group-commit fsync batch window in microseconds (0 = sync-per-commit).
+  uint32_t group_commit_us = 0;
 };
 
 // Cumulative serving-layer counters. Conservation invariants (asserted by
@@ -109,7 +117,18 @@ class AccdbServer {
   AccdbServer(const AccdbServer&) = delete;
   AccdbServer& operator=(const AccdbServer&) = delete;
 
-  // Binds, listens, spawns the event loop and worker threads.
+  // Crash recovery against the configured WAL: replay redo in LSN order,
+  // rebuild the in-flight transaction set, run registered compensators.
+  // No-op without a WAL. Called by Start(); callable directly for
+  // recover-and-inspect flows (--recover-only). Idempotent.
+  Status RecoverFromWal();
+  // Result of RecoverFromWal (zeros when nothing needed recovery).
+  const acc::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
+  // Binds, listens, spawns the event loop and worker threads. Runs
+  // RecoverFromWal first; a recovery that is not clean() fails the start.
   Status Start();
   // The bound port (valid after Start; resolves ephemeral binds).
   uint16_t port() const { return port_; }
@@ -155,6 +174,8 @@ class AccdbServer {
 
   ServerOptions options_;
   tpcc::TpccSystem system_;
+  acc::RecoveryReport recovery_report_;
+  bool recovered_ = false;
 
   net::ScopedFd listener_;
   uint16_t port_ = 0;

@@ -88,7 +88,9 @@ class TpccSystem {
 
   storage::Database& database() { return database_; }
   TpccDb& db() { return db_; }
+  const TpccDb& db() const { return db_; }
   acc::Engine& engine() { return *engine_; }
+  const acc::Engine& engine() const { return *engine_; }
 
  private:
   storage::Database database_;

@@ -143,7 +143,7 @@ TEST_F(EngineTest, AccCommitTwoSteps) {
   EXPECT_EQ(ReadCounter(counter_a_), 1);
   EXPECT_EQ(ReadCounter(counter_b_), 1);
   // Recovery log: begin, two end-of-step records, commit.
-  const auto& records = engine_->recovery_log().records();
+  const auto records = engine_->recovery_log().Snapshot();
   ASSERT_EQ(records.size(), 4u);
   EXPECT_EQ(records[0].type, LogRecordType::kBegin);
   EXPECT_EQ(records[1].type, LogRecordType::kEndOfStep);

@@ -185,6 +185,7 @@ TEST_P(FailureInjectionTest, RecoveryAfterMidFlightCrashes) {
       acc::RunRecovery(fresh, log, registry, recovery_env);
   EXPECT_GE(report.in_flight, crashers);
   EXPECT_EQ(report.compensated, report.in_flight);
+  EXPECT_EQ(report.failed, 0) << report.first_error.ToString();
   EXPECT_EQ(report.missing_compensator, 0);
 
   ConsistencyReport consistency = CheckConsistency(db, /*strict=*/false);
