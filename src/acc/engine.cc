@@ -136,7 +136,17 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       // Locks are already released: any transaction that read our writes
       // logs behind us, and durability is prefix-ordered, so it cannot
       // become durable first.
-      if (commit_lsn != 0) wal_->WaitDurable(commit_lsn);
+      if (commit_lsn != 0) {
+        Status durable = wal_->WaitDurable(commit_lsn);
+        if (!durable.ok()) {
+          // Applied in memory but the commit record never reached disk (the
+          // WAL is fail-stop): the outcome will not survive a restart, so
+          // it must not be acknowledged as a commit.
+          result.status = durable;
+          record_txn_latency();
+          return result;
+        }
+      }
       result.status = Status::Ok();
       record_txn_latency();
       return result;
@@ -176,7 +186,14 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
           rec.type = LogRecordType::kCompensated;
           rec.txn = txn;
           rec.redo = ctx.TakeRedo();
-          wal_->WaitDurable(wal_->Append(std::move(rec)));
+          Status durable = wal_->WaitDurable(wal_->Append(std::move(rec)));
+          if (!durable.ok()) {
+            // The compensation ran in memory but its record is not durable;
+            // report the log failure, not a clean abort.
+            result.status = durable;
+            record_txn_latency();
+            return result;
+          }
         }
         result.status = FinalAbortStatus(status);
         record_txn_latency();
@@ -254,7 +271,10 @@ Status Engine::ExecuteCompensation(
       rec.type = LogRecordType::kCompensated;
       rec.txn = logged;
       rec.redo = ctx.TakeRedo();
-      wal_->WaitDurable(wal_->Append(std::move(rec)));
+      Status durable = wal_->WaitDurable(wal_->Append(std::move(rec)));
+      // A non-durable compensated record fails the recovery attempt (the
+      // next restart will re-run this compensation from scratch).
+      if (!durable.ok()) status = durable;
     }
   }
   ctx.ReleaseLocks();

@@ -529,7 +529,10 @@ void TxnContext::CompleteStep(const AssertionInstance& next_assertion,
   // program. Locks were already released above: anything that reads this
   // step's writes logs behind our record, and durability is prefix-ordered,
   // so releasing early is safe and keeps lock hold times off the fsync path.
-  if (force_lsn != 0) engine_->wal()->WaitDurable(force_lsn);
+  // A force failure needs no handling here: the WAL is fail-stop, so the
+  // transaction's own commit/compensated force returns the same sticky
+  // error and nothing downstream of this step is ever acknowledged.
+  if (force_lsn != 0) (void)engine_->wal()->WaitDurable(force_lsn);
 }
 
 void TxnContext::RollbackStep(storage::UndoLog::Savepoint sp) {

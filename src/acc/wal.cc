@@ -1,5 +1,6 @@
 #include "acc/wal.h"
 
+#include <cassert>
 #include <chrono>
 #include <cstring>
 
@@ -302,10 +303,11 @@ uint64_t Wal::Append(WalRecord record) {
   return lsn;
 }
 
-void Wal::WaitDurable(uint64_t lsn) {
+Status Wal::WaitDurable(uint64_t lsn) {
   {
     std::lock_guard<std::mutex> guard(mu_);
-    if (durable_lsn_ >= lsn) return;
+    if (durable_lsn_ >= lsn) return Status::Ok();
+    if (!io_status_.ok()) return io_status_;
     ++stats_.forced_waits;
   }
   if (options_.group_commit_us == 0) {
@@ -314,15 +316,31 @@ void Wal::WaitDurable(uint64_t lsn) {
     // when one write would have covered them all; that cost is the point of
     // the group-commit comparison.
     Flush();
-    return;
+    std::lock_guard<std::mutex> guard(mu_);
+    return durable_lsn_ >= lsn ? Status::Ok() : io_status_;
   }
   std::unique_lock<std::mutex> lk(mu_);
-  durable_cv_.wait(lk, [&] { return durable_lsn_ >= lsn; });
+  durable_cv_.wait(lk, [&] { return durable_lsn_ >= lsn || !io_status_.ok(); });
+  return durable_lsn_ >= lsn ? Status::Ok() : io_status_;
 }
 
 uint64_t Wal::durable_lsn() const {
   std::lock_guard<std::mutex> guard(mu_);
   return durable_lsn_;
+}
+
+Status Wal::io_status() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return io_status_;
+}
+
+void Wal::SimulateIoErrorForTest(Status error) {
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    if (io_status_.ok()) io_status_ = std::move(error);
+  }
+  flusher_cv_.notify_all();
+  durable_cv_.notify_all();
 }
 
 Wal::Stats Wal::StatsSnapshot() const {
@@ -346,24 +364,39 @@ void Wal::Flush() {
   uint64_t batch_lsn;
   {
     std::lock_guard<std::mutex> guard(mu_);
+    // Fail-stop: after a write/fsync failure nothing is ever written again.
+    // A retry after a possibly-partial write could duplicate frames, and a
+    // later successful batch would open an LSN gap ahead of the lost bytes;
+    // refusing all further I/O keeps the on-disk prefix exactly the durable
+    // prefix.
+    if (!io_status_.ok()) return;
     batch.swap(buffer_);
     batch_lsn = buffered_lsn_;
   }
+  Status flushed = Status::Ok();
   if (!batch.empty()) {
-    // Crash tolerance rests on the scan, not this status: if the write or
-    // fsync fails the durable LSN simply never advances, committers keep
-    // waiting, and the operator sees a stalled server rather than a lying
-    // one. Record the failure mode via abort in debug builds.
     Status ws = writer_.Write(batch);
-    Status ss = ws.ok() ? writer_.Sync() : ws;
-    (void)ss;
+    flushed = ws.ok() ? writer_.Sync() : ws;
   }
   {
     std::lock_guard<std::mutex> guard(mu_);
-    if (batch_lsn > durable_lsn_) durable_lsn_ = batch_lsn;
-    if (!batch.empty()) {
-      ++stats_.fsyncs;
-      stats_.bytes_written += batch.size();
+    if (flushed.ok()) {
+      if (batch_lsn > durable_lsn_) durable_lsn_ = batch_lsn;
+      if (!batch.empty()) {
+        ++stats_.fsyncs;
+        stats_.bytes_written += batch.size();
+      }
+    } else {
+      // The batch's durability is unknown (the write may have landed
+      // partially), so the durable LSN must not advance: committers waiting
+      // on these records get the sticky error instead of a false ack, and
+      // recovery trusts whatever checksummed prefix the scan finds. Keep
+      // the bytes buffered (ahead of anything appended meanwhile) purely so
+      // the in-memory invariant "un-durable records live in buffer_" holds.
+      assert(false && "wal flush I/O failure");
+      io_status_ = flushed;
+      batch.append(buffer_);
+      buffer_ = std::move(batch);
     }
   }
   io.unlock();
@@ -375,7 +408,11 @@ void Wal::FlusherLoop() {
   for (;;) {
     {
       std::unique_lock<std::mutex> lk(mu_);
-      flusher_cv_.wait(lk, [&] { return stop_ || !buffer_.empty(); });
+      flusher_cv_.wait(
+          lk, [&] { return stop_ || !io_status_.ok() || !buffer_.empty(); });
+      // Fail-stop: once poisoned nothing will ever flush again, so a
+      // non-empty buffer would otherwise spin this loop forever.
+      if (!io_status_.ok()) return;
       if (stop_ && buffer_.empty()) return;
     }
     // Batch window: let committers pile onto the buffer, then flush them

@@ -21,6 +21,12 @@
 // append order, so "record R durable" implies every lower LSN is durable.
 // That is what lets the engine release step locks before waiting: any
 // dependent record appends behind R and can never become durable first.
+// A write/fsync failure makes the log fail-stop: the error is sticky,
+// durable_lsn never advances past the last successful batch, no further
+// bytes are written (a retry after a partial write could duplicate or gap
+// frames), and WaitDurable surfaces the error to every committer from then
+// on. The on-disk checksummed prefix therefore always equals the durable
+// prefix, which is what recovery's scan assumes.
 //
 // Redo: each end-of-step (and compensated, and 2PL commit) record carries
 // the physical after-images of the step's writes. Recovery rebuilds the
@@ -111,10 +117,23 @@ class Wal {
 
   // Blocks until every record with LSN <= `lsn` is on disk. With
   // group_commit_us == 0 the caller flushes inline; otherwise it sleeps
-  // until the flusher's batch covering `lsn` completes.
-  void WaitDurable(uint64_t lsn);
+  // until the flusher's batch covering `lsn` completes. Returns non-OK if
+  // the log hit a write/fsync failure before `lsn` became durable; the WAL
+  // is then fail-stop — the error is sticky, durable_lsn never advances
+  // again, and every subsequent WaitDurable returns the same error, so no
+  // commit is ever acknowledged past a log the disk refused.
+  Status WaitDurable(uint64_t lsn);
 
   uint64_t durable_lsn() const;
+
+  // The sticky I/O error (OK while the log is healthy). Set by the first
+  // failed flush; never cleared.
+  Status io_status() const;
+
+  // Test hook: poison the log as if a flush had failed, so the fail-stop
+  // paths (sticky WaitDurable error, flusher shutdown) are exercisable
+  // without forcing a real disk error.
+  void SimulateIoErrorForTest(Status error);
 
   // Records recovered by the opening scan, in LSN order.
   const std::vector<WalRecord>& recovered() const { return recovered_; }
@@ -151,6 +170,7 @@ class Wal {
   uint64_t next_lsn_ = 1;
   uint64_t buffered_lsn_ = 0;  // Highest LSN framed into buffer_.
   uint64_t durable_lsn_ = 0;   // Highest LSN known fsynced.
+  Status io_status_;           // Sticky first flush failure; never cleared.
   bool stop_ = false;
   Stats stats_;
 

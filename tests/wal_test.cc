@@ -253,6 +253,56 @@ TEST(WalTest, TornTailDetectedAtEveryByteOffsetOfLastRecord) {
   ::unlink(path.c_str());
 }
 
+TEST(WalTest, IoErrorIsStickyAndFailStop) {
+  const std::string path = TempPath("io_error");
+  ::unlink(path.c_str());
+  Status status;
+  std::unique_ptr<Wal> wal = Wal::Open({path, 0}, &status);
+  ASSERT_NE(wal, nullptr) << status.ToString();
+  EXPECT_EQ(wal->Append(SampleEndOfStep(1, 1)), 1u);
+  EXPECT_TRUE(wal->WaitDurable(1).ok());
+  EXPECT_EQ(wal->durable_lsn(), 1u);
+
+  wal->SimulateIoErrorForTest(Status::Internal("injected fsync failure"));
+  // Records past the failure never become durable: the wait surfaces the
+  // sticky error instead of acknowledging, and the durable LSN is frozen.
+  EXPECT_EQ(wal->Append(SampleEndOfStep(2, 1)), 2u);
+  EXPECT_FALSE(wal->WaitDurable(2).ok());
+  EXPECT_FALSE(wal->io_status().ok());
+  EXPECT_EQ(wal->durable_lsn(), 1u);
+  // The already-durable prefix still reports clean.
+  EXPECT_TRUE(wal->WaitDurable(1).ok());
+  wal.reset();  // The final-flush in the destructor must stay gated too.
+
+  // Fail-stop kept the on-disk log exactly the durable prefix: no bytes
+  // after the failure, so no LSN gap on reopen.
+  wal = Wal::Open({path, 0}, &status);
+  ASSERT_NE(wal, nullptr) << status.ToString();
+  EXPECT_EQ(wal->recovered().size(), 1u);
+  EXPECT_FALSE(wal->recovered_torn_tail());
+  ::unlink(path.c_str());
+}
+
+TEST(WalTest, GroupCommitIoErrorWakesWaitersAndStopsFlusher) {
+  const std::string path = TempPath("io_error_group");
+  ::unlink(path.c_str());
+  Status status;
+  std::unique_ptr<Wal> wal = Wal::Open({path, 200}, &status);
+  ASSERT_NE(wal, nullptr) << status.ToString();
+  wal->SimulateIoErrorForTest(Status::Internal("injected fsync failure"));
+  // A committer arriving after the failure must not block forever on the
+  // (now stopped) flusher — it gets the sticky error.
+  const uint64_t lsn = wal->Append(SampleEndOfStep(1, 1));
+  EXPECT_FALSE(wal->WaitDurable(lsn).ok());
+  EXPECT_EQ(wal->durable_lsn(), 0u);
+  wal.reset();  // Destructor joins the exited flusher and writes nothing.
+
+  wal = Wal::Open({path, 0}, &status);
+  ASSERT_NE(wal, nullptr) << status.ToString();
+  EXPECT_TRUE(wal->recovered().empty());
+  ::unlink(path.c_str());
+}
+
 TEST(WalTest, CorruptedChecksumDropsTailRecord) {
   const std::string path = TempPath("bad_crc");
   ::unlink(path.c_str());
