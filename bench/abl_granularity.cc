@@ -35,13 +35,13 @@ int main(int argc, char** argv) {
   for (int terminals : terminal_counts) {
     for (int g = 0; g < 3; ++g) {
       accdb::tpcc::WorkloadConfig config = base;
-      config.decomposed = true;
+      config.mode = accdb::acc::ExecMode::kAccDecomposed;
       config.granularity = levels[g];
       config.terminals = terminals;
       configs.push_back(config);
     }
     accdb::tpcc::WorkloadConfig baseline = base;
-    baseline.decomposed = false;
+    baseline.mode = accdb::acc::ExecMode::kSerializable;
     baseline.terminals = terminals;
     configs.push_back(baseline);
   }

@@ -8,10 +8,29 @@
 // Paper shape: the ACC loses below ~20 terminals (its bookkeeping overhead
 // dominates), crosses over near 20, and wins by ~40% (standard) / ~60%
 // (skewed) at 60 terminals.
+//
+// Beyond the paper's pairing, every grid point also runs under the OCC and
+// MVCC backends on the same seed, so the report carries a four-system
+// same-load comparison (sweeps "standard" / "skewed", one entry per system).
 
 #include <cstdio>
 
 #include "bench/harness.h"
+
+namespace {
+
+using accdb::bench::MultiResult;
+
+// The paper's ordinate for one point: mean response of systems[one] over
+// systems[zero] (0 when either side has no samples).
+double ResponseRatio(const MultiResult& point, size_t num, size_t den) {
+  const double d = point.systems[den].response_all.mean();
+  const double n = point.systems[num].response_all.mean();
+  if (!(d > 0) || !(n > 0)) return 0;
+  return n / d;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace accdb::bench;
@@ -19,7 +38,7 @@ int main(int argc, char** argv) {
   BenchReport report(options);
   PrintTitle(
       "Figure 2: The Effect of Hotspots — total average response time "
-      "ratio (Non-ACC / ACC)");
+      "ratio (Non-ACC / ACC), plus OCC/MVCC on the same load");
 
   accdb::tpcc::WorkloadConfig standard = BaseConfig(/*seed=*/20250706);
   accdb::tpcc::WorkloadConfig skewed = standard;
@@ -27,30 +46,38 @@ int main(int argc, char** argv) {
   skewed.inputs.hot_districts = 1;
   skewed.inputs.hot_fraction = 0.5;
 
-  std::vector<std::vector<PairResult>> grid =
-      RunPairGrid(options.jobs, {standard, skewed}, TerminalSweep());
+  // AllSystems() order: acc, 2pl, occ, mvcc.
+  const std::vector<SystemSpec> systems = AllSystems();
+  std::vector<std::vector<MultiResult>> grid = RunMultiGrid(
+      options.jobs, {standard, skewed}, TerminalSweep(), systems);
 
   std::printf("%-10s %10s %10s\n", "terminals", "standard", "skewed");
   for (size_t i = 0; i < grid[0].size(); ++i) {
-    const PairResult& uniform_pair = grid[0][i];
-    const PairResult& skewed_pair = grid[1][i];
-    std::printf("%-10d %10.3f %10.3f%s%s\n", uniform_pair.terminals,
-                uniform_pair.ResponseRatio(), skewed_pair.ResponseRatio(),
-                DegenerateMark(uniform_pair), DegenerateMark(skewed_pair));
-    if (!uniform_pair.acc.consistent || !uniform_pair.non_acc.consistent ||
-        !skewed_pair.acc.consistent || !skewed_pair.non_acc.consistent) {
-      std::printf("!! consistency violation at %d terminals\n",
-                  uniform_pair.terminals);
-      return 1;
+    const MultiResult& uniform_point = grid[0][i];
+    const MultiResult& skewed_point = grid[1][i];
+    std::printf("%-10d %10.3f %10.3f%s%s\n", uniform_point.terminals,
+                ResponseRatio(uniform_point, 1, 0),
+                ResponseRatio(skewed_point, 1, 0),
+                uniform_point.degenerate() ? "  [degenerate]" : "",
+                skewed_point.degenerate() ? "  [degenerate]" : "");
+    for (const MultiResult* point : {&uniform_point, &skewed_point}) {
+      for (size_t s = 0; s < systems.size(); ++s) {
+        if (!point->systems[s].consistent) {
+          std::printf("!! consistency violation at %d terminals (%s: %s)\n",
+                      point->terminals, systems[s].label.c_str(),
+                      point->systems[s].first_violation.c_str());
+          return 1;
+        }
+      }
     }
   }
 
   std::printf("\n");
-  PrintPairTailTable("standard districts", "term", grid[0]);
-  PrintPairTailTable("skewed districts", "term", grid[1]);
+  PrintMultiTailTable("standard districts", "term", systems, grid[0]);
+  PrintMultiTailTable("skewed districts", "term", systems, grid[1]);
 
-  report.AddPairSweep("standard", "terminals", grid[0]);
-  report.AddPairSweep("skewed", "terminals", grid[1]);
+  report.AddMultiSweep("standard", "terminals", systems, grid[0]);
+  report.AddMultiSweep("skewed", "terminals", systems, grid[1]);
   report.Write();
   return 0;
 }

@@ -38,15 +38,67 @@ const char* DegenerateMark(const PairResult& pair) {
   return pair.degenerate() ? "  [degenerate: zero-sample run]" : "";
 }
 
-PairResult RunPair(tpcc::WorkloadConfig config, int terminals) {
-  PairResult result;
+std::vector<SystemSpec> PairSystems() {
+  return {{"acc", acc::ExecMode::kAccDecomposed},
+          {"2pl", acc::ExecMode::kSerializable}};
+}
+
+std::vector<SystemSpec> AllSystems() {
+  return {{"acc", acc::ExecMode::kAccDecomposed},
+          {"2pl", acc::ExecMode::kSerializable},
+          {"occ", acc::ExecMode::kOptimistic},
+          {"mvcc", acc::ExecMode::kMultiVersion}};
+}
+
+MultiResult RunSystems(tpcc::WorkloadConfig config, int terminals,
+                       const std::vector<SystemSpec>& specs) {
+  MultiResult result;
   result.terminals = terminals;
   result.sweep_x = terminals;
   config.terminals = terminals;
-  config.decomposed = true;
-  result.acc = tpcc::RunWorkload(config);
-  config.decomposed = false;
-  result.non_acc = tpcc::RunWorkload(config);
+  result.systems.resize(specs.size());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    config.mode = specs[s].mode;
+    result.systems[s] = tpcc::RunWorkload(config);
+  }
+  return result;
+}
+
+std::vector<std::vector<MultiResult>> RunMultiGrid(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs,
+    const std::vector<int>& terminals, const std::vector<SystemSpec>& specs) {
+  std::vector<std::vector<MultiResult>> grid(configs.size());
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(configs.size() * terminals.size() * specs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    grid[c].resize(terminals.size());
+    for (size_t t = 0; t < terminals.size(); ++t) {
+      MultiResult& slot = grid[c][t];
+      slot.terminals = terminals[t];
+      slot.sweep_x = terminals[t];
+      slot.systems.resize(specs.size());
+      // One job per (grid point, system): every run is an independent
+      // simulation with its own database and clock.
+      for (size_t s = 0; s < specs.size(); ++s) {
+        tpcc::WorkloadConfig config = configs[c];
+        config.terminals = terminals[t];
+        config.mode = specs[s].mode;
+        tpcc::WorkloadResult& out = slot.systems[s];
+        tasks.push_back([config, &out] { out = tpcc::RunWorkload(config); });
+      }
+    }
+  }
+  RunTasks(jobs, std::move(tasks));
+  return grid;
+}
+
+PairResult RunPair(tpcc::WorkloadConfig config, int terminals) {
+  MultiResult multi = RunSystems(std::move(config), terminals, PairSystems());
+  PairResult result;
+  result.terminals = multi.terminals;
+  result.sweep_x = multi.sweep_x;
+  result.acc = std::move(multi.systems[0]);
+  result.non_acc = std::move(multi.systems[1]);
   return result;
 }
 
@@ -131,10 +183,10 @@ std::vector<std::vector<PairResult>> RunPairGrid(
       // themselves independent simulations.
       tpcc::WorkloadConfig config = configs[c];
       config.terminals = terminals[t];
-      config.decomposed = true;
+      config.mode = acc::ExecMode::kAccDecomposed;
       tasks.push_back(
           [config, &slot] { slot.acc = tpcc::RunWorkload(config); });
-      config.decomposed = false;
+      config.mode = acc::ExecMode::kSerializable;
       tasks.push_back(
           [config, &slot] { slot.non_acc = tpcc::RunWorkload(config); });
     }
@@ -195,6 +247,32 @@ void PrintPairTailTable(const std::string& title, const std::string& x_label,
               "2pl_p95", "2pl_p99", "2pl_lockw");
   for (const PairResult& pair : sweep) {
     PrintTailRow(pair.sweep_x, pair.acc, pair.non_acc);
+  }
+  std::printf("\n");
+}
+
+void PrintMultiTailTable(const std::string& title, const std::string& x_label,
+                         const std::vector<SystemSpec>& specs,
+                         const std::vector<MultiResult>& sweep) {
+  std::printf("## tail response time by system: %s (seconds; lock_wait = "
+              "mean blocked time per txn)\n",
+              title.c_str());
+  for (size_t s = 0; s < specs.size(); ++s) {
+    std::printf("### %s\n", specs[s].label.c_str());
+    std::printf("%8s %9s %9s %9s %9s %9s %10s %9s %9s\n", x_label.c_str(),
+                "mean", "p50", "p95", "p99", "lock_wait", "throughput",
+                "aborted", "restarts");
+    for (const MultiResult& point : sweep) {
+      const tpcc::WorkloadResult& r = point.systems[s];
+      std::printf("%8d %9s %9s %9s %9s %9s %10.3f %9llu %9llu\n",
+                  point.sweep_x, TailCell(r.response_all.mean()).c_str(),
+                  TailCell(r.response_hist.p50()).c_str(),
+                  TailCell(r.response_hist.p95()).c_str(),
+                  TailCell(r.response_hist.p99()).c_str(),
+                  TailCell(LockWaitPerTxn(r)).c_str(), r.throughput(),
+                  static_cast<unsigned long long>(r.aborted),
+                  static_cast<unsigned long long>(r.txn_restarts));
+    }
   }
   std::printf("\n");
 }
@@ -354,6 +432,36 @@ void BenchReport::AddPairSweep(
     point["acc"] = WorkloadResultJson(pair.acc);
     point["non_acc"] = WorkloadResultJson(pair.non_acc);
     points.Append(std::move(point));
+  }
+  entry["points"] = std::move(points);
+  root_["sweeps"].Append(std::move(entry));
+}
+
+void BenchReport::AddMultiSweep(
+    const std::string& label, const std::string& x_axis,
+    const std::vector<SystemSpec>& specs,
+    const std::vector<MultiResult>& sweep,
+    const std::vector<std::pair<std::string, Json>>& extra_fields) {
+  Json entry = Json::Object();
+  entry["label"] = label;
+  entry["x_axis"] = x_axis;
+  entry["system_order"] = [&specs] {
+    Json order = Json::Array();
+    for (const SystemSpec& spec : specs) order.Append(Json(spec.label));
+    return order;
+  }();
+  for (const auto& [key, value] : extra_fields) entry[key] = value;
+  Json points = Json::Array();
+  for (const MultiResult& point : sweep) {
+    Json obj = Json::Object();
+    obj["x"] = point.sweep_x;
+    obj["degenerate"] = point.degenerate();
+    Json systems = Json::Object();
+    for (size_t s = 0; s < specs.size(); ++s) {
+      systems[specs[s].label] = WorkloadResultJson(point.systems[s]);
+    }
+    obj["systems"] = std::move(systems);
+    points.Append(std::move(obj));
   }
   entry["points"] = std::move(points);
   root_["sweeps"].Append(std::move(entry));

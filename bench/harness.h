@@ -36,6 +36,50 @@ namespace accdb::bench {
 // ACC overheads charged.
 tpcc::WorkloadConfig BaseConfig(uint64_t seed);
 
+// --- N-system sweeps ---
+//
+// One system under test: a display label and the ExecMode the workload runs
+// under. The pair API below is the historical two-system special case and
+// is implemented on top of this.
+
+struct SystemSpec {
+  std::string label;
+  acc::ExecMode mode = acc::ExecMode::kAccDecomposed;
+};
+
+// The classic paper pairing: ACC vs the unmodified (strict-2PL) system.
+std::vector<SystemSpec> PairSystems();
+
+// All four concurrency-control backends: acc, 2pl, occ, mvcc.
+std::vector<SystemSpec> AllSystems();
+
+// One sweep point run under every system in the spec list; results[i]
+// corresponds to specs[i].
+struct MultiResult {
+  int terminals = 0;
+  int sweep_x = 0;
+  std::vector<tpcc::WorkloadResult> systems;
+
+  bool degenerate() const {
+    for (const tpcc::WorkloadResult& r : systems) {
+      if (r.completed == 0 || !(r.response_all.mean() > 0)) return true;
+    }
+    return false;
+  }
+};
+
+// Runs the same configuration under every system, serially on the calling
+// thread. The parallel grid produces identical results (same seeds).
+MultiResult RunSystems(tpcc::WorkloadConfig config, int terminals,
+                       const std::vector<SystemSpec>& specs);
+
+// Runs every (config x terminal x system) grid point as an independent job
+// on `jobs` threads; results indexed [config][terminal], each holding one
+// WorkloadResult per spec. Deterministic — identical to the serial path.
+std::vector<std::vector<MultiResult>> RunMultiGrid(
+    int jobs, const std::vector<tpcc::WorkloadConfig>& configs,
+    const std::vector<int>& terminals, const std::vector<SystemSpec>& specs);
+
 struct PairResult {
   int terminals = 0;
   // The sweep abscissa recorded in the JSON report. RunPairGrid sets it to
@@ -104,6 +148,12 @@ double LockWaitPerTxn(const tpcc::WorkloadResult& result);
 void PrintPairTailTable(const std::string& title, const std::string& x_label,
                         const std::vector<PairResult>& sweep);
 
+// N-system sweep: one block of rows per system (label, then one row per
+// point with mean/p50/p95/p99/lock-wait and abort/restart counters).
+void PrintMultiTailTable(const std::string& title, const std::string& x_label,
+                         const std::vector<SystemSpec>& specs,
+                         const std::vector<MultiResult>& sweep);
+
 // Single-system sweep variant (ablations).
 void PrintRunTailTable(
     const std::string& title, const std::string& x_label,
@@ -162,6 +212,14 @@ class BenchReport {
                     const std::vector<PairResult>& sweep,
                     const std::vector<std::pair<std::string, Json>>&
                         extra_fields = {});
+
+  // Appends an N-system sweep under `label`: each point carries
+  // {"x", "degenerate", "systems": {"<spec label>": {...}, ...}}.
+  void AddMultiSweep(const std::string& label, const std::string& x_axis,
+                     const std::vector<SystemSpec>& specs,
+                     const std::vector<MultiResult>& sweep,
+                     const std::vector<std::pair<std::string, Json>>&
+                         extra_fields = {});
 
   // Appends a sweep of single-system runs under `label`.
   void AddRunSweep(const std::string& label, const std::string& x_axis,

@@ -139,7 +139,8 @@ NetCell RunNetCell(const NetOptions& options, bool decomposed,
 
   server::ServerOptions sopts;
   sopts.workload = bench::BaseConfig(options.seed);
-  sopts.workload.decomposed = decomposed;
+  sopts.workload.mode = decomposed ? acc::ExecMode::kAccDecomposed
+                                   : acc::ExecMode::kSerializable;
   sopts.workload.inputs.scale.warehouses = warehouses;
   sopts.workload.inputs.skew_districts = true;
   sopts.workload.inputs.hot_districts = 1;

@@ -1,9 +1,10 @@
-// Real-thread TPC-C: 2PL vs ACC under true hardware parallelism.
+// Real-thread TPC-C: the CC backends under true hardware parallelism.
 //
 // The real-thread counterpart of the figure benches: a closed-loop TPC-C
 // mix runs on OS worker threads (src/runtime) against the same engine and
-// lock manager, sweeping the thread count and comparing the two systems on
-// wall-clock response time and throughput.
+// lock manager, sweeping the thread count and comparing the systems under
+// test (default: all four backends — acc, 2pl, occ, mvcc — on the same
+// seed) on wall-clock response time and throughput.
 //
 // Unlike the simulation tables, these numbers are hardware-dependent (core
 // count, scheduler, clock) and will vary run to run — the tables and the
@@ -12,6 +13,8 @@
 //
 // Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
 //   --threads=1,2,4,8,16   comma-separated worker-thread sweep
+//   --modes=acc,2pl,occ,mvcc  comma-separated systems under test (default:
+//                          all four); --mode=X is shorthand for a single one
 //   --warehouses=1,2,4,8   comma-separated warehouse-count sweep (falls back
 //                          to the ACCDB_WAREHOUSES environment variable);
 //                          W>1 cells shard storage per warehouse and bind
@@ -43,6 +46,7 @@ namespace {
 struct RtOptions {
   std::vector<int> threads = {1, 2, 4, 8, 16};
   std::vector<int> warehouses = {1, 2, 4, 8};
+  std::vector<accdb::bench::SystemSpec> systems = accdb::bench::AllSystems();
   double seconds = 2.0;
   double warmup = 0.5;
   uint64_t seed = 20250806;
@@ -59,6 +63,7 @@ struct RtOptions {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--threads=1,2,4,8,16] [--warehouses=1,2,4,8]\n"
+               "          [--modes=acc,2pl,occ,mvcc] [--mode=X]\n"
                "          [--seconds=S] [--warmup=S] [--seed=N]\n"
                "          [--cost-scale=F] [--think-scale=F]\n"
                "          [--lock-partitions=N] [--affinity=0|1]\n"
@@ -73,6 +78,22 @@ bool ParseValue(const char* arg, const char* name, std::string* out) {
   if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
   *out = arg + len + 1;
   return true;
+}
+
+// Parses a comma-separated list of mode names into system specs; empty
+// result on an unknown name.
+std::vector<accdb::bench::SystemSpec> ParseModeList(const std::string& value) {
+  std::vector<accdb::bench::SystemSpec> out;
+  for (size_t pos = 0; pos <= value.size();) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string name = value.substr(pos, comma - pos);
+    auto mode = accdb::acc::ParseExecMode(name);
+    if (!mode.has_value()) return {};
+    out.push_back({name, *mode});
+    pos = comma + 1;
+  }
+  return out;
 }
 
 // Parses a comma-separated list of positive ints; empty result on error.
@@ -104,6 +125,10 @@ RtOptions ParseOptions(int argc, char** argv) {
     if (ParseValue(argv[i], "--threads", &value)) {
       options.threads = ParseIntList(value);
       if (options.threads.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--modes", &value) ||
+               ParseValue(argv[i], "--mode", &value)) {
+      options.systems = ParseModeList(value);
+      if (options.systems.empty()) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--warehouses", &value)) {
       options.warehouses = ParseIntList(value);
       if (options.warehouses.empty()) Usage(argv[0]);
@@ -153,9 +178,15 @@ int main(int argc, char** argv) {
   report_options.jobs = 1;
   report_options.json_path = options.json_path;
   BenchReport report(report_options);
+  const std::vector<SystemSpec>& systems = options.systems;
   PrintTitle(
-      "Real-thread TPC-C: 2PL vs ACC on OS worker threads (wall clock; "
+      "Real-thread TPC-C: CC backends on OS worker threads (wall clock; "
       "hardware-dependent, not deterministic)");
+  std::printf("systems:");
+  for (const SystemSpec& spec : systems) {
+    std::printf(" %s", spec.label.c_str());
+  }
+  std::printf("\n");
 
   runtime::RtConfig base;
   base.workload = BaseConfig(options.seed);
@@ -197,53 +228,64 @@ int main(int argc, char** argv) {
     // spread by worker-to-warehouse affinity and per-warehouse storage
     // shards — scaling out.
     std::printf("\n== warehouses = %d ==\n", warehouses);
-    std::vector<PairResult> sweep;
+    std::vector<MultiResult> sweep;
     sweep.reserve(options.threads.size());
     for (int threads : options.threads) {
       runtime::RtConfig config = base;
       config.workload.inputs.scale.warehouses = warehouses;
       config.workload.terminals = threads;
-      PairResult pair;
-      pair.terminals = threads;
-      pair.sweep_x = threads;
-      config.workload.decomposed = true;
-      pair.acc = runtime::RunRtWorkload(config);
-      config.workload.decomposed = false;
-      pair.non_acc = runtime::RunRtWorkload(config);
-      sweep.push_back(pair);
+      MultiResult point;
+      point.terminals = threads;
+      point.sweep_x = threads;
+      point.systems.reserve(systems.size());
+      // Same seed, same thread count, same load for every system: the only
+      // variable across a row is the concurrency-control backend.
+      for (const SystemSpec& spec : systems) {
+        config.workload.mode = spec.mode;
+        point.systems.push_back(runtime::RunRtWorkload(config));
+      }
+      sweep.push_back(std::move(point));
     }
 
-    std::printf("%-8s %12s %12s %12s %12s %10s\n", "threads", "acc tput/s",
-                "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
-    for (const PairResult& pair : sweep) {
-      std::printf("%-8d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.terminals,
-                  pair.acc.throughput(), pair.non_acc.throughput(),
-                  TailCell(pair.acc.response_all.mean()).c_str(),
-                  TailCell(pair.non_acc.response_all.mean()).c_str(),
-                  pair.ResponseRatio(), DegenerateMark(pair));
-      if (!pair.acc.consistent || !pair.non_acc.consistent) {
-        std::printf("!! consistency violation at W=%d, %d threads (%s: %s)\n",
-                    warehouses, pair.terminals,
-                    !pair.acc.consistent ? "acc" : "2pl",
-                    (!pair.acc.consistent ? pair.acc.first_violation
-                                          : pair.non_acc.first_violation)
-                        .c_str());
-        consistent = false;
+    std::printf("%-8s", "threads");
+    for (const SystemSpec& spec : systems) {
+      std::printf(" %11s %10s", (spec.label + " tput/s").c_str(),
+                  (spec.label + " resp").c_str());
+    }
+    std::printf("\n");
+    for (const MultiResult& point : sweep) {
+      std::printf("%-8d", point.terminals);
+      for (size_t s = 0; s < systems.size(); ++s) {
+        const tpcc::WorkloadResult& r = point.systems[s];
+        std::printf(" %11.1f %10s", r.throughput(),
+                    TailCell(r.response_all.mean()).c_str());
+      }
+      std::printf("%s\n",
+                  point.degenerate() ? "  [degenerate: zero-sample run]" : "");
+      for (size_t s = 0; s < systems.size(); ++s) {
+        const tpcc::WorkloadResult& r = point.systems[s];
+        if (!r.consistent) {
+          std::printf(
+              "!! consistency violation at W=%d, %d threads (%s: %s)\n",
+              warehouses, point.terminals, systems[s].label.c_str(),
+              r.first_violation.c_str());
+          consistent = false;
+        }
       }
     }
 
     std::printf("\n");
-    PrintPairTailTable(
+    PrintMultiTailTable(
         "real-thread TPC-C (skewed districts, W=" +
             std::to_string(warehouses) + ")",
-        "thr", sweep);
+        "thr", systems, sweep);
 
     // W=1 keeps the historical sweep label so existing report consumers
     // line up; every sweep carries the new "warehouses" field.
     const std::string label =
         warehouses == 1 ? "rt_skewed" : "rt_w" + std::to_string(warehouses);
-    report.AddPairSweep(label, "threads", sweep,
-                        {{"warehouses", Json(warehouses)}});
+    report.AddMultiSweep(label, "threads", systems, sweep,
+                         {{"warehouses", Json(warehouses)}});
   }
   report.Write();
   return consistent ? 0 : 1;

@@ -12,7 +12,7 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P sanitizer_smoke.cmake")
 endif()
 
-set(SMOKE_TESTS sim_test lock_manager_test engine_test)
+set(SMOKE_TESTS sim_test lock_manager_test engine_test cc_backend_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

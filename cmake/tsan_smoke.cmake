@@ -10,7 +10,8 @@
 # parameterized over 1/4/64 partitions, so the two-tier partition ->
 # wait-tier paths all run under the race detector), the storage table
 # latches, and the metrics recording — everything PR 3 made concurrent —
-# plus the serving layer (net_server_test): event-loop Defer/Wake handoffs,
+# plus the OCC validate/apply critical section and the MVCC version chains
+# (cc_backend_test), the serving layer (net_server_test): event-loop Defer/Wake handoffs,
 # the bounded request queue, worker-pool deadlines, and graceful drain, and
 # the WAL (wal_test, wal_recovery_test): concurrent Append/WaitDurable
 # committers against the group-commit flusher thread.
@@ -20,7 +21,7 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
 endif()
 
 set(SMOKE_TESTS runtime_test rt_multiwh_test lock_mt_stress_test
-    net_server_test wal_test wal_recovery_test)
+    cc_backend_test net_server_test wal_test wal_recovery_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

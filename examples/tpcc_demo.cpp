@@ -51,12 +51,12 @@ int main() {
               "%g simulated seconds\n\n",
               config.terminals, config.servers, config.sim_seconds);
 
-  config.decomposed = true;
+  config.mode = accdb::acc::ExecMode::kAccDecomposed;
   tpcc::WorkloadResult acc_result = tpcc::RunWorkload(config);
   PrintResult("ACC", acc_result);
   std::printf("\n");
 
-  config.decomposed = false;
+  config.mode = accdb::acc::ExecMode::kSerializable;
   tpcc::WorkloadResult ser_result = tpcc::RunWorkload(config);
   PrintResult("2PL baseline", ser_result);
 

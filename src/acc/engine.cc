@@ -22,6 +22,24 @@ lock::ItemId AssertionDeclItem(lock::AssertionId decl) {
   return lock::ItemId{/*table=*/0xFFFFFFFFu, /*row=*/decl};
 }
 
+std::string_view ExecModeName(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kAccDecomposed: return "acc";
+    case ExecMode::kSerializable: return "2pl";
+    case ExecMode::kOptimistic: return "occ";
+    case ExecMode::kMultiVersion: return "mvcc";
+  }
+  return "?";
+}
+
+std::optional<ExecMode> ParseExecMode(std::string_view text) {
+  if (text == "acc") return ExecMode::kAccDecomposed;
+  if (text == "2pl") return ExecMode::kSerializable;
+  if (text == "occ") return ExecMode::kOptimistic;
+  if (text == "mvcc") return ExecMode::kMultiVersion;
+  return std::nullopt;
+}
+
 thread_local TxnIdAllocator::Cache TxnIdAllocator::cache_;
 std::atomic<uint64_t> TxnIdAllocator::next_epoch_{1};
 
@@ -69,7 +87,11 @@ void Engine::OnWaiterAborted(lock::TxnId txn) {
 ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
                            ExecMode mode) {
   const bool analyzed = program.analyzed();
-  if (!analyzed) mode = ExecMode::kSerializable;
+  // A never-analyzed program cannot run decomposed; the other backends do
+  // not depend on analysis, so only the ACC mode falls back.
+  if (!analyzed && mode == ExecMode::kAccDecomposed) {
+    mode = ExecMode::kSerializable;
+  }
 
   ExecResult result;
   // Measured across every restart: the latency a client of this execution
@@ -99,11 +121,13 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       try {
         status = program.Run(ctx);
       } catch (...) {
-        // Teardown unwind: under strict 2PL the whole uncommitted
-        // transaction evaporates physically (the WAL undo pass); under the
-        // ACC, RunStep already rolled back the in-flight step and the
-        // committed steps await compensation by recovery.
-        if (mode == ExecMode::kSerializable) ctx.PhysicalRollbackAll();
+        // Teardown unwind: outside the ACC the whole uncommitted
+        // transaction evaporates physically (the WAL undo pass) — for OCC
+        // nothing was applied, for 2PL/MVCC the undo log restores the rows
+        // (and MVCC drops its pending versions). Under the ACC, RunStep
+        // already rolled back the in-flight step and the committed steps
+        // await compensation by recovery.
+        if (mode != ExecMode::kAccDecomposed) ctx.PhysicalRollbackAll();
         UnbindEnv(txn);
         throw;
       }
@@ -111,6 +135,13 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
 
     result.steps_completed = ctx.completed_steps();
     result.step_deadlock_retries += ctx.step_deadlock_retries();
+
+    if (status.ok() && mode == ExecMode::kOptimistic) {
+      // Backward validation + write-buffer apply under the commit mutex.
+      // A failure comes back as kDeadlock, so the restart branch below
+      // re-runs the program exactly like a lost deadlock would.
+      status = ctx.OccCommit();
+    }
 
     if (status.ok()) {
       uint64_t commit_lsn = 0;
@@ -123,8 +154,9 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
           commit_lsn = wal_->Append(std::move(rec));
         }
       } else if (wal_ != nullptr) {
-        // Serializable baseline: nothing was logged before this point, so
-        // the single commit record carries the whole transaction's redo.
+        // Monolithic backends (2PL/OCC/MVCC): nothing was logged before
+        // this point, so the single commit record carries the whole
+        // transaction's redo.
         WalRecord rec;
         rec.type = LogRecordType::kCommit;
         rec.txn = txn;
@@ -221,7 +253,9 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       return result;
     }
 
-    // Serializable baseline: full physical rollback; restart on deadlock.
+    // Monolithic backends: full physical rollback (a no-op for OCC, whose
+    // writes never left its buffer); restart on deadlock — which is also
+    // how an OCC validation failure arrives here.
     ctx.PhysicalRollbackAll();
     UnbindEnv(txn);
     if (status.code() == StatusCode::kDeadlock &&

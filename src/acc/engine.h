@@ -20,13 +20,17 @@
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "acc/program.h"
 #include "acc/recovery_log.h"
 #include "acc/wal.h"
+#include "cc/occ.h"
+#include "cc/version_store.h"
 #include "common/status.h"
 #include "lock/lock_manager.h"
 #include "sim/metrics.h"
@@ -148,10 +152,25 @@ class TxnIdAllocator {
   std::atomic<lock::TxnId> last_id_{0};
 };
 
+// Concurrency-control backend an execution runs under. The first two are
+// the paper's pair (ACC vs unmodified strict 2PL); the last two are the
+// alternative-backend executors from src/cc, added so ACC's decomposition
+// can be compared against competitors that do not hold long locks either.
 enum class ExecMode {
-  kAccDecomposed,
-  kSerializable,
+  kAccDecomposed,  // Step-decomposed ACC (assertional locks, compensation).
+  kSerializable,   // Strict 2PL to commit (the unmodified baseline).
+  kOptimistic,     // OCC: lock-free reads + buffered writes, backward
+                   // validation at commit, abort-and-restart on conflict.
+  kMultiVersion,   // MV2PL: writers run strict 2PL and version their
+                   // writes; read-only programs read a lock-free snapshot.
 };
+
+inline constexpr int kNumExecModes = 4;
+
+// Canonical short names, also the --mode= flag values: "acc", "2pl",
+// "occ", "mvcc".
+std::string_view ExecModeName(ExecMode mode);
+std::optional<ExecMode> ParseExecMode(std::string_view text);
 
 // Verdict of a deadline-bounded lock wait. kTimedOut is only produced by
 // environments with real time (ThreadExecutionEnv); on timeout the request
@@ -287,6 +306,9 @@ class Engine : public lock::LockManager::Listener {
   storage::Database& db() { return *db_; }
   lock::LockManager& lock_manager() { return lock_manager_; }
   RecoveryLog& recovery_log() { return recovery_log_; }
+  // Backend state for the src/cc executors (kOptimistic / kMultiVersion).
+  cc::OccVersionTable& occ_versions() { return occ_versions_; }
+  cc::VersionStore& version_store() { return version_store_; }
   // Null when EngineConfig::wal.path is empty or Open failed (wal_status()).
   Wal* wal() { return wal_.get(); }
   const Wal* wal() const { return wal_.get(); }
@@ -334,6 +356,8 @@ class Engine : public lock::LockManager::Listener {
   EngineConfig config_;
   lock::LockManager lock_manager_;
   RecoveryLog recovery_log_;
+  cc::OccVersionTable occ_versions_;
+  cc::VersionStore version_store_;
   std::unique_ptr<Wal> wal_;
   Status wal_status_;
   TxnIdAllocator txn_ids_;

@@ -23,6 +23,7 @@ class FunctionProgram : public TransactionProgram {
 
   std::string_view name() const override { return name_; }
   bool analyzed() const override { return analyzed_; }
+  bool read_only() const override { return read_only_; }
   Status Run(TxnContext& ctx) override { return run_(ctx); }
 
   AssertionInstance InitialAssertion() const override {
@@ -45,6 +46,10 @@ class FunctionProgram : public TransactionProgram {
     analyzed_ = analyzed;
     return *this;
   }
+  FunctionProgram& set_read_only(bool read_only) {
+    read_only_ = read_only;
+    return *this;
+  }
   FunctionProgram& set_initial_assertion(AssertionInstance assertion) {
     initial_assertion_ = std::move(assertion);
     return *this;
@@ -65,6 +70,7 @@ class FunctionProgram : public TransactionProgram {
   std::string name_;
   RunFn run_;
   bool analyzed_ = true;
+  bool read_only_ = false;
   AssertionInstance initial_assertion_;
   std::function<lock::ActorId(int)> prefix_fn_;
   lock::ActorId comp_step_type_ = lock::kNoActor;

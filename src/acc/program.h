@@ -51,6 +51,11 @@ class TransactionProgram {
 
   virtual std::string_view name() const = 0;
 
+  // True for programs that never write. Under kMultiVersion a read-only
+  // program runs against a pinned snapshot: lock-free, abort-free, and
+  // invisible to writers. Has no effect under the other modes.
+  virtual bool read_only() const { return false; }
+
   // False for legacy/ad-hoc transactions that were never analyzed. They run
   // single-step with commit-duration locks even under the ACC, and the
   // engine marks their requests non-analyzed so kComp locks isolate them

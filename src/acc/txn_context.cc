@@ -20,7 +20,24 @@ TxnContext::TxnContext(Engine* engine, TransactionProgram* program,
       txn_(txn),
       mode_(mode),
       analyzed_(analyzed),
-      undo_(&engine->db()) {}
+      undo_(&engine->db()) {
+  if (mode_ == ExecMode::kOptimistic) {
+    occ_ = std::make_unique<cc::OccBuffer>(&engine_->occ_versions());
+  } else if (mode_ == ExecMode::kMultiVersion) {
+    if (program_ != nullptr && program_->read_only()) {
+      snapshot_.emplace(&engine_->version_store(),
+                        engine_->version_store().AcquireSnapshot());
+    } else {
+      mvcc_writer_ = true;
+    }
+  }
+}
+
+TxnContext::~TxnContext() {
+  if (snapshot_.has_value()) {
+    engine_->version_store().ReleaseSnapshot(snapshot_->snapshot());
+  }
+}
 
 lock::RequestContext TxnContext::BuildContext() const {
   lock::RequestContext ctx;
@@ -97,6 +114,18 @@ Status TxnContext::LockRowForStatement(const storage::Table& table,
 Result<storage::Row> TxnContext::ReadByKey(const storage::Table& table,
                                            const storage::CompositeKey& key,
                                            bool for_update) {
+  // Lock-free backends first (for_update is meaningless without locks: OCC
+  // conflicts are caught by validation, snapshot readers never write).
+  if (occ_ != nullptr) {
+    Result<storage::Row> row = occ_->ReadByKey(table, key);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
+  if (snapshot_.has_value()) {
+    Result<storage::Row> row = snapshot_->ReadByKey(table, key);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
   ACCDB_RETURN_IF_ERROR(AcquireLock(
       lock::ItemId::Table(table.id()),
       for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
@@ -123,6 +152,16 @@ Result<storage::Row> TxnContext::ReadByKey(const storage::Table& table,
 
 Result<storage::Row> TxnContext::ReadById(const storage::Table& table,
                                           storage::RowId id, bool for_update) {
+  if (occ_ != nullptr) {
+    Result<storage::Row> row = occ_->ReadById(table, id);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
+  if (snapshot_.has_value()) {
+    Result<storage::Row> row = snapshot_->ReadById(table, id);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
   ACCDB_RETURN_IF_ERROR(AcquireLock(
       lock::ItemId::Table(table.id()),
       for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
@@ -139,6 +178,16 @@ Result<std::vector<std::pair<storage::RowId, storage::Row>>>
 TxnContext::ScanPkPrefix(const storage::Table& table,
                          const storage::CompositeKey& prefix,
                          bool for_update) {
+  if (occ_ != nullptr) {
+    auto rows = occ_->ScanPkPrefix(table, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return rows;
+  }
+  if (snapshot_.has_value()) {
+    auto rows = snapshot_->ScanPkPrefix(table, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return rows;
+  }
   ACCDB_RETURN_IF_ERROR(AcquireLock(
       lock::ItemId::Table(table.id()),
       for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
@@ -155,6 +204,16 @@ TxnContext::ScanPkPrefix(const storage::Table& table,
 Result<std::optional<std::pair<storage::RowId, storage::Row>>>
 TxnContext::MinPkPrefix(const storage::Table& table,
                         const storage::CompositeKey& prefix, bool for_update) {
+  if (occ_ != nullptr) {
+    auto row = occ_->MinPkPrefix(table, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
+  if (snapshot_.has_value()) {
+    auto row = snapshot_->MinPkPrefix(table, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return row;
+  }
   ACCDB_RETURN_IF_ERROR(AcquireLock(
       lock::ItemId::Table(table.id()),
       for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
@@ -180,6 +239,16 @@ TxnContext::ScanIndexPrefix(const storage::Table& table,
                             storage::IndexId index,
                             const storage::CompositeKey& prefix,
                             bool for_update) {
+  if (occ_ != nullptr) {
+    auto rows = occ_->ScanIndexPrefix(table, index, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return rows;
+  }
+  if (snapshot_.has_value()) {
+    auto rows = snapshot_->ScanIndexPrefix(table, index, prefix);
+    ChargeStatement(engine_->config().costs.read_statement);
+    return rows;
+  }
   ACCDB_RETURN_IF_ERROR(AcquireLock(
       lock::ItemId::Table(table.id()),
       for_update ? lock::LockMode::kIX : lock::LockMode::kIS));
@@ -195,6 +264,16 @@ TxnContext::ScanIndexPrefix(const storage::Table& table,
 
 Result<storage::RowId> TxnContext::Insert(storage::Table& table,
                                           storage::Row row) {
+  if (occ_ != nullptr) {
+    // Buffered under a virtual RowId; the real id is assigned when the
+    // insert applies at commit.
+    Result<storage::RowId> id = occ_->Insert(table, std::move(row));
+    ChargeStatement(engine_->config().costs.write_statement);
+    return id;
+  }
+  if (snapshot_.has_value()) {
+    return Status::Internal("snapshot transaction is read-only");
+  }
   ACCDB_RETURN_IF_ERROR(
       AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
   // The X-lock on the new row is taken inside the table's publication hook,
@@ -214,6 +293,14 @@ Result<storage::RowId> TxnContext::Insert(storage::Table& table,
         assert(outcome == lock::Outcome::kGranted &&
                "fresh-row X lock must grant immediately");
         (void)outcome;
+        if (mvcc_writer_) {
+          // Registered while still under the exclusive shard latch: no
+          // snapshot reader can copy the row before its kCreate entry
+          // (= invisible until our commit timestamp) exists.
+          engine_->version_store().RegisterPending(
+              txn_, lock::ItemId::Row(table.id(), id),
+              cc::VersionStore::Kind::kCreate, storage::Row{});
+        }
       });
   if (!inserted.ok()) {
     ChargeStatement(engine_->config().costs.write_statement);
@@ -237,6 +324,14 @@ Result<storage::RowId> TxnContext::Insert(storage::Table& table,
 Status TxnContext::Update(
     storage::Table& table, storage::RowId id,
     const std::vector<std::pair<int, storage::Value>>& updates) {
+  if (occ_ != nullptr) {
+    Status status = occ_->Update(table, id, updates);
+    ChargeStatement(engine_->config().costs.write_statement);
+    return status;
+  }
+  if (snapshot_.has_value()) {
+    return Status::Internal("snapshot transaction is read-only");
+  }
   ACCDB_RETURN_IF_ERROR(
       AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
   ACCDB_RETURN_IF_ERROR(
@@ -247,6 +342,13 @@ Status TxnContext::Update(
     return Status::NotFound(table.name() + " row");
   }
   undo_.WillUpdate(table.id(), id, *before);
+  if (mvcc_writer_) {
+    // Before the in-place write, so a snapshot reader that copies the
+    // mutated row always finds this entry's pre-image.
+    engine_->version_store().RegisterPending(
+        txn_, lock::ItemId::Row(table.id(), id),
+        cc::VersionStore::Kind::kUpdate, *before);
+  }
   ACCDB_RETURN_IF_ERROR(table.UpdateColumns(id, updates));
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
   if (engine_->wal() != nullptr) {
@@ -262,6 +364,14 @@ Status TxnContext::Update(
 }
 
 Status TxnContext::Delete(storage::Table& table, storage::RowId id) {
+  if (occ_ != nullptr) {
+    Status status = occ_->Delete(table, id);
+    ChargeStatement(engine_->config().costs.write_statement);
+    return status;
+  }
+  if (snapshot_.has_value()) {
+    return Status::Internal("snapshot transaction is read-only");
+  }
   ACCDB_RETURN_IF_ERROR(
       AcquireLock(lock::ItemId::Table(table.id()), lock::LockMode::kIX));
   ACCDB_RETURN_IF_ERROR(
@@ -272,6 +382,11 @@ Status TxnContext::Delete(storage::Table& table, storage::RowId id) {
     return Status::NotFound(table.name() + " row");
   }
   undo_.WillDelete(table.id(), id, *before);
+  if (mvcc_writer_) {
+    engine_->version_store().RegisterPending(
+        txn_, lock::ItemId::Row(table.id(), id),
+        cc::VersionStore::Kind::kDelete, *before);
+  }
   ACCDB_RETURN_IF_ERROR(table.Delete(id));
   step_writes_.push_back(lock::ItemId::Row(table.id(), id));
   if (engine_->wal() != nullptr) {
@@ -301,14 +416,14 @@ Status TxnContext::WriteVariable(storage::Table& var, int64_t value) {
 void TxnContext::Compute(double seconds) { env_->ClientDelay(seconds); }
 
 void TxnContext::UpdateNextAssertion(const AssertionInstance& next_assertion) {
-  if (mode_ == ExecMode::kSerializable) return;
+  if (mode_ != ExecMode::kAccDecomposed) return;
   assert(in_step_ && "UpdateNextAssertion outside a step");
   pending_next_assertion_ = next_assertion;
   GrantAssertionLocks(pending_next_assertion_, pending_next_number_);
 }
 
 Status TxnContext::AcquireAssertion(const AssertionInstance& assertion) {
-  if (mode_ == ExecMode::kSerializable || assertion.empty()) {
+  if (mode_ != ExecMode::kAccDecomposed || assertion.empty()) {
     return Status::Ok();
   }
   assert(in_step_ && "AcquireAssertion outside a step");
@@ -379,10 +494,12 @@ Status TxnContext::RunStep(lock::ActorId step_type,
 
   const double step_start = env_->Now();
 
-  if (mode_ == ExecMode::kSerializable) {
-    // Baseline: the body runs inline under transaction-duration 2PL. Errors
-    // (deadlock, voluntary abort) propagate to the Engine, which performs a
-    // full physical rollback (including on teardown unwind, see Execute).
+  if (mode_ != ExecMode::kAccDecomposed) {
+    // Monolithic backends (2PL / OCC / MVCC): the body runs inline — locks
+    // held to commit for 2PL and MVCC writers, no locks at all for OCC and
+    // snapshot readers. Errors (deadlock, voluntary abort) propagate to the
+    // Engine, which performs a full physical rollback (including on
+    // teardown unwind, see Execute).
     in_step_ = true;
     current_step_type_ = step_type;
     step_keys_ = std::move(step_keys);
@@ -606,7 +723,37 @@ Status TxnContext::RunCompensation(lock::ActorId comp_step_type,
   }
 }
 
+Status TxnContext::OccCommit() {
+  assert(occ_ != nullptr && "OccCommit outside kOptimistic");
+  std::vector<cc::OccAppliedWrite> applied;
+  const bool want_redo = engine_->wal() != nullptr;
+  ACCDB_RETURN_IF_ERROR(occ_->Commit(want_redo ? &applied : nullptr));
+  for (cc::OccAppliedWrite& op : applied) {
+    WalRedoOp redo;
+    redo.table = op.table;
+    redo.row = op.row;
+    switch (op.kind) {
+      case cc::OccAppliedWrite::Kind::kInsert:
+        redo.kind = WalRedoOp::Kind::kInsert;
+        redo.row_data = std::move(op.row_data);
+        break;
+      case cc::OccAppliedWrite::Kind::kUpdate:
+        redo.kind = WalRedoOp::Kind::kUpdate;
+        redo.columns = std::move(op.columns);
+        break;
+      case cc::OccAppliedWrite::Kind::kDelete:
+        redo.kind = WalRedoOp::Kind::kDelete;
+        break;
+    }
+    redo_.push_back(std::move(redo));
+  }
+  return Status::Ok();
+}
+
 void TxnContext::FinishCommit() {
+  // Stamp before the locks release: a snapshot acquired afterwards must
+  // already see this transaction's entries fully timestamped.
+  if (mvcc_writer_) engine_->version_store().CommitTxn(txn_);
   undo_.ReleaseAll();
   ReleaseLocks();
 }
@@ -616,6 +763,9 @@ void TxnContext::PhysicalRollbackAll() {
   assert(status.ok() && "transaction undo must succeed");
   (void)status;
   redo_.clear();
+  // After the undo restored the rows (between the two, each pending
+  // entry's image equals the live row, so readers are indifferent).
+  if (mvcc_writer_) engine_->version_store().AbortTxn(txn_);
   ReleaseLocks();
 }
 

@@ -24,6 +24,7 @@
 #define ACCDB_ACC_TXN_CONTEXT_H_
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -31,6 +32,8 @@
 
 #include "acc/engine.h"
 #include "acc/program.h"
+#include "cc/occ.h"
+#include "cc/version_store.h"
 #include "common/status.h"
 #include "lock/types.h"
 #include "storage/database.h"
@@ -124,14 +127,22 @@ class TxnContext {
 
   TxnContext(Engine* engine, TransactionProgram* program, ExecutionEnv* env,
              lock::TxnId txn, ExecMode mode, bool analyzed);
+  // Releases the MVCC snapshot, if one was pinned.
+  ~TxnContext();
 
   // Engine-side entry points.
   Status AcquireInitialAssertion(const AssertionInstance& assertion);
   Status RunCompensation(lock::ActorId comp_step_type,
                          std::vector<int64_t> comp_keys, const StepBody& body,
                          const std::string& program_name);
-  // Commit bookkeeping: discard undo, release every lock.
+  // Commit bookkeeping: discard undo, release every lock. An MVCC writer
+  // first stamps its pending version entries (while still holding locks).
   void FinishCommit();
+  // kOptimistic commit: validate the read set and apply the write buffer
+  // under the engine's OCC commit mutex; on success the applied writes are
+  // translated into redo_ (WAL attached only). kDeadlock on validation
+  // failure — the engine's restart loop handles it.
+  Status OccCommit();
   // Full physical rollback (baseline / failed single-step execution).
   void PhysicalRollbackAll();
   // Release locks without touching the database (after compensation).
@@ -196,6 +207,17 @@ class TxnContext {
   lock::TxnId txn_;
   ExecMode mode_;
   bool analyzed_;
+
+  // Backend state (at most one of these is active, per mode_):
+  // kOptimistic — the read-set/write-buffer; every data access routes
+  // through it and no locks are ever taken.
+  std::unique_ptr<cc::OccBuffer> occ_;
+  // kMultiVersion, read-only program — the pinned snapshot; reads are
+  // lock-free against the version chains.
+  std::optional<cc::SnapshotReader> snapshot_;
+  // kMultiVersion, writer — runs like kSerializable but registers a
+  // pending version entry before every in-place write.
+  bool mvcc_writer_ = false;
 
   storage::UndoLog undo_;
   bool in_step_ = false;

@@ -48,9 +48,7 @@ class Worker {
 
   void Run() {
     const tpcc::WorkloadConfig& workload = config_.workload;
-    const acc::ExecMode mode = workload.decomposed
-                                   ? acc::ExecMode::kAccDecomposed
-                                   : acc::ExecMode::kSerializable;
+    const acc::ExecMode mode = workload.mode;
     bool recording = false;
     double lock_wait_base = 0;
     while (!done_->load(std::memory_order_acquire)) {

@@ -6,7 +6,7 @@
 // generator in bench/net_tpcc or any client speaking the protocol in
 // src/net/protocol.h (DESIGN.md §11).
 //
-//   accdb_server [--port=N] [--mode=acc|2pl] [--workers=N] [--max-queue=N]
+//   accdb_server [--port=N] [--mode=acc|2pl|occ|mvcc] [--workers=N] [--max-queue=N]
 //                [--cost-scale=F] [--deadline-ms=N] [--seed=N]
 //                [--warehouses=N] [--wal-path=FILE] [--group-commit-us=N]
 //                [--recover-only]
@@ -36,7 +36,7 @@ namespace {
 
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port=N] [--mode=acc|2pl] [--workers=N]\n"
+               "usage: %s [--port=N] [--mode=acc|2pl|occ|mvcc] [--workers=N]\n"
                "          [--max-queue=N] [--cost-scale=F] [--deadline-ms=N]\n"
                "          [--seed=N] [--warehouses=N] [--wal-path=FILE]\n"
                "          [--group-commit-us=N] [--recover-only]\n",
@@ -69,10 +69,8 @@ int main(int argc, char** argv) {
     if (ParseValue(argv[i], "--port", &value)) {
       options.port = static_cast<uint16_t>(std::atoi(value.c_str()));
     } else if (ParseValue(argv[i], "--mode", &value)) {
-      if (value == "acc") {
-        options.workload.decomposed = true;
-      } else if (value == "2pl") {
-        options.workload.decomposed = false;
+      if (auto mode = acc::ParseExecMode(value)) {
+        options.workload.mode = *mode;
       } else {
         Usage(argv[0]);
       }
@@ -158,8 +156,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("accdb_server: %s mode, %d workers, queue %zu, 127.0.0.1:%u\n",
-              options.workload.decomposed ? "acc" : "2pl", options.workers,
-              options.max_queue, server.port());
+              std::string(acc::ExecModeName(options.workload.mode)).c_str(),
+              options.workers, options.max_queue, server.port());
   if (!options.wal_path.empty()) {
     const acc::RecoveryReport& report = server.recovery_report();
     std::printf(

@@ -341,9 +341,7 @@ void AccdbServer::WorkerLoop(int worker_index) {
   tpcc::InputGenerator gen(
       inputs,
       options_.workload.seed * 7919 + 1000003ULL * (worker_index + 1));
-  const acc::ExecMode mode = options_.workload.decomposed
-                                 ? acc::ExecMode::kAccDecomposed
-                                 : acc::ExecMode::kSerializable;
+  const acc::ExecMode mode = options_.workload.mode;
 
   for (;;) {
     Work work;

@@ -80,6 +80,11 @@ IndexId Table::AddIndex(std::string name, std::vector<int> columns) {
   return static_cast<IndexId>(indexes_.size() - 1);
 }
 
+const std::vector<int>& Table::IndexColumns(IndexId index) const {
+  assert(index < indexes_.size());
+  return indexes_[index].columns;
+}
+
 CompositeKey Table::IndexKeyOf(const IndexDef& index, const Row& row) const {
   CompositeKey key;
   key.reserve(index.columns.size());
@@ -162,6 +167,16 @@ const Row* Table::Get(RowId id) const {
   std::shared_lock<std::shared_mutex> latch(shard.mu);
   auto it = shard.rows.find(id);
   return it == shard.rows.end() ? nullptr : &it->second;
+}
+
+std::optional<Row> Table::GetCopy(RowId id) const {
+  const size_t s = RowIdShard(id);
+  if (s >= shards_.size()) return std::nullopt;
+  const Shard& shard = *shards_[s];
+  std::shared_lock<std::shared_mutex> latch(shard.mu);
+  auto it = shard.rows.find(id);
+  if (it == shard.rows.end()) return std::nullopt;
+  return it->second;
 }
 
 Status Table::Update(RowId id, const Row& row) {

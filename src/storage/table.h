@@ -113,6 +113,10 @@ class Table {
   // Must be called before rows are inserted (asserted).
   IndexId AddIndex(std::string name, std::vector<int> columns);
 
+  // Column positions forming the given secondary index's key (the OCC write
+  // buffer uses this to merge uncommitted inserts into index scans).
+  const std::vector<int>& IndexColumns(IndexId index) const;
+
   // Inserts a row; fails with kAlreadyExists on a duplicate primary key.
   Result<RowId> Insert(const Row& row);
 
@@ -131,6 +135,13 @@ class Table {
 
   // nullptr if the id is not live.
   const Row* Get(RowId id) const;
+
+  // Latched copy of the row: unlike Get(), the returned value is safe to use
+  // without holding any transaction-level row lock, because the copy is made
+  // under the shard's shared latch and every in-place mutation holds the
+  // exclusive latch. This is the read primitive for lock-free readers (the
+  // OCC and multi-version executors in src/cc). std::nullopt if not live.
+  std::optional<Row> GetCopy(RowId id) const;
 
   // Replaces the whole row. Key columns must not change (use Delete+Insert
   // for key updates). Fails with kNotFound for dead ids.

@@ -63,10 +63,8 @@ class Terminal {
 
  private:
   acc::ExecResult RunOne(TxnType type) {
-    acc::ExecMode mode = config_.decomposed ? acc::ExecMode::kAccDecomposed
-                                            : acc::ExecMode::kSerializable;
     return RunOneTpccTxn(db_, engine_, gen_, type, config_.compute_seconds,
-                         config_.granularity, env_, mode);
+                         config_.granularity, env_, config_.mode);
   }
 
   TpccDb* db_;
@@ -88,8 +86,11 @@ TpccSystem::TpccSystem(const WorkloadConfig& config)
       acc_resolver_(&db_.interference) {
   LoadDatabase(db_, config.inputs.scale, config.seed);
   db_.interference.set_key_refinement(config.key_refinement);
+  // Only the ACC uses assertional conflict semantics; every monolithic
+  // backend (2PL, OCC's restart path, MVCC's writer side) locks under the
+  // conventional matrix.
   const lock::ConflictResolver* resolver =
-      config.decomposed
+      config.mode == acc::ExecMode::kAccDecomposed
           ? static_cast<const lock::ConflictResolver*>(&acc_resolver_)
           : &matrix_resolver_;
   acc::EngineConfig engine_config = config.engine;

@@ -30,8 +30,10 @@
 namespace accdb::tpcc {
 
 struct WorkloadConfig {
-  // System under test.
-  bool decomposed = true;  // true: ACC; false: unmodified (strict 2PL).
+  // System under test: which concurrency-control backend executes the mix
+  // (acc = step-decomposed ACC, 2pl = strict two-phase locking, occ =
+  // optimistic validation, mvcc = multiversion 2PL with snapshot reads).
+  acc::ExecMode mode = acc::ExecMode::kAccDecomposed;
   acc::EngineConfig engine;
   // Ablation knobs (DESIGN.md §7).
   NewOrderGranularity granularity = NewOrderGranularity::kFine;

@@ -76,6 +76,10 @@ class NewOrderTxn : public TpccTxn {
   NewOrderInput input_;
   NewOrderGranularity granularity_;
   int64_t o_id_ = 0;
+  // RowId of the ORDER row Phase1 inserted, as returned by the context (a
+  // buffered virtual id under OCC, so Run must not re-look it up from the
+  // table).
+  storage::RowId order_row_id_ = 0;
   Money total_;
 };
 
@@ -138,6 +142,7 @@ class OrderStatusTxn : public TpccTxn {
                  double compute_seconds = 0);
 
   std::string_view name() const override { return "tpcc.order_status"; }
+  bool read_only() const override { return true; }
   lock::ActorId PrefixActor(int completed_steps) const override;
   Status Run(acc::TxnContext& ctx) override;
 
@@ -162,6 +167,7 @@ class StockLevelTxn : public TpccTxn {
                 double compute_seconds = 0);
 
   std::string_view name() const override { return "tpcc.stock_level"; }
+  bool read_only() const override { return true; }
   lock::ActorId PrefixActor(int completed_steps) const override;
   Status Run(acc::TxnContext& ctx) override;
 

@@ -63,6 +63,7 @@ Status NewOrderTxn::Phase1(acc::TxnContext& c, double* w_tax, double* d_tax) {
   ACCDB_RETURN_IF_ERROR(
       c.Insert(*db.new_order, {Value(w), Value(d), Value(o)}).status());
   o_id_ = o;
+  order_row_id_ = order_row;
   // The loop invariant names the fresh order; keep its row protected across
   // every subsequent instance.
   c.UpdateNextAssertion(acc::AssertionInstance{
@@ -160,11 +161,8 @@ Status NewOrderTxn::Run(acc::TxnContext& ctx) {
                   acc::AssertionInstance{db.assert_no_loop, {w, d}, {}},
                   [&](acc::TxnContext& c) { return Phase1(c, &w_tax, &d_tax); }));
 
-  std::optional<storage::RowId> order_row =
-      db.orders->LookupPk(Key(w, d, o_id_));
-  assert(order_row.has_value());
   std::vector<lock::ItemId> invariant_items = {
-      lock::ItemId::Row(db.orders->id(), *order_row)};
+      lock::ItemId::Row(db.orders->id(), order_row_id_)};
   acc::AssertionInstance loop_assertion{db.assert_no_loop,
                                         {w, d, o_id_},
                                         invariant_items};

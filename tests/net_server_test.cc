@@ -26,7 +26,8 @@ namespace {
 
 ServerOptions SmallServer(bool decomposed, int workers, size_t max_queue) {
   ServerOptions options;
-  options.workload.decomposed = decomposed;
+  options.workload.mode = decomposed ? acc::ExecMode::kAccDecomposed
+                                     : acc::ExecMode::kSerializable;
   options.workload.seed = 20260806;
   options.workers = workers;
   options.max_queue = max_queue;

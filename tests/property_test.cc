@@ -206,7 +206,7 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TpccPropertyTest,
 
 TEST_P(TpccPropertyTest, AccWorkloadConsistent) {
   tpcc::WorkloadConfig config;
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   config.terminals = 12;
   config.servers = 2;
   config.sim_seconds = 20;
@@ -222,7 +222,7 @@ TEST_P(TpccPropertyTest, AccWorkloadConsistent) {
 
 TEST_P(TpccPropertyTest, SerializableWorkloadStrictlyConsistent) {
   tpcc::WorkloadConfig config;
-  config.decomposed = false;
+  config.mode = acc::ExecMode::kSerializable;
   config.terminals = 12;
   config.servers = 2;
   config.sim_seconds = 20;
@@ -236,7 +236,7 @@ TEST_P(TpccPropertyTest, SerializableWorkloadStrictlyConsistent) {
 
 TEST_P(TpccPropertyTest, SkewedWorkloadConsistent) {
   tpcc::WorkloadConfig config;
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   config.terminals = 16;
   config.servers = 2;
   config.sim_seconds = 15;
@@ -254,7 +254,7 @@ TEST_P(TpccPropertyTest, SkewedWorkloadConsistent) {
 
 TEST_P(TpccPropertyTest, CoarseGranularityConsistent) {
   tpcc::WorkloadConfig config;
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   config.granularity = tpcc::NewOrderGranularity::kCoarse;
   config.terminals = 10;
   config.servers = 2;

@@ -16,7 +16,8 @@ namespace {
 
 RtConfig MultiWhConfig(bool decomposed, int64_t warehouses) {
   RtConfig config;
-  config.workload.decomposed = decomposed;
+  config.workload.mode = decomposed ? acc::ExecMode::kAccDecomposed
+                                   : acc::ExecMode::kSerializable;
   config.workload.terminals = 8;
   config.workload.seed = 20250807;
   config.workload.inputs.scale = tpcc::ScaleConfig::Test();

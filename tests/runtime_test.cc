@@ -195,7 +195,8 @@ TEST(ThreadEnvEngineTest, LockWaitDeadlineSurfacesAsTypedStatus) {
 
 RtConfig SmallConfig(bool decomposed) {
   RtConfig config;
-  config.workload.decomposed = decomposed;
+  config.workload.mode = decomposed ? acc::ExecMode::kAccDecomposed
+                                   : acc::ExecMode::kSerializable;
   config.workload.terminals = 8;
   config.workload.seed = 20250806;
   config.workload.inputs.skew_districts = true;

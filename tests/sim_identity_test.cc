@@ -46,9 +46,9 @@ std::string ReadGolden() {
 
 TEST(SimIdentityTest, Fig2CellMatchesGoldenBitForBit) {
   tpcc::WorkloadConfig config = GoldenConfig();
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   std::string acc = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
-  config.decomposed = false;
+  config.mode = acc::ExecMode::kSerializable;
   std::string non_acc =
       bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
 
@@ -64,7 +64,7 @@ TEST(SimIdentityTest, Fig2CellMatchesGoldenBitForBit) {
 // simulation became nondeterministic" (a real bug).
 TEST(SimIdentityTest, RepeatRunsAreBitIdentical) {
   tpcc::WorkloadConfig config = GoldenConfig();
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   std::string a = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
   std::string b = bench::WorkloadResultJson(tpcc::RunWorkload(config)).Dump();
   EXPECT_EQ(a, b);

@@ -26,7 +26,7 @@ using storage::Key;
 
 WorkloadConfig SmallConfig(bool decomposed, uint64_t seed) {
   WorkloadConfig config;
-  config.decomposed = decomposed;
+  config.mode = decomposed ? ExecMode::kAccDecomposed : ExecMode::kSerializable;
   config.terminals = 8;
   config.servers = 2;
   config.sim_seconds = 30;

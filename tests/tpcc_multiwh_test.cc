@@ -128,7 +128,7 @@ TEST_F(MultiWarehouseTest, RemotePaymentCreditsRemoteCustomer) {
 
 TEST(MultiWarehouseWorkloadTest, TwoWarehouseWorkloadConsistent) {
   WorkloadConfig config;
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   config.terminals = 12;
   config.servers = 2;
   config.sim_seconds = 20;
@@ -145,7 +145,7 @@ TEST(MultiWarehouseWorkloadTest, TwoWarehouseWorkloadConsistent) {
 
 TEST(MultiWarehouseWorkloadTest, FourWarehouseWorkloadConsistent) {
   WorkloadConfig config;
-  config.decomposed = true;
+  config.mode = acc::ExecMode::kAccDecomposed;
   config.terminals = 12;
   config.servers = 2;
   config.sim_seconds = 15;
@@ -243,6 +243,29 @@ TEST(FairPairingTest, GeneratedMixPinnedAtW1AndW4) {
   // EXPERIMENTS.md are re-recorded.
   EXPECT_EQ(MixHash(AuditConfig(1), 4242, 500), 0xeed71db99438a090ULL);
   EXPECT_EQ(MixHash(AuditConfig(4), 4242, 500), 0xc57adda358f9a282ULL);
+}
+
+TEST(FairPairingTest, StreamIsIdenticalAcrossAllFourSystems) {
+  // The N-system harness (bench/harness.h RunSystems) derives each system's
+  // workload from one shared config by overwriting only `mode`. The
+  // comparison stays fair exactly as long as the generated stream is a pure
+  // function of (inputs, seed) — the mode must never leak into it. Mirror
+  // that derivation here and require every system's stream hash to equal
+  // the same pinned constant as the pair audit above.
+  const acc::ExecMode modes[] = {
+      acc::ExecMode::kAccDecomposed, acc::ExecMode::kSerializable,
+      acc::ExecMode::kOptimistic, acc::ExecMode::kMultiVersion};
+  WorkloadConfig base;
+  base.inputs = AuditConfig(4);
+  base.seed = 4242;
+  for (acc::ExecMode mode : modes) {
+    WorkloadConfig system = base;
+    system.mode = mode;
+    EXPECT_EQ(MixHash(system.inputs, system.seed, 500),
+              0xc57adda358f9a282ULL)
+        << "stream diverged under mode "
+        << acc::ExecModeName(mode);
+  }
 }
 
 TEST(FairPairingTest, HomeWarehouseBindingFixesOriginKeepsRemoteTraffic) {
