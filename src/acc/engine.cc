@@ -137,9 +137,12 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
     result.step_deadlock_retries += ctx.step_deadlock_retries();
 
     if (status.ok() && mode == ExecMode::kOptimistic) {
-      // Backward validation + write-buffer apply under the commit mutex.
-      // A failure comes back as kDeadlock, so the restart branch below
-      // re-runs the program exactly like a lost deadlock would.
+      // Backward validation + write-buffer apply under the commit mutex,
+      // with the WAL commit record (if any) appended inside the same
+      // critical section — so a dependent transaction that reads these
+      // writes necessarily logs at a higher LSN. A failure comes back as
+      // kDeadlock, so the restart branch below re-runs the program exactly
+      // like a lost deadlock would.
       status = ctx.OccCommit();
     }
 
@@ -153,10 +156,15 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
           rec.txn = txn;
           commit_lsn = wal_->Append(std::move(rec));
         }
+      } else if (mode == ExecMode::kOptimistic) {
+        // The commit record was already appended inside OccCommit's
+        // critical section; only the durability wait remains.
+        commit_lsn = ctx.occ_commit_lsn();
       } else if (wal_ != nullptr) {
-        // Monolithic backends (2PL/OCC/MVCC): nothing was logged before
-        // this point, so the single commit record carries the whole
-        // transaction's redo.
+        // Monolithic locking backends (2PL/MVCC): nothing was logged
+        // before this point, so the single commit record carries the whole
+        // transaction's redo. Appended before FinishCommit releases the
+        // locks, so dependents log behind us.
         WalRecord rec;
         rec.type = LogRecordType::kCommit;
         rec.txn = txn;
@@ -165,9 +173,10 @@ ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
       }
       ctx.FinishCommit();
       UnbindEnv(txn);
-      // Locks are already released: any transaction that read our writes
-      // logs behind us, and durability is prefix-ordered, so it cannot
-      // become durable first.
+      // Any transaction that read our writes logs behind us — 2PL/MVCC
+      // append before the locks release above, OCC appends under the
+      // commit mutex — and durability is prefix-ordered, so a dependent
+      // cannot become durable first.
       if (commit_lsn != 0) {
         Status durable = wal_->WaitDurable(commit_lsn);
         if (!durable.ok()) {

@@ -725,29 +725,40 @@ Status TxnContext::RunCompensation(lock::ActorId comp_step_type,
 
 Status TxnContext::OccCommit() {
   assert(occ_ != nullptr && "OccCommit outside kOptimistic");
+  if (engine_->wal() == nullptr) return occ_->Commit(nullptr);
+  // The commit record must be appended while OccBuffer::Commit still holds
+  // the OCC commit mutex — the moment it releases, the applied writes can
+  // feed a dependent transaction's validation, and recoverability requires
+  // that dependent to log at a higher LSN. The callback runs inside the
+  // critical section, right after `applied` is complete.
   std::vector<cc::OccAppliedWrite> applied;
-  const bool want_redo = engine_->wal() != nullptr;
-  ACCDB_RETURN_IF_ERROR(occ_->Commit(want_redo ? &applied : nullptr));
-  for (cc::OccAppliedWrite& op : applied) {
-    WalRedoOp redo;
-    redo.table = op.table;
-    redo.row = op.row;
-    switch (op.kind) {
-      case cc::OccAppliedWrite::Kind::kInsert:
-        redo.kind = WalRedoOp::Kind::kInsert;
-        redo.row_data = std::move(op.row_data);
-        break;
-      case cc::OccAppliedWrite::Kind::kUpdate:
-        redo.kind = WalRedoOp::Kind::kUpdate;
-        redo.columns = std::move(op.columns);
-        break;
-      case cc::OccAppliedWrite::Kind::kDelete:
-        redo.kind = WalRedoOp::Kind::kDelete;
-        break;
+  auto log_commit = [this, &applied] {
+    for (cc::OccAppliedWrite& op : applied) {
+      WalRedoOp redo;
+      redo.table = op.table;
+      redo.row = op.row;
+      switch (op.kind) {
+        case cc::OccAppliedWrite::Kind::kInsert:
+          redo.kind = WalRedoOp::Kind::kInsert;
+          redo.row_data = std::move(op.row_data);
+          break;
+        case cc::OccAppliedWrite::Kind::kUpdate:
+          redo.kind = WalRedoOp::Kind::kUpdate;
+          redo.columns = std::move(op.columns);
+          break;
+        case cc::OccAppliedWrite::Kind::kDelete:
+          redo.kind = WalRedoOp::Kind::kDelete;
+          break;
+      }
+      redo_.push_back(std::move(redo));
     }
-    redo_.push_back(std::move(redo));
-  }
-  return Status::Ok();
+    WalRecord rec;
+    rec.type = LogRecordType::kCommit;
+    rec.txn = txn_;
+    rec.redo = TakeRedo();
+    occ_commit_lsn_ = engine_->wal()->Append(std::move(rec));
+  };
+  return occ_->Commit(&applied, log_commit);
 }
 
 void TxnContext::FinishCommit() {

@@ -139,10 +139,14 @@ class TxnContext {
   // first stamps its pending version entries (while still holding locks).
   void FinishCommit();
   // kOptimistic commit: validate the read set and apply the write buffer
-  // under the engine's OCC commit mutex; on success the applied writes are
-  // translated into redo_ (WAL attached only). kDeadlock on validation
-  // failure — the engine's restart loop handles it.
+  // under the engine's OCC commit mutex; on success (WAL attached only) the
+  // applied writes are translated into redo and the commit record appended
+  // while the mutex is still held (so no dependent can log ahead of us),
+  // with its LSN left in occ_commit_lsn() for the engine's durability
+  // wait. kDeadlock on validation failure — the engine's restart loop
+  // handles it.
   Status OccCommit();
+  uint64_t occ_commit_lsn() const { return occ_commit_lsn_; }
   // Full physical rollback (baseline / failed single-step execution).
   void PhysicalRollbackAll();
   // Release locks without touching the database (after compensation).
@@ -218,6 +222,9 @@ class TxnContext {
   // kMultiVersion, writer — runs like kSerializable but registers a
   // pending version entry before every in-place write.
   bool mvcc_writer_ = false;
+  // LSN of the OCC commit record appended inside OccCommit's critical
+  // section (0 when no WAL or not yet committed).
+  uint64_t occ_commit_lsn_ = 0;
 
   storage::UndoLog undo_;
   bool in_step_ = false;

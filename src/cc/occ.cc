@@ -13,6 +13,12 @@ Status ValidationFailed(const char* what) {
   return Status::Deadlock(what);
 }
 
+// Cap on the lookup-copy-verify retry loops: under sustained delete/
+// re-insert churn on one key by committers a lock-free reader could
+// otherwise spin unboundedly. Hitting the cap surfaces as kDeadlock, which
+// routes the whole attempt through the engine's restart machinery.
+constexpr int kReadRetryLimit = 16;
+
 // Applies a column-update list to an in-buffer row image.
 Status ApplyToImage(storage::Row& row,
                     const std::vector<std::pair<int, storage::Value>>& updates) {
@@ -69,8 +75,8 @@ Result<storage::Row> OccBuffer::ReadByKey(const storage::Table& table,
   }
   // Lookup-record-copy-verify: the key binding may move between the pk
   // lookup and the row copy (a concurrent committer deleting/re-inserting);
-  // retry on any disagreement.
-  for (;;) {
+  // retry on any disagreement, bounded by kReadRetryLimit.
+  for (int attempt = 0; attempt < kReadRetryLimit; ++attempt) {
     std::optional<storage::RowId> id = table.LookupPk(key);
     if (!id.has_value()) {
       return Status::NotFound(table.name() + " " +
@@ -88,6 +94,7 @@ Result<storage::Row> OccBuffer::ReadByKey(const storage::Table& table,
     std::optional<storage::Row> copy = table.GetCopy(*id);
     if (copy.has_value()) return *std::move(copy);
   }
+  return ValidationFailed("occ read-by-key retry limit");
 }
 
 Result<storage::Row> OccBuffer::ReadById(const storage::Table& table,
@@ -142,19 +149,26 @@ OccBuffer::ScanPkPrefix(const storage::Table& table,
   storage::CompositeKeyCompare less;
   size_t ci = 0, bi = 0;
   while (ci < committed.size() || bi < buffered.size()) {
-    // Buffered keys can never equal committed keys (Insert refuses a
-    // duplicate of a visible committed row), so a strict merge suffices.
-    const bool take_committed =
-        bi == buffered.size() ||
-        (ci < committed.size() &&
-         less(committed[ci].first, buffered[bi]->key));
-    if (take_committed) {
+    // Insert() refuses a duplicate of a visible committed row, but another
+    // transaction may commit the same key afterwards — this execution is
+    // then doomed (insert-key validation will fail) yet still running, and
+    // must not observe the key twice. On equality emit only the buffered
+    // row and drop the committed duplicate.
+    const bool have_c = ci < committed.size();
+    const bool have_b = bi < buffered.size();
+    if (have_c && have_b) {
+      if (less(committed[ci].first, buffered[bi]->key)) {
+        out.push_back(std::move(committed[ci++].second));
+        continue;
+      }
+      if (!less(buffered[bi]->key, committed[ci].first)) ++ci;  // Equal keys.
+    } else if (have_c) {
       out.push_back(std::move(committed[ci++].second));
-    } else {
-      const BufferedInsert* ins = buffered[bi++];
-      auto by_key = insert_keys_.find(table.id());
-      out.emplace_back(by_key->second.at(ins->key), ins->row);
+      continue;
     }
+    const BufferedInsert* ins = buffered[bi++];
+    auto by_key = insert_keys_.find(table.id());
+    out.emplace_back(by_key->second.at(ins->key), ins->row);
   }
   return out;
 }
@@ -163,7 +177,7 @@ Result<std::optional<std::pair<storage::RowId, storage::Row>>>
 OccBuffer::MinPkPrefix(const storage::Table& table,
                        const storage::CompositeKey& prefix) {
   using MinResult = std::optional<std::pair<storage::RowId, storage::Row>>;
-  for (;;) {
+  for (int attempt = 0; attempt < kReadRetryLimit; ++attempt) {
     std::optional<storage::RowId> id = table.MinPkPrefix(prefix);
     std::optional<std::pair<storage::CompositeKey,
                             std::pair<storage::RowId, storage::Row>>>
@@ -198,14 +212,17 @@ OccBuffer::MinPkPrefix(const storage::Table& table,
     }
     const BufferedInsert* min_buffered = buffered.front();
     storage::CompositeKeyCompare less;
+    // Ties (same doomed-execution race as in ScanPkPrefix) resolve to the
+    // buffered row.
     if (!committed.has_value() ||
-        less(min_buffered->key, committed->first)) {
+        !less(committed->first, min_buffered->key)) {
       return MinResult(std::make_pair(
           insert_keys_.at(table.id()).at(min_buffered->key),
           min_buffered->row));
     }
     return MinResult(std::move(committed->second));
   }
+  return ValidationFailed("occ min-pk retry limit");
 }
 
 Result<std::vector<std::pair<storage::RowId, storage::Row>>>
@@ -365,7 +382,8 @@ Status OccBuffer::Delete(storage::Table& table, storage::RowId id) {
   return Status::Ok();
 }
 
-Status OccBuffer::Commit(std::vector<OccAppliedWrite>* applied) {
+Status OccBuffer::Commit(std::vector<OccAppliedWrite>* applied,
+                         const std::function<void()>& log_commit) {
   std::lock_guard<std::mutex> commit(versions_->commit_mutex());
 
   // Backward validation: every observed version must still be current.
@@ -433,6 +451,11 @@ Status OccBuffer::Commit(std::vector<OccAppliedWrite>* applied) {
       applied->push_back(std::move(out));
     }
   }
+  // Log the commit BEFORE the mutex releases: the writes just applied are
+  // already visible to lock-free readers, but no dependent transaction can
+  // validate-and-log its own commit without this mutex, so its record is
+  // guaranteed a higher LSN than the one appended here (see occ.h).
+  if (log_commit) log_commit();
   return Status::Ok();
 }
 

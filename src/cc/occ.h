@@ -17,13 +17,28 @@
 // then fails against the bumped version) or the post-apply version with the
 // post-apply row. Torn rows are impossible (the copy itself is latched).
 //
-// Deliberate scope limit: absence is not validated (no range/phantom
-// protection beyond insert-key re-checks). A read that found *no* row
-// leaves nothing in the read set, so a concurrent insert into the scanned
-// range is not detected. TPC-C's accesses are keyed point reads and scans
-// over monotone key ranges owned by their writers, so the C1–C13 checker
-// stays clean; workloads needing full serializability under OCC would need
-// next-key or predicate validation on top.
+// Deliberate scope limits:
+//   * Absence is not validated (no range/phantom protection beyond
+//     insert-key re-checks). A read that found *no* row leaves nothing in
+//     the read set, so a concurrent insert into the scanned range is not
+//     detected. TPC-C's accesses are keyed point reads and scans over
+//     monotone key ranges owned by their writers, so the C1–C13 checker
+//     stays clean; workloads needing full serializability under OCC would
+//     need next-key or predicate validation on top.
+//   * The version table grows without bound: one entry per (table, row)
+//     ever written by a committed optimistic transaction, including rows
+//     since deleted (e.g. new_order rows consumed by Delivery). Entries of
+//     deleted rows cannot simply be erased — an absent entry reads as
+//     version 0, so erasure would let a transaction that copied the row
+//     pre-delete (when its version was still 0) validate against the
+//     deleted row. Safe pruning needs an active-transaction watermark;
+//     until then, long occ-mode runs hold memory proportional to the total
+//     distinct rows written.
+//   * A doomed execution (one whose commit-time validation is going to
+//     fail) may transiently observe a duplicate of its own buffered insert
+//     key if another transaction commits the same key after Insert()'s
+//     advisory check; scans resolve the collision in favour of the
+//     buffered row, so callers never see the same key twice.
 //
 // This layer depends only on storage/common/lock-vocabulary headers — never
 // on src/acc — so the engine can own it without a dependency cycle.
@@ -32,6 +47,7 @@
 #define ACCDB_CC_OCC_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -132,9 +148,16 @@ class OccBuffer {
   // Validate + apply under the version table's commit mutex. On success the
   // buffered writes are in the tables, their versions bumped, and (when
   // `applied` is non-null) one OccAppliedWrite per table mutation pushed in
-  // apply order. Failure returns kDeadlock (the engine restarts the
-  // transaction) and leaves the tables untouched.
-  Status Commit(std::vector<OccAppliedWrite>* applied);
+  // apply order; `log_commit` (when set) then runs while the mutex is STILL
+  // HELD, after `applied` is complete. The caller appends its WAL commit
+  // record there: a dependent transaction can only read these writes and
+  // then validate+log by taking the same mutex, so its record necessarily
+  // lands at a higher LSN — recoverability needs visibility order and log
+  // order to coincide. Failure returns kDeadlock (the engine restarts the
+  // transaction), leaves the tables untouched, and never calls
+  // `log_commit`.
+  Status Commit(std::vector<OccAppliedWrite>* applied,
+                const std::function<void()>& log_commit = nullptr);
 
   size_t read_set_size() const { return reads_.size(); }
 

@@ -8,9 +8,11 @@
 // and MVCC mixes locking writers with lock-free snapshot readers.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +20,7 @@
 #include "acc/engine.h"
 #include "acc/function_program.h"
 #include "acc/txn_context.h"
+#include "acc/wal.h"
 #include "cc/occ.h"
 #include "cc/version_store.h"
 #include "lock/conflict.h"
@@ -249,6 +252,112 @@ TEST_F(CcBackendTest, OccParallelIncrementsLoseNoUpdates) {
   for (std::thread& th : threads) th.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(ReadCounter(counter_a_), kThreads * kPerThread);
+}
+
+// A doomed execution (another transaction committed our buffered insert's
+// key after Insert()'s advisory check) keeps running until commit-time
+// validation aborts it; its scans must never show the key twice — the
+// merges resolve the collision to the buffered row.
+TEST_F(CcBackendTest, DoomedExecutionScansNeverShowDuplicateKeys) {
+  int attempts = 0;
+  ExecResult result = Run(
+      ExecMode::kOptimistic, env_, /*read_only=*/false,
+      [&](TxnContext& c) -> Status {
+        ++attempts;
+        if (attempts > 1) return Status::Ok();  // Clean restart; commit.
+        ACCDB_RETURN_IF_ERROR(
+            c.Insert(*kv_, {Value(int64_t{1}), Value(int64_t{100})})
+                .status());
+        ImmediateEnv other_env;
+        ExecResult other =
+            Run(ExecMode::kOptimistic, other_env, /*read_only=*/false,
+                [&](TxnContext& oc) -> Status {
+                  return oc
+                      .Insert(*kv_, {Value(int64_t{1}), Value(int64_t{7})})
+                      .status();
+                });
+        EXPECT_TRUE(other.status.ok());
+        // Both a buffered and a committed row now carry key 1.
+        ACCDB_ASSIGN_OR_RETURN(auto all, c.ScanPkPrefix(*kv_, Key()));
+        EXPECT_EQ(all.size(), 1u);
+        if (!all.empty()) EXPECT_EQ(all[0].second[1].AsInt64(), 100);
+        ACCDB_ASSIGN_OR_RETURN(auto min, c.MinPkPrefix(*kv_, Key()));
+        EXPECT_TRUE(min.has_value());
+        if (min.has_value()) EXPECT_EQ(min->second[1].AsInt64(), 100);
+        return Status::Ok();  // Insert-key validation must fail.
+      });
+  ASSERT_TRUE(result.status.ok()) << result.status.ToString();
+  EXPECT_EQ(result.txn_restarts, 1);
+  // The competitor's commit survived; ours never applied.
+  ASSERT_TRUE(kv_->LookupPk(Key(1)).has_value());
+  EXPECT_EQ((*kv_->GetCopy(*kv_->LookupPk(Key(1))))[1].AsInt64(), 7);
+}
+
+// WAL-attached OCC: the commit record is appended inside the commit
+// critical section and must carry the transaction's complete redo — a
+// replay of the log alone reproduces the committed state.
+TEST_F(CcBackendTest, OccWalCommitRecordCarriesFullRedo) {
+  const std::string wal_path =
+      ::testing::TempDir() + "accdb_cc_backend_occ.wal";
+  ::unlink(wal_path.c_str());
+  EngineConfig config;
+  config.charge_acc_overheads = false;
+  config.wal.path = wal_path;
+  config.wal.group_commit_us = 0;
+  MakeEngine(config);
+  ASSERT_TRUE(engine_->wal_status().ok())
+      << engine_->wal_status().ToString();
+
+  ExecResult first =
+      Run(ExecMode::kOptimistic, env_, /*read_only=*/false,
+          [&](TxnContext& c) -> Status {
+            ACCDB_RETURN_IF_ERROR(
+                c.Insert(*kv_, {Value(int64_t{1}), Value(int64_t{10})})
+                    .status());
+            ACCDB_RETURN_IF_ERROR(
+                c.Insert(*kv_, {Value(int64_t{2}), Value(int64_t{20})})
+                    .status());
+            return c.WriteVariable(*counter_a_, 5);
+          });
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
+  ExecResult second =
+      Run(ExecMode::kOptimistic, env_, /*read_only=*/false,
+          [&](TxnContext& c) -> Status {
+            ACCDB_ASSIGN_OR_RETURN(Row row, c.ReadByKey(*kv_, Key(1)));
+            (void)row;
+            std::optional<storage::RowId> id = kv_->LookupPk(Key(1));
+            ACCDB_RETURN_IF_ERROR(
+                c.Update(*kv_, *id, {{1, Value(int64_t{11})}}));
+            return c.Delete(*kv_, *kv_->LookupPk(Key(2)));
+          });
+  ASSERT_TRUE(second.status.ok()) << second.status.ToString();
+  engine_.reset();  // Releases the log file for the re-open below.
+
+  // A fresh database built in the same creation order (same table ids),
+  // populated purely from the recovered records' redo.
+  storage::Database db2;
+  storage::Table* a2 = db2.CreateVariable("a", 0);
+  db2.CreateVariable("b", 0);
+  storage::Schema schema;
+  schema.columns = {{"k", storage::ColumnType::kInt64},
+                    {"v", storage::ColumnType::kInt64}};
+  schema.key_columns = {0};
+  storage::Table* kv2 = db2.CreateTable("kv", schema);
+
+  Status status;
+  Wal::Options reopen;
+  reopen.path = wal_path;
+  std::unique_ptr<Wal> wal = Wal::Open(reopen, &status);
+  ASSERT_NE(wal, nullptr) << status.ToString();
+  ASSERT_FALSE(wal->recovered().empty());
+  ASSERT_TRUE(ReplayWal(db2, wal->recovered()).ok());
+
+  EXPECT_EQ(db2.ReadVariable(*a2), 5);
+  std::optional<storage::RowId> id1 = kv2->LookupPk(Key(1));
+  ASSERT_TRUE(id1.has_value());
+  EXPECT_EQ((*kv2->GetCopy(*id1))[1].AsInt64(), 11);
+  EXPECT_FALSE(kv2->LookupPk(Key(2)).has_value());
+  ::unlink(wal_path.c_str());
 }
 
 // --- MVCC ---
