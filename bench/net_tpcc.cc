@@ -1,26 +1,48 @@
-// Networked TPC-C: 2PL vs ACC behind the TCP serving layer.
+// Networked TPC-C: the CC backends behind the TCP serving layer.
 //
-// The serving-layer counterpart of rt_tpcc: a closed-loop client load
-// generator (src/net/client) drives an AccdbServer over loopback, sweeping
-// the connection count and comparing the two systems on client-observed
-// response time and throughput. Unlike rt_tpcc, the transaction path now
-// crosses a real socket, the server's bounded admission queue, and the
-// worker pool — so the report additionally carries the server-side
-// queue-depth, admission-reject, and deadline-timeout counters.
+// The serving-layer counterpart of rt_tpcc: a load generator
+// (src/net/client) drives an AccdbServer over loopback and compares the
+// concurrency-control backends on client-observed response time and
+// throughput. Unlike rt_tpcc, the transaction path crosses a real socket,
+// the sharded epoll loops, the bounded admission queue, and the worker
+// pool — so the report additionally carries the server-side counters and
+// the queueing-vs-service latency split the responses report.
+//
+// Two arrival modes:
+//   * closed — one thread per connection keeping --pipeline requests in
+//     flight; throughput is response-gated (the classic benchmark loop);
+//   * open — one epoll thread multiplexing every connection, issuing
+//     --rate requests/s on a Poisson (or fixed) schedule that does not slow
+//     down when the server does; latency is measured from the intended
+//     send time (coordinated-omission-safe).
+//
+// The sweep grid is connections x loop-shards x workers x warehouses x
+// arrival mode, each cell run under every backend in --modes. Every cell
+// asserts the server's conservation invariants exactly:
+//   received == admitted + admission_rejects + shutdown_rejects
+//   admitted == committed + aborted + deadline_q + deadline_exec + internal
+//   admitted == responses_sent + responses_dropped
 //
 // Wall-clock numbers are hardware-dependent; the tables and the
 // BENCH_net_tpcc.json report share the simulation benches' format, not
 // their bit-for-bit determinism.
 //
 // Flags (own parser; the shared ParseBenchOptions aborts on unknown flags):
+//   --modes=acc,2pl        backends to run (acc|2pl|occ|mvcc)
 //   --connections=1,2,4,8,16  comma-separated client-connection sweep
 //   --warehouses=1,4       comma-separated warehouse-count sweep (falls back
 //                          to the ACCDB_WAREHOUSES environment variable)
+//   --loop-shards=1        comma-separated event-loop shard sweep
+//   --workers=4            comma-separated server worker-thread sweep
+//   --arrival=closed|open|both  arrival modes to run (default closed)
+//   --pipeline=N           closed loop: requests in flight per connection
+//   --rate=R               open loop: aggregate arrival rate, requests/s
+//   --fixed-rate           open loop: fixed interarrivals (default Poisson)
+//   --drain-seconds=S      open loop: straggler wait after last arrival
 //   --seconds=S            measured window per cell (default 2)
-//   --workers=N            server worker threads (default 4)
 //   --max-queue=N          admission queue bound (default 128)
 //   --deadline-ms=N        per-request deadline (default 0: none)
-//   --retry-limit=N        client abort retries per request (default 8)
+//   --retry-limit=N        closed-loop abort retries per request (default 8)
 //   --seed=N               workload seed (default 20250806)
 //   --cost-scale=F         scales modeled statement costs (default 1)
 //   --json=PATH | --no-json  report destination (default BENCH_net_tpcc.json)
@@ -39,10 +61,18 @@
 namespace {
 
 struct NetOptions {
+  std::vector<accdb::bench::SystemSpec> systems;
   std::vector<int> connections = {1, 2, 4, 8, 16};
   std::vector<int> warehouses = {1, 4};
+  std::vector<int> loop_shards = {1};
+  std::vector<int> workers = {4};
+  std::vector<accdb::net::ArrivalMode> arrivals = {
+      accdb::net::ArrivalMode::kClosed};
+  int pipeline = 1;
+  double rate = 2000.0;
+  bool poisson = true;
+  double drain_seconds = 10.0;
   double seconds = 2.0;
-  int workers = 4;
   size_t max_queue = 128;
   uint32_t deadline_ms = 0;
   int retry_limit = 8;
@@ -54,8 +84,10 @@ struct NetOptions {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--connections=1,2,4,8,16] [--warehouses=1,4]\n"
-      "          [--seconds=S] [--workers=N]\n"
+      "usage: %s [--modes=acc,2pl] [--connections=1,2,4,8,16]\n"
+      "          [--warehouses=1,4] [--loop-shards=1] [--workers=4]\n"
+      "          [--arrival=closed|open|both] [--pipeline=N] [--rate=R]\n"
+      "          [--fixed-rate] [--drain-seconds=S] [--seconds=S]\n"
       "          [--max-queue=N] [--deadline-ms=N] [--retry-limit=N]\n"
       "          [--seed=N] [--cost-scale=F] [--json=PATH | --no-json]\n",
       argv0);
@@ -83,24 +115,67 @@ std::vector<int> ParseIntList(const std::string& value) {
   return out;
 }
 
+std::vector<accdb::bench::SystemSpec> ParseModes(const std::string& value) {
+  std::vector<accdb::bench::SystemSpec> out;
+  for (size_t pos = 0; pos < value.size();) {
+    size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    std::string name = value.substr(pos, comma - pos);
+    auto mode = accdb::acc::ParseExecMode(name);
+    if (!mode) return {};
+    out.push_back({name, *mode});
+    pos = comma + 1;
+  }
+  return out;
+}
+
 NetOptions ParseOptions(int argc, char** argv) {
+  using accdb::net::ArrivalMode;
   NetOptions options;
+  options.systems = ParseModes("acc,2pl");
   if (const char* env = std::getenv("ACCDB_WAREHOUSES")) {
     std::vector<int> parsed = ParseIntList(env);
     if (!parsed.empty()) options.warehouses = parsed;
   }
   for (int i = 1; i < argc; ++i) {
     std::string value;
-    if (ParseValue(argv[i], "--connections", &value)) {
+    if (ParseValue(argv[i], "--modes", &value)) {
+      options.systems = ParseModes(value);
+      if (options.systems.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--connections", &value)) {
       options.connections = ParseIntList(value);
       if (options.connections.empty()) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--warehouses", &value)) {
       options.warehouses = ParseIntList(value);
       if (options.warehouses.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--loop-shards", &value)) {
+      options.loop_shards = ParseIntList(value);
+      if (options.loop_shards.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--workers", &value)) {
+      options.workers = ParseIntList(value);
+      if (options.workers.empty()) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--arrival", &value)) {
+      if (value == "closed") {
+        options.arrivals = {ArrivalMode::kClosed};
+      } else if (value == "open") {
+        options.arrivals = {ArrivalMode::kOpen};
+      } else if (value == "both") {
+        options.arrivals = {ArrivalMode::kClosed, ArrivalMode::kOpen};
+      } else {
+        Usage(argv[0]);
+      }
+    } else if (ParseValue(argv[i], "--pipeline", &value)) {
+      options.pipeline = std::atoi(value.c_str());
+      if (options.pipeline <= 0) Usage(argv[0]);
+    } else if (ParseValue(argv[i], "--rate", &value)) {
+      options.rate = std::atof(value.c_str());
+      if (options.rate <= 0) Usage(argv[0]);
+    } else if (std::strcmp(argv[i], "--fixed-rate") == 0) {
+      options.poisson = false;
+    } else if (ParseValue(argv[i], "--drain-seconds", &value)) {
+      options.drain_seconds = std::atof(value.c_str());
     } else if (ParseValue(argv[i], "--seconds", &value)) {
       options.seconds = std::atof(value.c_str());
-    } else if (ParseValue(argv[i], "--workers", &value)) {
-      options.workers = std::atoi(value.c_str());
     } else if (ParseValue(argv[i], "--max-queue", &value)) {
       options.max_queue = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(argv[i], "--deadline-ms", &value)) {
@@ -123,29 +198,60 @@ NetOptions ParseOptions(int argc, char** argv) {
   return options;
 }
 
-// One (system, connection-count) cell: server up, load, drain, inspect.
+// One (system, grid-point) cell: server up, load, drain, inspect.
 struct NetCell {
   accdb::tpcc::WorkloadResult result;  // Harness-shaped view of the run.
   accdb::net::LoadGenResult client;
   accdb::server::ServerStats server;
   bool ok = false;
+  bool conserved = false;
   std::string error;
 };
 
-NetCell RunNetCell(const NetOptions& options, bool decomposed,
-                   int warehouses, int connections) {
+// Exact conservation of the serving-layer counters; any violation is a
+// serving-layer bug, not noise, so the bench fails hard on it.
+bool CheckConservation(const accdb::server::ServerStats& s,
+                       std::string* why) {
+  if (s.requests_received !=
+      s.requests_admitted + s.admission_rejects + s.shutdown_rejects) {
+    *why = "received != admitted + rejects";
+    return false;
+  }
+  if (s.requests_admitted != s.committed + s.aborted +
+                                 s.deadline_exceeded_queue +
+                                 s.deadline_exceeded_exec +
+                                 s.internal_errors) {
+    *why = "admitted != sum of outcomes";
+    return false;
+  }
+  if (s.requests_admitted != s.responses_sent + s.responses_dropped) {
+    *why = "admitted != sent + dropped";
+    return false;
+  }
+  return true;
+}
+
+struct GridPoint {
+  int warehouses = 0;
+  int workers = 0;
+  int loop_shards = 0;
+  accdb::net::ArrivalMode arrival = accdb::net::ArrivalMode::kClosed;
+};
+
+NetCell RunNetCell(const NetOptions& options, accdb::acc::ExecMode mode,
+                   const GridPoint& grid, int connections) {
   using namespace accdb;
   NetCell cell;
 
   server::ServerOptions sopts;
   sopts.workload = bench::BaseConfig(options.seed);
-  sopts.workload.mode = decomposed ? acc::ExecMode::kAccDecomposed
-                                   : acc::ExecMode::kSerializable;
-  sopts.workload.inputs.scale.warehouses = warehouses;
+  sopts.workload.mode = mode;
+  sopts.workload.inputs.scale.warehouses = grid.warehouses;
   sopts.workload.inputs.skew_districts = true;
   sopts.workload.inputs.hot_districts = 1;
   sopts.workload.inputs.hot_fraction = 0.5;
-  sopts.workers = options.workers;
+  sopts.workers = grid.workers;
+  sopts.loop_shards = grid.loop_shards;
   sopts.max_queue = options.max_queue;
   sopts.cost_scale = options.cost_scale;
 
@@ -161,8 +267,13 @@ NetCell RunNetCell(const NetOptions& options, bool decomposed,
   lopts.seconds = options.seconds;
   lopts.deadline_ms = options.deadline_ms;
   lopts.retry_limit = options.retry_limit;
-  lopts.seed = options.seed;  // Same mix seed for both systems (fair pair).
+  lopts.seed = options.seed;  // Same mix seed for every system (fair cells).
   lopts.inputs = sopts.workload.inputs;
+  lopts.arrival = grid.arrival;
+  lopts.pipeline = options.pipeline;
+  lopts.open_rate = options.rate;
+  lopts.poisson = options.poisson;
+  lopts.drain_seconds = options.drain_seconds;
   auto load = net::RunLoadGen(server.port(), lopts);
   server.Shutdown();
   if (!load.ok()) {
@@ -171,6 +282,9 @@ NetCell RunNetCell(const NetOptions& options, bool decomposed,
   }
   cell.client = *load;
   cell.server = server.StatsSnapshot();
+  std::string why;
+  cell.conserved = CheckConservation(cell.server, &why);
+  if (!cell.conserved) cell.error = "conservation violated: " + why;
 
   // Project the run into the harness's WorkloadResult shape so the shared
   // tail tables and JSON schema apply unchanged. Client view: response
@@ -229,11 +343,33 @@ accdb::Json ServerStatsJson(const accdb::server::ServerStats& s) {
   return j;
 }
 
+accdb::Json ClientSideJson(const accdb::net::LoadGenResult& c) {
+  using accdb::Json;
+  Json j = Json::Object();
+  j["overloaded"] = Json(c.overloaded);
+  j["retries"] = Json(c.retries);
+  j["transport_errors"] = Json(c.transport_errors);
+  j["unanswered"] = Json(c.unanswered);
+  j["queue_latency"] = accdb::bench::HistogramJson(c.queue_hist);
+  j["service_latency"] = accdb::bench::HistogramJson(c.service_hist);
+  return j;
+}
+
+std::string PointLabel(const GridPoint& grid) {
+  std::string label = "net_";
+  label += accdb::net::ArrivalModeName(grid.arrival);
+  label += "_w" + std::to_string(grid.warehouses);
+  label += "_s" + std::to_string(grid.loop_shards);
+  label += "_k" + std::to_string(grid.workers);
+  return label;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace accdb;
   using namespace accdb::bench;
+  using net::ArrivalMode;
 
   NetOptions options = ParseOptions(argc, argv);
   BenchOptions report_options;
@@ -242,109 +378,163 @@ int main(int argc, char** argv) {
   report_options.json_path = options.json_path;
   BenchReport report(report_options);
   PrintTitle(
-      "Networked TPC-C: 2PL vs ACC through the TCP serving layer "
+      "Networked TPC-C: CC backends through the sharded TCP serving layer "
       "(loopback, wall clock; hardware-dependent, not deterministic)");
-  std::printf("workers=%d max_queue=%zu deadline_ms=%u cost_scale=%g\n",
-              options.workers, options.max_queue, options.deadline_ms,
-              options.cost_scale);
+  std::printf(
+      "max_queue=%zu deadline_ms=%u cost_scale=%g pipeline=%d "
+      "rate=%g (%s) seconds=%g\n",
+      options.max_queue, options.deadline_ms, options.cost_scale,
+      options.pipeline, options.rate, options.poisson ? "poisson" : "fixed",
+      options.seconds);
 
   report.root()["environment"] = Json("net-loopback");
   report.root()["measured_seconds"] = Json(options.seconds);
-  report.root()["workers"] = Json(static_cast<uint64_t>(options.workers));
   report.root()["max_queue"] = Json(static_cast<uint64_t>(options.max_queue));
   report.root()["deadline_ms"] =
       Json(static_cast<uint64_t>(options.deadline_ms));
   report.root()["cost_scale"] = Json(options.cost_scale);
+  report.root()["pipeline"] = Json(static_cast<uint64_t>(options.pipeline));
+  report.root()["open_rate"] = Json(options.rate);
+  report.root()["arrival_law"] = Json(options.poisson ? "poisson" : "fixed");
 
   bool consistent = true;
   bool all_cells_ok = true;
-  // Server-side counters ride next to the pair sweeps: one point per cell,
-  // tagged with its warehouse count, same order as the sweeps.
+  bool conserved = true;
+  // Server-side counters ride next to the sweeps: one point per (cell,
+  // system), tagged with the full grid coordinates.
   Json servers = Json::Array();
+
+  std::vector<GridPoint> grid_points;
   for (int warehouses : options.warehouses) {
-    std::printf("\n== warehouses = %d ==\n", warehouses);
-    std::vector<PairResult> sweep;
-    std::vector<server::ServerStats> acc_server_stats;
-    std::vector<server::ServerStats> non_acc_server_stats;
+    for (int workers : options.workers) {
+      for (int shards : options.loop_shards) {
+        for (ArrivalMode arrival : options.arrivals) {
+          grid_points.push_back({warehouses, workers, shards, arrival});
+        }
+      }
+    }
+  }
+
+  for (const GridPoint& grid : grid_points) {
+    std::printf("\n== W=%d workers=%d loop_shards=%d arrival=%s ==\n",
+                grid.warehouses, grid.workers, grid.loop_shards,
+                std::string(net::ArrivalModeName(grid.arrival)).c_str());
+    std::vector<MultiResult> sweep;
+    // cells[point][system] parallel to sweep/options.systems.
+    std::vector<std::vector<NetCell>> cells;
     for (int connections : options.connections) {
-      NetCell acc_cell =
-          RunNetCell(options, /*decomposed=*/true, warehouses, connections);
-      NetCell non_acc_cell =
-          RunNetCell(options, /*decomposed=*/false, warehouses, connections);
-      if (!acc_cell.ok || !non_acc_cell.ok) {
-        std::fprintf(stderr, "!! cell failed at W=%d, %d connections: %s\n",
-                     warehouses, connections,
-                     (!acc_cell.ok ? acc_cell.error : non_acc_cell.error)
-                         .c_str());
-        all_cells_ok = false;
-        continue;
+      MultiResult multi;
+      multi.terminals = connections;
+      multi.sweep_x = connections;
+      std::vector<NetCell> row;
+      bool row_ok = true;
+      for (const SystemSpec& spec : options.systems) {
+        NetCell cell = RunNetCell(options, spec.mode, grid, connections);
+        if (!cell.ok) {
+          std::fprintf(stderr, "!! cell failed: %s %s conns=%d: %s\n",
+                       PointLabel(grid).c_str(), spec.label.c_str(),
+                       connections, cell.error.c_str());
+          all_cells_ok = false;
+          row_ok = false;
+          break;
+        }
+        if (!cell.conserved) {
+          std::fprintf(stderr, "!! %s %s conns=%d: %s\n",
+                       PointLabel(grid).c_str(), spec.label.c_str(),
+                       connections, cell.error.c_str());
+          conserved = false;
+        }
+        if (!cell.result.consistent) {
+          std::printf("!! consistency violation: %s %s conns=%d (%s)\n",
+                      PointLabel(grid).c_str(), spec.label.c_str(),
+                      connections, cell.result.first_violation.c_str());
+          consistent = false;
+        }
+        multi.systems.push_back(cell.result);
+        row.push_back(std::move(cell));
       }
-      PairResult pair;
-      pair.terminals = connections;
-      pair.sweep_x = connections;
-      pair.acc = acc_cell.result;
-      pair.non_acc = non_acc_cell.result;
-      if (!pair.acc.consistent || !pair.non_acc.consistent) {
-        std::printf("!! consistency violation at W=%d, %d connections (%s)\n",
-                    warehouses, connections,
-                    (!pair.acc.consistent ? pair.acc.first_violation
-                                          : pair.non_acc.first_violation)
-                        .c_str());
-        consistent = false;
-      }
-      sweep.push_back(std::move(pair));
-      acc_server_stats.push_back(acc_cell.server);
-      non_acc_server_stats.push_back(non_acc_cell.server);
+      if (!row_ok) continue;
+      sweep.push_back(std::move(multi));
+      cells.push_back(std::move(row));
     }
 
-    std::printf("%-6s %12s %12s %12s %12s %10s\n", "conns", "acc tput/s",
-                "2pl tput/s", "acc resp", "2pl resp", "resp ratio");
-    for (const PairResult& pair : sweep) {
-      std::printf("%-6d %12.1f %12.1f %12s %12s %10.3f%s\n", pair.sweep_x,
-                  pair.acc.throughput(), pair.non_acc.throughput(),
-                  TailCell(pair.acc.response_all.mean()).c_str(),
-                  TailCell(pair.non_acc.response_all.mean()).c_str(),
-                  pair.ResponseRatio(), DegenerateMark(pair));
+    // Throughput table: one column per system.
+    std::printf("%-6s", "conns");
+    for (const SystemSpec& spec : options.systems) {
+      std::printf(" %9s tp/s %9s resp", spec.label.c_str(),
+                  spec.label.c_str());
+    }
+    std::printf("\n");
+    for (const MultiResult& multi : sweep) {
+      std::printf("%-6d", multi.sweep_x);
+      for (const tpcc::WorkloadResult& r : multi.systems) {
+        std::printf(" %14.1f %14s", r.throughput(),
+                    TailCell(r.response_all.mean()).c_str());
+      }
+      std::printf("\n");
     }
 
-    std::printf("\nserver-side counters (per system):\n");
-    std::printf("%-6s %8s %8s %8s %8s %8s %8s %8s\n", "conns", "system",
-                "admit", "reject", "dl_q", "dl_exec", "peak_q", "dropped");
-    for (size_t i = 0; i < sweep.size(); ++i) {
-      const auto print_row = [&](const char* system,
-                                 const server::ServerStats& s) {
-        std::printf("%-6d %8s %8llu %8llu %8llu %8llu %8llu %8llu\n",
-                    sweep[i].sweep_x, system,
-                    static_cast<unsigned long long>(s.requests_admitted),
-                    static_cast<unsigned long long>(s.admission_rejects),
-                    static_cast<unsigned long long>(s.deadline_exceeded_queue),
-                    static_cast<unsigned long long>(s.deadline_exceeded_exec),
-                    static_cast<unsigned long long>(s.queue_depth_peak),
-                    static_cast<unsigned long long>(s.responses_dropped));
-      };
-      print_row("acc", acc_server_stats[i]);
-      print_row("2pl", non_acc_server_stats[i]);
+    // Queueing vs service split plus the serving-layer counters.
+    std::printf(
+        "\n%-6s %-6s %9s %9s %9s %9s %8s %8s %8s %8s\n", "conns", "system",
+        "q_mean", "q_p99", "svc_mean", "svc_p99", "reject", "dropped",
+        "unansw", "peak_q");
+    for (size_t p = 0; p < cells.size(); ++p) {
+      for (size_t s = 0; s < options.systems.size(); ++s) {
+        const NetCell& cell = cells[p][s];
+        std::printf(
+            "%-6d %-6s %9s %9s %9s %9s %8llu %8llu %8llu %8llu\n",
+            sweep[p].sweep_x, options.systems[s].label.c_str(),
+            TailCell(cell.client.queue_hist.mean()).c_str(),
+            TailCell(cell.client.queue_hist.p99()).c_str(),
+            TailCell(cell.client.service_hist.mean()).c_str(),
+            TailCell(cell.client.service_hist.p99()).c_str(),
+            static_cast<unsigned long long>(cell.server.admission_rejects),
+            static_cast<unsigned long long>(cell.server.responses_dropped),
+            static_cast<unsigned long long>(cell.client.unanswered),
+            static_cast<unsigned long long>(cell.server.queue_depth_peak));
+      }
     }
 
     std::printf("\n");
-    PrintPairTailTable("networked TPC-C (skewed districts, W=" +
-                           std::to_string(warehouses) + ")",
-                       "conns", sweep);
+    PrintMultiTailTable(
+        "networked TPC-C (skewed districts, " + PointLabel(grid) + ")",
+        "conns", options.systems, sweep);
 
-    const std::string label =
-        warehouses == 1 ? "net_skewed" : "net_w" + std::to_string(warehouses);
-    report.AddPairSweep(label, "connections", sweep,
-                        {{"warehouses", Json(warehouses)}});
-    for (size_t i = 0; i < sweep.size(); ++i) {
+    const std::string label = PointLabel(grid);
+    report.AddMultiSweep(
+        label, "connections", options.systems, sweep,
+        {{"warehouses", Json(grid.warehouses)},
+         {"workers", Json(static_cast<uint64_t>(grid.workers))},
+         {"loop_shards", Json(static_cast<uint64_t>(grid.loop_shards))},
+         {"arrival_mode",
+          Json(std::string(net::ArrivalModeName(grid.arrival)))},
+         {"pipeline", Json(static_cast<uint64_t>(options.pipeline))},
+         {"open_rate", Json(grid.arrival == ArrivalMode::kOpen
+                                ? options.rate
+                                : 0.0)}});
+    for (size_t p = 0; p < cells.size(); ++p) {
       Json point = Json::Object();
-      point["x"] = Json(static_cast<int64_t>(sweep[i].sweep_x));
-      point["warehouses"] = Json(warehouses);
-      point["acc"] = ServerStatsJson(acc_server_stats[i]);
-      point["non_acc"] = ServerStatsJson(non_acc_server_stats[i]);
+      point["x"] = Json(static_cast<int64_t>(sweep[p].sweep_x));
+      point["warehouses"] = Json(grid.warehouses);
+      point["workers"] = Json(static_cast<uint64_t>(grid.workers));
+      point["loop_shards"] = Json(static_cast<uint64_t>(grid.loop_shards));
+      point["arrival_mode"] =
+          Json(std::string(net::ArrivalModeName(grid.arrival)));
+      point["pipeline"] = Json(static_cast<uint64_t>(options.pipeline));
+      Json per_system = Json::Object();
+      for (size_t s = 0; s < options.systems.size(); ++s) {
+        Json one = Json::Object();
+        one["server"] = ServerStatsJson(cells[p][s].server);
+        one["client"] = ClientSideJson(cells[p][s].client);
+        per_system[options.systems[s].label] = std::move(one);
+      }
+      point["systems"] = std::move(per_system);
       servers.Append(std::move(point));
     }
   }
   report.root()["server_stats"] = std::move(servers);
   report.Write();
-  return consistent && all_cells_ok ? 0 : 1;
+  if (!conserved) std::fprintf(stderr, "!! conservation violated\n");
+  return consistent && all_cells_ok && conserved ? 0 : 1;
 }

@@ -11,8 +11,10 @@
 # wait-tier paths all run under the race detector), the storage table
 # latches, and the metrics recording — everything PR 3 made concurrent —
 # plus the OCC validate/apply critical section and the MVCC version chains
-# (cc_backend_test), the serving layer (net_server_test): event-loop Defer/Wake handoffs,
-# the bounded request queue, worker-pool deadlines, and graceful drain, and
+# (cc_backend_test), the serving layer (net_server_test): sharded epoll
+# loops (cross-shard accept handoff, per-shard session ownership), pipelined
+# ordered delivery, the eventfd Defer/Wake handoffs, the bounded request
+# queue, worker-pool deadlines, the open-loop client, graceful drain, and
 # the WAL (wal_test, wal_recovery_test): concurrent Append/WaitDurable
 # committers against the group-commit flusher thread.
 

@@ -1,11 +1,39 @@
 #include "net/client.h"
 
+#include <sys/epoll.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <random>
 #include <thread>
 #include <vector>
 
 namespace accdb::net {
+
+namespace {
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string_view ArrivalModeName(ArrivalMode mode) {
+  switch (mode) {
+    case ArrivalMode::kClosed:
+      return "closed";
+    case ArrivalMode::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
 
 Result<Client> Client::Connect(uint16_t port) {
   auto fd = ConnectLoopback(port);
@@ -92,6 +120,8 @@ void LoadGenResult::MergeFrom(const LoadGenResult& other) {
   for (int i = 0; i < tpcc::kNumTxnTypes; ++i) {
     response_by_type[i].Merge(other.response_by_type[i]);
   }
+  queue_hist.Merge(other.queue_hist);
+  service_hist.Merge(other.service_hist);
   committed += other.committed;
   aborted += other.aborted;
   deadline_exceeded += other.deadline_exceeded;
@@ -100,67 +130,361 @@ void LoadGenResult::MergeFrom(const LoadGenResult& other) {
   compensated += other.compensated;
   retries += other.retries;
   transport_errors += other.transport_errors;
+  unanswered += other.unanswered;
   step_deadlock_retries += other.step_deadlock_retries;
   txn_restarts += other.txn_restarts;
 }
 
 namespace {
 
-void RunOneConnection(uint16_t port, const LoadGenOptions& options,
-                      uint64_t seed, LoadGenResult* out) {
-  auto client = Client::Connect(port);
-  if (!client.ok()) {
+// Classifies one exec response into the result counters and samples the
+// server-reported queue/service split. Returns the wire status bucket so
+// callers can branch on retry.
+void RecordResponseCounters(const ExecResponse& resp, LoadGenResult* out) {
+  if (resp.compensated) ++out->compensated;
+  out->step_deadlock_retries += resp.step_deadlock_retries;
+  out->txn_restarts += resp.txn_restarts;
+  out->queue_hist.Add(resp.queue_seconds);
+  out->service_hist.Add(resp.server_seconds);
+  switch (resp.status) {
+    case WireStatus::kOk:
+      ++out->committed;
+      break;
+    case WireStatus::kAborted:
+      ++out->aborted;
+      break;
+    case WireStatus::kDeadlineExceeded:
+      ++out->deadline_exceeded;
+      break;
+    case WireStatus::kOverloaded:
+    case WireStatus::kShuttingDown:
+      ++out->overloaded;
+      break;
+    default:
+      ++out->other_errors;
+      break;
+  }
+}
+
+// --- Closed loop: one blocking connection, `pipeline` requests in flight ---
+
+struct ClosedInFlight {
+  uint64_t id = 0;
+  tpcc::TxnType type{};
+  std::chrono::steady_clock::time_point start;
+  uint32_t attempt = 0;
+};
+
+void RunOneClosedConnection(uint16_t port, const LoadGenOptions& options,
+                            uint64_t seed, LoadGenResult* out) {
+  auto fd = ConnectLoopback(port);
+  if (!fd.ok()) {
     ++out->transport_errors;
     return;
   }
+  FrameDecoder decoder;
   tpcc::InputGenerator gen(options.inputs, seed);
+  const int pipeline = std::max(1, options.pipeline);
   const auto end = std::chrono::steady_clock::now() +
                    std::chrono::duration<double>(options.seconds);
-  while (std::chrono::steady_clock::now() < end) {
-    tpcc::TxnType type = gen.NextType();
-    const auto start = std::chrono::steady_clock::now();
-    auto resp = client->Execute(type, options.deadline_ms,
-                                options.retry_limit, &out->retries);
-    const double response =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
-    if (!resp.ok()) {
-      // Connection died (e.g. server shutdown mid-call): stop this loop.
-      ++out->transport_errors;
+
+  auto send = [&](uint64_t id, tpcc::TxnType type, uint32_t attempt) {
+    ExecRequest req;
+    req.request_id = id;
+    req.txn_type = static_cast<uint8_t>(type);
+    req.deadline_ms = options.deadline_ms;
+    req.attempt = attempt;
+    std::string frame = EncodeFrame(Message(req));
+    return WriteFull(fd->get(), frame.data(), frame.size()) == IoResult::kOk;
+  };
+
+  // The server delivers responses in per-session arrival order, so the
+  // window is a FIFO: the next response always matches window.front().
+  std::deque<ClosedInFlight> window;
+  uint64_t next_id = 1;
+  bool filling = true;
+  for (;;) {
+    if (filling && std::chrono::steady_clock::now() >= end) filling = false;
+    while (filling && static_cast<int>(window.size()) < pipeline) {
+      ClosedInFlight f;
+      f.id = next_id++;
+      f.type = gen.NextType();
+      f.start = std::chrono::steady_clock::now();
+      if (!send(f.id, f.type, 0)) {
+        ++out->transport_errors;
+        return;
+      }
+      window.push_back(f);
+      if (std::chrono::steady_clock::now() >= end) filling = false;
+    }
+    if (window.empty()) return;  // Timer expired and the window drained.
+
+    // Read exactly one message (blocking fd).
+    Message msg;
+    for (;;) {
+      DecodeResult dr = decoder.Next(&msg);
+      if (dr == DecodeResult::kMessage) break;
+      if (dr == DecodeResult::kError) {
+        ++out->transport_errors;
+        return;
+      }
+      char buf[8192];
+      size_t n = 0;
+      IoResult r = ReadSome(fd->get(), buf, sizeof(buf), &n);
+      if (r == IoResult::kWouldBlock) continue;  // Blocking fd: spurious.
+      if (r != IoResult::kOk) {
+        ++out->transport_errors;
+        return;
+      }
+      decoder.Append(std::string_view(buf, n));
+    }
+    auto* resp = std::get_if<ExecResponse>(&msg);
+    if (resp == nullptr || resp->request_id != window.front().id) {
+      ++out->transport_errors;  // Ordered delivery violated: protocol error.
       return;
     }
+    ClosedInFlight f = window.front();
+    window.pop_front();
+    if (resp->status == WireStatus::kAborted &&
+        f.attempt < static_cast<uint32_t>(std::max(0, options.retry_limit))) {
+      // Abort retry re-sends the same request id at the tail of the
+      // pipeline; the response clock keeps running from the first send.
+      ++out->retries;
+      ++f.attempt;
+      if (!send(f.id, f.type, f.attempt)) {
+        ++out->transport_errors;
+        return;
+      }
+      window.push_back(f);
+      continue;
+    }
+    const double response =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      f.start)
+            .count();
     out->response_all.Add(response);
     out->response_hist.Add(response);
-    out->response_by_type[static_cast<int>(type)].Add(response);
-    if (resp->compensated) ++out->compensated;
-    out->step_deadlock_retries += resp->step_deadlock_retries;
-    out->txn_restarts += resp->txn_restarts;
-    switch (resp->status) {
-      case WireStatus::kOk:
-        ++out->committed;
-        break;
-      case WireStatus::kAborted:
-        ++out->aborted;
-        break;
-      case WireStatus::kDeadlineExceeded:
-        ++out->deadline_exceeded;
-        break;
-      case WireStatus::kOverloaded:
-      case WireStatus::kShuttingDown:
-        ++out->overloaded;
-        break;
-      default:
-        ++out->other_errors;
-        break;
+    out->response_by_type[static_cast<int>(f.type)].Add(response);
+    RecordResponseCounters(*resp, out);
+  }
+}
+
+// --- Open loop: every connection multiplexed over one epoll thread ---
+
+struct OpenPending {
+  uint64_t id = 0;
+  uint8_t type = 0;
+  double intended = 0;  // The arrival-schedule send time.
+};
+
+struct OpenConn {
+  ScopedFd fd;
+  FrameDecoder decoder;
+  std::string tx;  // Encoded frames not yet accepted by the kernel.
+  std::deque<OpenPending> pending;
+  bool alive = false;
+  bool want_write = false;
+};
+
+Result<LoadGenResult> RunOpenLoop(uint16_t port,
+                                  const LoadGenOptions& options) {
+  LoadGenResult out;
+  const int nconns = std::max(1, options.connections);
+  std::vector<OpenConn> conns(nconns);
+  int live = 0;
+  for (int i = 0; i < nconns; ++i) {
+    Result<ScopedFd> fd = Status::Internal("unconnected");
+    for (int tries = 0; tries < 5; ++tries) {
+      fd = ConnectLoopback(port);
+      if (fd.ok()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (!fd.ok() || !SetNonBlocking(fd->get()).ok()) {
+      ++out.transport_errors;
+      continue;
+    }
+    conns[i].fd = std::move(*fd);
+    conns[i].alive = true;
+    ++live;
+  }
+  if (live == 0) {
+    return Status::Internal("open loop: no connection could be established");
+  }
+
+  ScopedFd ep(epoll_create1(0));
+  if (!ep.valid()) return Status::Internal("epoll_create1 failed");
+  for (int i = 0; i < nconns; ++i) {
+    if (!conns[i].alive) continue;
+    struct epoll_event ev {};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<uint32_t>(i);
+    if (epoll_ctl(ep.get(), EPOLL_CTL_ADD, conns[i].fd.get(), &ev) != 0) {
+      return Status::Internal("epoll_ctl(ADD) failed");
     }
   }
+
+  // Arrival schedule: exponential (Poisson process) or fixed interarrivals
+  // at `open_rate` requests/second aggregate.
+  std::mt19937_64 rng(options.seed * 0x9E3779B97F4A7C15ULL + 1);
+  std::uniform_real_distribution<double> unif(0.0, 1.0);
+  const double rate = std::max(1e-9, options.open_rate);
+  auto gap = [&] {
+    if (!options.poisson) return 1.0 / rate;
+    return -std::log(1.0 - unif(rng)) / rate;  // 1-u in (0,1]: log is safe.
+  };
+  tpcc::InputGenerator gen(options.inputs, options.seed);
+
+  const double start = NowSeconds();
+  const double end = start + options.seconds;
+  const double cutoff = end + std::max(0.0, options.drain_seconds);
+  double next_arrival = start + gap();
+  uint64_t next_id = 1;
+  int rr = 0;
+  size_t total_pending = 0;
+
+  auto kill = [&](int i) {
+    OpenConn& c = conns[i];
+    if (!c.alive) return;
+    (void)epoll_ctl(ep.get(), EPOLL_CTL_DEL, c.fd.get(), nullptr);
+    c.alive = false;
+    --live;
+    ++out.transport_errors;
+    // Requests lost with the connection were sent but will never be
+    // answered — they stay in the denominator as unanswered.
+    out.unanswered += c.pending.size();
+    total_pending -= c.pending.size();
+    c.pending.clear();
+    c.fd.Reset();
+  };
+
+  auto flush = [&](int i) {
+    OpenConn& c = conns[i];
+    while (!c.tx.empty()) {
+      size_t n = 0;
+      IoResult r = WriteSome(c.fd.get(), c.tx.data(), c.tx.size(), &n);
+      if (r == IoResult::kOk) {
+        c.tx.erase(0, n);
+        continue;
+      }
+      if (r == IoResult::kWouldBlock) break;
+      kill(i);
+      return;
+    }
+    const bool want = !c.tx.empty();
+    if (want != c.want_write) {
+      struct epoll_event ev {};
+      ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+      ev.data.u32 = static_cast<uint32_t>(i);
+      (void)epoll_ctl(ep.get(), EPOLL_CTL_MOD, c.fd.get(), &ev);
+      c.want_write = want;
+    }
+  };
+
+  for (;;) {
+    double now = NowSeconds();
+    // Issue every arrival that is due, round-robin over live connections.
+    // The schedule never waits for responses: if the server (or the socket
+    // buffer) is behind, the request is late and its latency says so.
+    while (live > 0 && next_arrival <= now && next_arrival < end) {
+      int scanned = 0;
+      while (!conns[rr % nconns].alive && scanned++ < nconns) ++rr;
+      OpenConn& c = conns[rr % nconns];
+      ++rr;
+      ExecRequest req;
+      req.request_id = next_id++;
+      req.txn_type = static_cast<uint8_t>(gen.NextType());
+      req.deadline_ms = options.deadline_ms;
+      req.attempt = 0;
+      c.tx += EncodeFrame(Message(req));
+      c.pending.push_back({req.request_id, req.txn_type, next_arrival});
+      ++total_pending;
+      next_arrival += gap();
+    }
+    for (int i = 0; i < nconns; ++i) {
+      if (conns[i].alive && !conns[i].tx.empty()) flush(i);
+    }
+
+    now = NowSeconds();
+    const bool arrivals_done = next_arrival >= end || live == 0;
+    if (arrivals_done && total_pending == 0) break;
+    if (now >= cutoff || live == 0) break;
+
+    const double wake = arrivals_done ? cutoff : std::min(next_arrival, cutoff);
+    int timeout_ms = static_cast<int>(
+        std::ceil(std::max(0.0, wake - now) * 1000.0));
+    timeout_ms = std::min(timeout_ms, 1000);
+    struct epoll_event evs[128];
+    int nev = epoll_wait(ep.get(), evs, 128, timeout_ms);
+    if (nev < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("epoll_wait failed");
+    }
+    for (int e = 0; e < nev; ++e) {
+      const int i = static_cast<int>(evs[e].data.u32);
+      OpenConn& c = conns[i];
+      if (!c.alive) continue;
+      if (evs[e].events & EPOLLIN) {
+        // Drain the socket, then decode every complete frame.
+        for (;;) {
+          char buf[65536];
+          size_t n = 0;
+          IoResult r = ReadSome(c.fd.get(), buf, sizeof(buf), &n);
+          if (r == IoResult::kOk) {
+            c.decoder.Append(std::string_view(buf, n));
+            if (n < sizeof(buf)) break;
+            continue;
+          }
+          if (r == IoResult::kWouldBlock) break;
+          kill(i);  // EOF or error mid-run.
+          break;
+        }
+        if (!c.alive) continue;
+        const double tnow = NowSeconds();
+        for (;;) {
+          Message msg;
+          DecodeResult dr = c.decoder.Next(&msg);
+          if (dr == DecodeResult::kNeedMore) break;
+          if (dr == DecodeResult::kError) {
+            kill(i);
+            break;
+          }
+          auto* resp = std::get_if<ExecResponse>(&msg);
+          if (resp == nullptr || c.pending.empty() ||
+              resp->request_id != c.pending.front().id) {
+            kill(i);  // Ordered delivery violated: protocol error.
+            break;
+          }
+          OpenPending p = c.pending.front();
+          c.pending.pop_front();
+          --total_pending;
+          // Coordinated-omission-safe latency: measured from the intended
+          // arrival time, not from when the bytes actually left.
+          const double response = tnow - p.intended;
+          out.response_all.Add(response);
+          out.response_hist.Add(response);
+          out.response_by_type[p.type].Add(response);
+          RecordResponseCounters(*resp, &out);
+        }
+        if (!c.alive) continue;
+      }
+      if (evs[e].events & (EPOLLERR | EPOLLHUP)) {
+        kill(i);
+        continue;
+      }
+      if (evs[e].events & EPOLLOUT) flush(i);
+    }
+  }
+  // Drain cutoff: whatever is still in flight stays unanswered.
+  out.unanswered += total_pending;
+  return out;
 }
 
 }  // namespace
 
 Result<LoadGenResult> RunLoadGen(uint16_t port,
                                  const LoadGenOptions& options) {
+  if (options.arrival == ArrivalMode::kOpen) return RunOpenLoop(port, options);
+
   std::vector<std::unique_ptr<LoadGenResult>> locals;
   std::vector<std::thread> threads;
   locals.reserve(options.connections);
@@ -171,7 +495,7 @@ Result<LoadGenResult> RunLoadGen(uint16_t port,
     uint64_t seed = options.seed * 6364136223846793005ULL +
                     static_cast<uint64_t>(c) * 1442695040888963407ULL + 1;
     threads.emplace_back([port, &options, seed, local] {
-      RunOneConnection(port, options, seed, local);
+      RunOneClosedConnection(port, options, seed, local);
     });
   }
   for (std::thread& thread : threads) thread.join();

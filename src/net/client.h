@@ -1,6 +1,18 @@
 // Client side of the serving layer: a blocking single-connection client
-// with idempotent retry-on-abort, and a multi-connection closed-loop load
-// generator used by bench/net_tpcc and the server tests.
+// with idempotent retry-on-abort, and a load generator used by
+// bench/net_tpcc and the server tests. The load generator runs in one of
+// two arrival modes:
+//
+//   * closed loop — one thread per connection, each keeping `pipeline`
+//     requests in flight and issuing a new request per response (the
+//     classic think-time-free closed loop; at pipeline=1 this is the
+//     strict request/response loop of PR 5);
+//   * open loop — a single thread multiplexing every connection over
+//     epoll, issuing requests at a fixed or Poisson arrival rate that does
+//     NOT slow down when the server does. Latency is measured from the
+//     *intended* send time, so queueing forced by an overloaded server
+//     (or a full socket buffer) counts against the server instead of
+//     silently vanishing — the coordinated-omission-safe measurement.
 
 #ifndef ACCDB_NET_CLIENT_H_
 #define ACCDB_NET_CLIENT_H_
@@ -16,8 +28,8 @@
 namespace accdb::net {
 
 // One blocking TCP connection to an AccdbServer. Not thread-safe; one
-// request in flight at a time (the protocol is strictly request/response
-// per connection).
+// request in flight at a time (the pipelined paths below speak the frame
+// protocol directly).
 class Client {
  public:
   static Result<Client> Connect(uint16_t port);
@@ -58,22 +70,49 @@ class Client {
   uint64_t next_request_id_ = 1;
 };
 
-// --- Closed-loop load generator ---
+// --- Load generator ---
+
+enum class ArrivalMode {
+  kClosed,  // Next request issued when a response frees a pipeline slot.
+  kOpen,    // Requests issued on a rate schedule regardless of responses.
+};
+
+std::string_view ArrivalModeName(ArrivalMode mode);
 
 struct LoadGenOptions {
   int connections = 4;
-  double seconds = 2.0;       // Wall-clock run length per connection.
+  double seconds = 2.0;       // Arrival/issue window per run.
   uint32_t deadline_ms = 0;   // Per-request deadline; 0 = none.
-  int retry_limit = 8;        // Abort retries per request.
+  int retry_limit = 8;        // Abort retries per request (closed loop only).
   uint64_t seed = 1;          // Per-connection type-mix seeds derive from it.
   tpcc::InputGenConfig inputs;  // Transaction mix (weights only).
+
+  ArrivalMode arrival = ArrivalMode::kClosed;
+  // Closed loop: requests kept in flight per connection (1 = strict
+  // request/response). Responses come back in order (the server guarantees
+  // per-session ordered delivery), so the window is a FIFO.
+  int pipeline = 1;
+  // Open loop: aggregate arrival rate (requests/second across all
+  // connections, assigned round-robin) and the interarrival law.
+  double open_rate = 1000.0;
+  bool poisson = true;  // Exponential interarrivals; false = fixed spacing.
+  // Open loop: how long to wait for straggler responses after the last
+  // arrival before counting them unanswered and closing.
+  double drain_seconds = 10.0;
 };
 
 struct LoadGenResult {
-  // Client-observed response time per request, retries included.
+  // Response time per request. Closed loop: from first send, retries
+  // included. Open loop: from the *intended* arrival time (the request is
+  // late if the local send queue backed up — that latency is real and is
+  // charged to the measurement).
   sim::Accumulator response_all;
   sim::Histogram response_hist;
   sim::Accumulator response_by_type[tpcc::kNumTxnTypes];
+  // Server-reported split of the in-server sojourn, one sample per
+  // response: time in the admission queue vs time executing on a worker.
+  sim::Histogram queue_hist;
+  sim::Histogram service_hist;
   uint64_t committed = 0;
   uint64_t aborted = 0;            // Still aborted after all retries.
   uint64_t deadline_exceeded = 0;
@@ -82,6 +121,9 @@ struct LoadGenResult {
   uint64_t compensated = 0;
   uint64_t retries = 0;            // Abort re-sends across all requests.
   uint64_t transport_errors = 0;   // Connection died mid-call.
+  // Open loop: requests sent (or due) whose response never arrived before
+  // the drain cutoff — includes requests pending on a connection that died.
+  uint64_t unanswered = 0;
   // Engine-side counters echoed in the responses, summed across requests.
   uint64_t step_deadlock_retries = 0;
   uint64_t txn_restarts = 0;
@@ -93,8 +135,10 @@ struct LoadGenResult {
   void MergeFrom(const LoadGenResult& other);
 };
 
-// Runs `connections` closed-loop client threads against 127.0.0.1:`port`
-// for `seconds`, merging per-connection results. Fails only if no
+// Runs the configured load against 127.0.0.1:`port`. Closed loop: one
+// thread per connection for `seconds`, merging per-connection results.
+// Open loop: one epoll thread multiplexing all connections, issuing
+// `open_rate` requests/s for `seconds`, then draining. Fails only if no
 // connection could be established.
 Result<LoadGenResult> RunLoadGen(uint16_t port, const LoadGenOptions& options);
 

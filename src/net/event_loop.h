@@ -1,10 +1,21 @@
-// Single-threaded poll(2) event loop for the serving layer.
+// Single-threaded epoll(7) event loop for the serving layer.
 //
 // One thread calls Run(); every registered fd handler executes on that
-// thread, so handler state (the server's session table) needs no locking.
-// Other threads communicate with the loop exclusively through Defer(),
-// which enqueues a closure and wakes the loop via a self-pipe — that is how
-// worker threads publish transaction responses and how Stop() is delivered.
+// thread, so handler state (a server loop shard's session table) needs no
+// locking. The server runs N independent EventLoops — one per loop shard —
+// with an acceptor handing new connections round-robin across them; each
+// loop owns its sessions exclusively. Other threads communicate with a loop
+// only through Defer(), which enqueues a closure and wakes the loop via an
+// eventfd(2) (self-pipe fallback where eventfd is unavailable) — that is
+// how worker threads publish transaction responses and how Stop() is
+// delivered.
+//
+// Batching: the loop dispatches every ready fd and every deferred task per
+// wakeup, then invokes the post-event hook exactly once per iteration. The
+// server uses the hook to flush all sessions dirtied during the iteration
+// in one pass, so responses produced by many workers (or many decoded
+// frames) coalesce into one write per connection instead of one write per
+// frame.
 
 #ifndef ACCDB_NET_EVENT_LOOP_H_
 #define ACCDB_NET_EVENT_LOOP_H_
@@ -25,7 +36,7 @@ class EventLoop {
   // Event mask bits passed to fd handlers.
   static constexpr uint32_t kReadable = 1u << 0;
   static constexpr uint32_t kWritable = 1u << 1;
-  static constexpr uint32_t kError = 1u << 2;  // POLLERR / POLLHUP / POLLNVAL.
+  static constexpr uint32_t kError = 1u << 2;  // EPOLLERR / EPOLLHUP.
 
   using FdHandler = std::function<void(uint32_t events)>;
 
@@ -35,7 +46,7 @@ class EventLoop {
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
-  // Whether construction succeeded (self-pipe creation can fail).
+  // Whether construction succeeded (epoll/eventfd creation can fail).
   const Status& status() const { return status_; }
 
   // --- Loop-thread-only registration API ---
@@ -50,14 +61,25 @@ class EventLoop {
   void Remove(int fd);
   bool Contains(int fd) const { return fds_.count(fd) != 0; }
 
+  // Invoked exactly once per loop iteration, after deferred tasks have run
+  // and before the stop-check — i.e. after every batch of work that may
+  // have queued output. The server flushes dirty sessions here. Loop-thread
+  // only (or before Run()).
+  void SetPostEventHook(std::function<void()> hook) {
+    post_event_hook_ = std::move(hook);
+  }
+
   // --- Cross-thread API ---
 
   // Enqueues `task` to run on the loop thread and wakes the loop.
   void Defer(std::function<void()> task);
-  // Makes Run() return after the current iteration. Thread-safe.
+  // Makes Run() return after the current iteration. Thread-safe. Deferred
+  // tasks enqueued before Stop() still run (and the post-event hook still
+  // fires) before Run() returns, so responses queued pre-Stop still flush.
   void Stop();
 
-  // Runs until Stop(). Dispatches deferred tasks, then poll events.
+  // Runs until Stop(). Each iteration: drain deferred tasks, post-event
+  // hook, stop-check, epoll_wait, dispatch ready fds.
   void Run();
 
  private:
@@ -67,13 +89,22 @@ class EventLoop {
   };
 
   void Wake();
-  void DrainWakePipe();
+  void DrainWake();
+  Status UpdateInterest(int fd, bool want_write, int op);
   std::vector<std::function<void()>> TakeDeferred();
 
   Status status_;
+  ScopedFd epoll_;
+  // eventfd when available; otherwise both ends of a self-pipe. With
+  // eventfd, wake_read_ and wake_write_ hold the same fd (wake_write_
+  // non-owning via dup semantics is avoided: wake_write_fd_ caches it).
   ScopedFd wake_read_;
-  ScopedFd wake_write_;
+  ScopedFd wake_write_;  // Invalid when eventfd is in use.
+  int wake_write_fd_ = -1;
+  bool use_eventfd_ = false;
+
   std::unordered_map<int, FdState> fds_;
+  std::function<void()> post_event_hook_;
 
   std::mutex mu_;                                // Guards the two below.
   std::vector<std::function<void()>> deferred_;

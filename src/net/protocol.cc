@@ -110,7 +110,8 @@ bool ParseBody(MsgKind kind, Reader& r, Message* out, std::string* why) {
       uint8_t status;
       if (!r.U64(&m.request_id) || !r.U8(&status) || !r.U8(&m.compensated) ||
           !r.U32(&m.step_deadlock_retries) || !r.U32(&m.txn_restarts) ||
-          !r.F64(&m.server_seconds) || !r.String(&m.message)) {
+          !r.F64(&m.server_seconds) || !r.F64(&m.queue_seconds) ||
+          !r.String(&m.message)) {
         *why = "truncated exec response body";
         return false;
       }
@@ -223,6 +224,7 @@ std::string EncodeFrame(const Message& msg) {
           PutU32(payload, m.step_deadlock_retries);
           PutU32(payload, m.txn_restarts);
           PutF64(payload, m.server_seconds);
+          PutF64(payload, m.queue_seconds);
           PutString(payload, m.message);
         } else if constexpr (std::is_same_v<T, StatsRequest>) {
           PutU8(payload, static_cast<uint8_t>(MsgKind::kStatsRequest));

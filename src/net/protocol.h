@@ -73,6 +73,10 @@ struct ExecResponse {
   uint32_t step_deadlock_retries = 0;
   uint32_t txn_restarts = 0;
   double server_seconds = 0;  // Execution time on the worker (not queueing).
+  double queue_seconds = 0;   // Admission-to-dequeue time in the server's
+                              // bounded queue (the queueing share of the
+                              // in-server sojourn; service is
+                              // server_seconds).
   std::string message;        // Diagnostic only; usually empty.
 };
 

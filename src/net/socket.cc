@@ -86,6 +86,31 @@ Result<ScopedFd> ConnectLoopback(uint16_t port) {
   return fd;
 }
 
+IoResult AcceptOne(int listener_fd, ScopedFd* out) {
+  for (;;) {
+#ifdef SOCK_NONBLOCK
+    int fd = ::accept4(listener_fd, nullptr, nullptr, SOCK_NONBLOCK);
+#else
+    int fd = ::accept(listener_fd, nullptr, nullptr);
+#endif
+    if (fd >= 0) {
+      ScopedFd scoped(fd);
+#ifndef SOCK_NONBLOCK
+      if (!SetNonBlocking(fd).ok()) continue;  // Drops the connection.
+#endif
+      *out = std::move(scoped);
+      return IoResult::kOk;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kWouldBlock;
+    // The connection was reset between arrival and accept: skip it and try
+    // the next one in the backlog.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
+    // EMFILE/ENFILE/ENOMEM/...: don't spin on a drained-resource condition.
+    return IoResult::kError;
+  }
+}
+
 IoResult ReadSome(int fd, char* buf, size_t len, size_t* n) {
   for (;;) {
     ssize_t r = ::read(fd, buf, len);

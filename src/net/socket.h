@@ -68,6 +68,15 @@ enum class IoResult {
 IoResult ReadSome(int fd, char* buf, size_t len, size_t* n);
 IoResult WriteSome(int fd, const char* buf, size_t len, size_t* n);
 
+// One accept attempt on a non-blocking listener, via accept4(2) where
+// available (the accepted fd comes back already non-blocking either way).
+// kOk: one connection accepted into *out. kWouldBlock: the backlog is
+// drained. kError: resource exhaustion or a listener-level failure — the
+// caller should stop draining and let the next readiness event retry.
+// Per-connection transient failures (ECONNABORTED and friends) are skipped
+// internally: the next pending connection is tried instead.
+IoResult AcceptOne(int listener_fd, ScopedFd* out);
+
 // Blocking helpers for the client side: transfer exactly `len` bytes.
 // kEof on orderly close mid-read; kError otherwise on failure.
 IoResult ReadFull(int fd, char* buf, size_t len);

@@ -6,7 +6,8 @@
 // generator in bench/net_tpcc or any client speaking the protocol in
 // src/net/protocol.h (DESIGN.md §11).
 //
-//   accdb_server [--port=N] [--mode=acc|2pl|occ|mvcc] [--workers=N] [--max-queue=N]
+//   accdb_server [--port=N] [--mode=acc|2pl|occ|mvcc] [--workers=N]
+//                [--loop-shards=N] [--max-queue=N]
 //                [--cost-scale=F] [--deadline-ms=N] [--seed=N]
 //                [--warehouses=N] [--wal-path=FILE] [--group-commit-us=N]
 //                [--recover-only]
@@ -37,7 +38,8 @@ namespace {
 [[noreturn]] void Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--port=N] [--mode=acc|2pl|occ|mvcc] [--workers=N]\n"
-               "          [--max-queue=N] [--cost-scale=F] [--deadline-ms=N]\n"
+               "          [--loop-shards=N] [--max-queue=N]\n"
+               "          [--cost-scale=F] [--deadline-ms=N]\n"
                "          [--seed=N] [--warehouses=N] [--wal-path=FILE]\n"
                "          [--group-commit-us=N] [--recover-only]\n",
                argv0);
@@ -76,6 +78,9 @@ int main(int argc, char** argv) {
       }
     } else if (ParseValue(argv[i], "--workers", &value)) {
       options.workers = std::atoi(value.c_str());
+    } else if (ParseValue(argv[i], "--loop-shards", &value)) {
+      options.loop_shards = std::atoi(value.c_str());
+      if (options.loop_shards <= 0) Usage(argv[0]);
     } else if (ParseValue(argv[i], "--max-queue", &value)) {
       options.max_queue = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseValue(argv[i], "--cost-scale", &value)) {
@@ -155,9 +160,11 @@ int main(int argc, char** argv) {
                  std::string(started.message()).c_str());
     return 1;
   }
-  std::printf("accdb_server: %s mode, %d workers, queue %zu, 127.0.0.1:%u\n",
-              std::string(acc::ExecModeName(options.workload.mode)).c_str(),
-              options.workers, options.max_queue, server.port());
+  std::printf(
+      "accdb_server: %s mode, %d workers, %d loop shards, queue %zu, "
+      "127.0.0.1:%u\n",
+      std::string(acc::ExecModeName(options.workload.mode)).c_str(),
+      options.workers, options.loop_shards, options.max_queue, server.port());
   if (!options.wal_path.empty()) {
     const acc::RecoveryReport& report = server.recovery_report();
     std::printf(

@@ -2,6 +2,7 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <utility>
@@ -13,6 +14,10 @@
 namespace accdb::server {
 
 namespace {
+
+// Per-shard socket read buffer: one drain per readable wakeup decodes every
+// complete frame in a single pass, so the buffer is sized for batches.
+constexpr size_t kReadBufferBytes = 64 * 1024;
 
 net::ExecResponse MakeReject(uint64_t request_id, net::WireStatus status,
                              std::string message) {
@@ -36,7 +41,9 @@ tpcc::WorkloadConfig ServerWorkload(const ServerOptions& options) {
 }  // namespace
 
 AccdbServer::AccdbServer(const ServerOptions& options)
-    : options_(options), system_(ServerWorkload(options)) {}
+    : options_(options), system_(ServerWorkload(options)) {
+  options_.loop_shards = std::max(1, options_.loop_shards);
+}
 
 AccdbServer::~AccdbServer() { Shutdown(); }
 
@@ -84,17 +91,26 @@ Status AccdbServer::RecoverFromWal() {
 Status AccdbServer::Start() {
   if (started_) return Status::Internal("server already started");
   ACCDB_RETURN_IF_ERROR(RecoverFromWal());
-  loop_ = std::make_unique<net::EventLoop>();
-  ACCDB_RETURN_IF_ERROR(loop_->status());
 
-  auto listener = net::ListenLoopback(options_.port);
+  shards_.clear();
+  for (int si = 0; si < options_.loop_shards; ++si) {
+    auto shard = std::make_unique<LoopShard>();
+    shard->loop = std::make_unique<net::EventLoop>();
+    ACCDB_RETURN_IF_ERROR(shard->loop->status());
+    shard->loop->SetPostEventHook([this, si] { FlushDirty(si); });
+    shards_.push_back(std::move(shard));
+  }
+
+  auto listener = net::ListenLoopback(options_.port, options_.listen_backlog);
   if (!listener.ok()) return listener.status();
   listener_ = std::move(*listener);
   auto port = net::LocalPort(listener_.get());
   if (!port.ok()) return port.status();
   port_ = *port;
 
-  loop_->Add(listener_.get(), [this](uint32_t events) {
+  // Shard 0 is the acceptor: its loop owns the listener and hands accepted
+  // connections round-robin to every shard (including itself).
+  shards_[0]->loop->Add(listener_.get(), [this](uint32_t events) {
     if (events & net::EventLoop::kReadable) OnListenerReadable();
   });
 
@@ -102,7 +118,10 @@ Status AccdbServer::Start() {
   for (int w = 0; w < options_.workers; ++w) {
     workers_.emplace_back([this, w] { WorkerLoop(w); });
   }
-  loop_thread_ = std::thread([this] { loop_->Run(); });
+  for (auto& shard : shards_) {
+    net::EventLoop* loop = shard->loop.get();
+    shard->thread = std::thread([loop] { loop->Run(); });
+  }
   started_ = true;
   return Status::Ok();
 }
@@ -116,16 +135,17 @@ void AccdbServer::Shutdown() {
     std::lock_guard<std::mutex> guard(queue_mu_);
     draining_ = true;
   }
-  // 2. Stop accepting connections (on the loop thread, which owns the fd).
-  loop_->Defer([this] {
+  // 2. Stop accepting connections (on the acceptor's thread, which owns
+  //    the fd).
+  shards_[0]->loop->Defer([this] {
     if (listener_.valid()) {
-      loop_->Remove(listener_.get());
+      shards_[0]->loop->Remove(listener_.get());
       listener_.Reset();
     }
   });
   // 3. Wait until every admitted request has finished executing. Workers
-  //    post each response to the loop *before* dropping in_flight_, so at
-  //    quiescence all responses are already queued behind this point.
+  //    post each response to its loop shard *before* dropping in_flight_,
+  //    so at quiescence all responses are already queued behind this point.
   {
     std::unique_lock<std::mutex> lk(queue_mu_);
     drain_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
@@ -135,69 +155,99 @@ void AccdbServer::Shutdown() {
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
 
-  // 4. Flush: Stop() is processed after all already-deferred response
-  //    deliveries, so the loop writes them out before exiting.
-  loop_->Stop();
-  loop_thread_.join();
-  sessions_.clear();  // Loop is dead; safe to tear down from this thread.
+  // 4. Flush: each loop processes Stop() only after all already-deferred
+  //    response deliveries and one final post-event flush pass, so every
+  //    queued response is written out before the loop exits.
+  for (auto& shard : shards_) shard->loop->Stop();
+  for (auto& shard : shards_) shard->thread.join();
+  // Loops are dead; safe to tear down sessions from this thread.
+  for (auto& shard : shards_) shard->sessions.clear();
 }
 
 // ---------------------------------------------------------------------------
-// Event-loop thread.
+// Loop-shard threads.
 
 void AccdbServer::OnListenerReadable() {
+  // Drain the whole backlog: accept4 until EAGAIN, not one connection per
+  // wakeup — an open-loop load generator connects in bursts.
   for (;;) {
-    int fd = ::accept(listener_.get(), nullptr, nullptr);
-    if (fd < 0) return;  // EAGAIN / transient: poll will re-arm.
-    net::ScopedFd scoped(fd);
-    if (!net::SetNonBlocking(fd).ok()) continue;  // Drops the connection.
-    net::SetNoDelay(fd);
+    net::ScopedFd accepted;
+    net::IoResult r = net::AcceptOne(listener_.get(), &accepted);
+    if (r != net::IoResult::kOk) return;  // Drained (or resource-exhausted).
+    net::SetNoDelay(accepted.get());
 
-    uint64_t id = next_session_id_++;
-    Session& session = sessions_[id];
-    session.id = id;
-    session.fd = std::move(scoped);
-    loop_->Add(session.fd.get(), [this, id](uint32_t events) {
-      OnSessionEvent(id, events);
-    });
-    std::lock_guard<std::mutex> guard(stats_mu_);
-    ++stats_.connections_accepted;
+    // Ids are assigned here, on the acceptor thread (the only writer of
+    // next_session_id_), and are unique process-wide.
+    const uint64_t id = next_session_id_++;
+    const int target = next_shard_;
+    next_shard_ = (next_shard_ + 1) % static_cast<int>(shards_.size());
+    {
+      std::lock_guard<std::mutex> guard(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    if (target == 0) {
+      InstallSession(0, id, accepted.Release());
+    } else {
+      // Hand the raw fd across threads; the target shard re-wraps it. The
+      // loop drains all deferred tasks before honoring Stop, so the
+      // session is installed (and later torn down) on the target shard.
+      const int raw_fd = accepted.Release();
+      shards_[target]->loop->Defer(
+          [this, target, id, raw_fd] { InstallSession(target, id, raw_fd); });
+    }
   }
 }
 
-void AccdbServer::OnSessionEvent(uint64_t session_id, uint32_t events) {
-  auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return;
+void AccdbServer::InstallSession(int si, uint64_t id, int raw_fd) {
+  LoopShard& shard = *shards_[si];
+  Session& session = shard.sessions[id];
+  session.id = id;
+  session.shard = si;
+  session.fd = net::ScopedFd(raw_fd);
+  shard.loop->Add(session.fd.get(), [this, si, id](uint32_t events) {
+    OnSessionEvent(si, id, events);
+  });
+}
+
+void AccdbServer::OnSessionEvent(int si, uint64_t session_id,
+                                 uint32_t events) {
+  LoopShard& shard = *shards_[si];
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return;
   Session& session = it->second;
 
   if (events & net::EventLoop::kError) {
-    CloseSession(session_id);
+    CloseSession(si, session_id);
     return;
   }
   if (events & net::EventLoop::kWritable) {
     FlushTx(session);
-    if (sessions_.count(session_id) == 0) return;  // Write error closed it.
+    if (shard.sessions.count(session_id) == 0) return;  // Write error.
   }
   if ((events & net::EventLoop::kReadable) == 0) return;
 
+  // Drain the socket into the decoder in one pass per wakeup.
+  char buf[kReadBufferBytes];
   for (;;) {
-    char buf[4096];
     size_t n = 0;
     net::IoResult r = net::ReadSome(session.fd.get(), buf, sizeof(buf), &n);
     if (r == net::IoResult::kWouldBlock) break;
     if (r != net::IoResult::kOk) {  // EOF or reset: the client is gone.
-      CloseSession(session_id);
+      CloseSession(si, session_id);
       return;
     }
     session.decoder.Append(std::string_view(buf, n));
   }
 
+  // Decode every complete frame in a single pass; responses produced here
+  // (rejects, stats) coalesce in the session buffer and flush once in the
+  // post-event hook.
   for (;;) {
     net::Message msg;
     switch (session.decoder.Next(&msg)) {
       case net::DecodeResult::kMessage:
-        HandleMessage(session, msg);
-        if (sessions_.count(session_id) == 0) return;  // Violation closed it.
+        HandleMessage(si, session, msg);
+        if (shard.sessions.count(session_id) == 0) return;  // Killed.
         continue;
       case net::DecodeResult::kNeedMore:
         return;
@@ -206,15 +256,24 @@ void AccdbServer::OnSessionEvent(uint64_t session_id, uint32_t events) {
           std::lock_guard<std::mutex> guard(stats_mu_);
           ++stats_.malformed_frames;
         }
-        CloseSession(session_id);
+        // A malformed frame is connection-fatal, but only for its own
+        // session: in-flight pipelined requests still execute and their
+        // responses are dropped at delivery.
+        CloseSession(si, session_id);
         return;
       }
     }
   }
 }
 
-void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
+void AccdbServer::HandleMessage(int si, Session& session,
+                                const net::Message& msg) {
+  // Every request — admitted, rejected, or stats — consumes one sequence
+  // number; responses are delivered strictly in sequence order, so a
+  // pipeline of requests answered by different workers still reads back in
+  // request order.
   if (const auto* req = std::get_if<net::ExecRequest>(&msg)) {
+    const uint64_t seq = session.next_arrival_seq++;
     {
       std::lock_guard<std::mutex> guard(stats_mu_);
       ++stats_.requests_received;
@@ -226,7 +285,7 @@ void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
       if (draining_) {
         shutting_down = true;
       } else if (queue_.size() < options_.max_queue) {
-        queue_.push_back(Work{session.id, *req, NowSeconds()});
+        queue_.push_back(Work{session.id, si, seq, *req, NowSeconds()});
         admitted = true;
         std::lock_guard<std::mutex> stats_guard(stats_mu_);
         ++stats_.requests_admitted;
@@ -247,16 +306,17 @@ void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
         ++stats_.admission_rejects;
       }
     }
-    Respond(session,
-            net::Message(MakeReject(req->request_id,
-                                    shutting_down
-                                        ? net::WireStatus::kShuttingDown
-                                        : net::WireStatus::kOverloaded,
-                                    shutting_down ? "server draining"
-                                                  : "request queue full")));
+    QueueResponse(
+        si, session, seq,
+        net::EncodeFrame(net::Message(MakeReject(
+            req->request_id,
+            shutting_down ? net::WireStatus::kShuttingDown
+                          : net::WireStatus::kOverloaded,
+            shutting_down ? "server draining" : "request queue full"))));
     return;
   }
   if (const auto* req = std::get_if<net::StatsRequest>(&msg)) {
+    const uint64_t seq = session.next_arrival_seq++;
     {
       std::lock_guard<std::mutex> guard(stats_mu_);
       ++stats_.stats_requests;
@@ -264,7 +324,7 @@ void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
     net::StatsResponse resp;
     resp.request_id = req->request_id;
     resp.json = StatsJson();
-    Respond(session, net::Message(resp));
+    QueueResponse(si, session, seq, net::EncodeFrame(net::Message(resp)));
     return;
   }
   // A client sending response kinds is violating the protocol.
@@ -272,15 +332,49 @@ void AccdbServer::HandleMessage(Session& session, const net::Message& msg) {
     std::lock_guard<std::mutex> guard(stats_mu_);
     ++stats_.malformed_frames;
   }
-  CloseSession(session.id);
+  CloseSession(si, session.id);
 }
 
-void AccdbServer::Respond(Session& session, const net::Message& msg) {
-  session.tx += net::EncodeFrame(msg);
-  FlushTx(session);
+void AccdbServer::QueueResponse(int si, Session& session, uint64_t seq,
+                                std::string frame) {
+  if (seq == session.next_send_seq) {
+    session.tx += frame;
+    ++session.next_send_seq;
+    // Release any parked successors that are now in order.
+    auto it = session.parked.begin();
+    while (it != session.parked.end() && it->first == session.next_send_seq) {
+      session.tx += it->second;
+      ++session.next_send_seq;
+      it = session.parked.erase(it);
+    }
+  } else {
+    session.parked.emplace(seq, std::move(frame));
+  }
+  MarkDirty(si, session);
+}
+
+void AccdbServer::MarkDirty(int si, Session& session) {
+  if (session.dirty) return;
+  session.dirty = true;
+  shards_[si]->flush_list.push_back(session.id);
+}
+
+void AccdbServer::FlushDirty(int si) {
+  LoopShard& shard = *shards_[si];
+  // FlushTx may close a session (erasing it) but never dirties new ones,
+  // so one linear pass over a moved-out list is safe.
+  std::vector<uint64_t> list = std::move(shard.flush_list);
+  shard.flush_list.clear();
+  for (uint64_t id : list) {
+    auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end()) continue;
+    it->second.dirty = false;
+    if (!it->second.tx.empty()) FlushTx(it->second);
+  }
 }
 
 void AccdbServer::FlushTx(Session& session) {
+  net::EventLoop& loop = *shards_[session.shard]->loop;
   while (!session.tx.empty()) {
     size_t n = 0;
     net::IoResult r =
@@ -291,29 +385,32 @@ void AccdbServer::FlushTx(Session& session) {
       continue;
     }
     if (r == net::IoResult::kWouldBlock) {
-      loop_->SetWriteInterest(session.fd.get(), true);
+      loop.SetWriteInterest(session.fd.get(), true);
       return;
     }
-    CloseSession(session.id);  // Peer reset: responses are droppable.
+    CloseSession(session.shard, session.id);  // Peer reset: droppable.
     return;
   }
-  loop_->SetWriteInterest(session.fd.get(), false);
+  loop.SetWriteInterest(session.fd.get(), false);
 }
 
-void AccdbServer::CloseSession(uint64_t session_id) {
-  auto it = sessions_.find(session_id);
-  if (it == sessions_.end()) return;
-  loop_->Remove(it->second.fd.get());
-  sessions_.erase(it);
+void AccdbServer::CloseSession(int si, uint64_t session_id) {
+  LoopShard& shard = *shards_[si];
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return;
+  shard.loop->Remove(it->second.fd.get());
+  shard.sessions.erase(it);
   std::lock_guard<std::mutex> guard(stats_mu_);
   ++stats_.connections_closed;
 }
 
-void AccdbServer::DeliverResponse(uint64_t session_id, std::string frame) {
-  auto it = sessions_.find(session_id);
+void AccdbServer::DeliverResponse(int si, uint64_t session_id, uint64_t seq,
+                                  std::string frame) {
+  LoopShard& shard = *shards_[si];
+  auto it = shard.sessions.find(session_id);
   {
     std::lock_guard<std::mutex> guard(stats_mu_);
-    if (it == sessions_.end()) {
+    if (it == shard.sessions.end()) {
       // The connection died while its transaction ran; the execution still
       // completed (commit or compensation), only the response is lost.
       ++stats_.responses_dropped;
@@ -321,8 +418,7 @@ void AccdbServer::DeliverResponse(uint64_t session_id, std::string frame) {
     }
     ++stats_.responses_sent;
   }
-  it->second.tx += frame;
-  FlushTx(it->second);
+  QueueResponse(si, it->second, seq, std::move(frame));
 }
 
 // ---------------------------------------------------------------------------
@@ -356,6 +452,11 @@ void AccdbServer::WorkerLoop(int worker_index) {
 
     net::ExecResponse resp;
     resp.request_id = work.request.request_id;
+    // Queueing share of the in-server sojourn: admission to dequeue. The
+    // execution share rides separately in server_seconds, so clients can
+    // split tail latency into queueing vs service.
+    const double dequeued = NowSeconds();
+    resp.queue_seconds = dequeued - work.arrival;
 
     uint32_t deadline_ms = work.request.deadline_ms != 0
                                ? work.request.deadline_ms
@@ -363,7 +464,7 @@ void AccdbServer::WorkerLoop(int worker_index) {
     const double deadline =
         deadline_ms != 0 ? work.arrival + deadline_ms / 1000.0
                          : std::numeric_limits<double>::infinity();
-    if (NowSeconds() >= deadline) {
+    if (dequeued >= deadline) {
       // The budget expired while the request sat in the queue: don't start.
       resp.status = net::WireStatus::kDeadlineExceeded;
       resp.message = "deadline expired in queue";
@@ -408,9 +509,12 @@ void AccdbServer::WorkerLoop(int worker_index) {
     // quiescence, every response is already queued ahead of the loop Stop.
     std::string frame = net::EncodeFrame(net::Message(resp));
     const uint64_t session_id = work.session_id;
-    loop_->Defer([this, session_id, frame = std::move(frame)]() mutable {
-      DeliverResponse(session_id, std::move(frame));
-    });
+    const uint64_t seq = work.seq;
+    const int si = work.shard;
+    shards_[si]->loop->Defer(
+        [this, si, session_id, seq, frame = std::move(frame)]() mutable {
+          DeliverResponse(si, session_id, seq, std::move(frame));
+        });
     {
       std::lock_guard<std::mutex> guard(queue_mu_);
       --in_flight_;
@@ -437,6 +541,7 @@ std::string AccdbServer::StatsJson() const {
     in_flight = in_flight_;
   }
   Json j = Json::Object();
+  j["loop_shards"] = Json(static_cast<uint64_t>(options_.loop_shards));
   j["connections_accepted"] = Json(s.connections_accepted);
   j["connections_closed"] = Json(s.connections_closed);
   j["malformed_frames"] = Json(s.malformed_frames);

@@ -1,10 +1,20 @@
 // AccdbServer: the network serving layer over the concurrency-control
-// engine. A poll-based event loop owns the listener and the per-connection
-// sessions (framing, admission, response writes); a pool of worker threads
-// executes admitted TPC-C transactions through the same
+// engine. N sharded epoll event loops own the per-connection sessions
+// (framing, admission, response writes) — the acceptor (loop shard 0)
+// distributes new connections round-robin across shards, and each shard
+// owns its sessions lock-free exactly as the single loop did. A pool of
+// worker threads executes admitted TPC-C transactions through the same
 // TpccSystem / RunOneTpccTxn / ThreadExecutionEnv path as the real-thread
 // runner. Robustness machinery:
 //
+//   * request pipelining: a session may have any number of requests in
+//     flight; every request (admitted, rejected, or stats) is assigned a
+//     per-session sequence number at arrival, and responses are delivered
+//     strictly in that order no matter which worker finishes first;
+//   * batched frame I/O: each readable wakeup drains the socket and
+//     decodes every complete frame in one pass; responses produced during
+//     one loop iteration are coalesced per session and flushed with one
+//     write in the loop's post-event hook;
 //   * per-request deadlines: the remaining budget bounds both queueing
 //     (checked at dequeue) and every lock wait (ThreadExecutionEnv
 //     timeout); expiry surfaces as the typed DEADLINE_EXCEEDED status;
@@ -14,13 +24,16 @@
 //   * connection death: an in-flight transaction whose connection dies
 //     still runs to completion — commit, rollback, or compensation (the
 //     §3.4 guarantee holds across connection death); only its response is
-//     dropped;
+//     dropped. This holds per-request across a pipeline: killing a
+//     connection with K requests in flight drops exactly those K
+//     responses;
 //   * graceful drain: Shutdown() stops accepting, refuses new requests
 //     with SHUTTING_DOWN, lets every admitted request finish, flushes
-//     responses, then joins all threads.
+//     responses on every shard, then joins all threads.
 //
-// DESIGN.md §11 documents the wire format, the session state machine, and
-// how the serving threads fit the §10 latch order.
+// DESIGN.md §11 documents the wire format, the session state machine, the
+// sharded threading model, and how the serving threads fit the §10 latch
+// order.
 
 #ifndef ACCDB_SERVER_SERVER_H_
 #define ACCDB_SERVER_SERVER_H_
@@ -29,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -51,6 +65,12 @@ struct ServerOptions {
 
   uint16_t port = 0;  // 0 = ephemeral; read the bound port via port().
   int workers = 4;
+  // Event-loop shards. New connections are distributed round-robin; each
+  // shard's loop thread exclusively owns its sessions.
+  int loop_shards = 1;
+  // listen(2) backlog — sized for open-loop load generators that connect
+  // hundreds of sockets in a burst.
+  int listen_backlog = 1024;
   // Admission bound: requests queued but not yet executing. One more
   // request per worker may additionally be in flight.
   size_t max_queue = 128;
@@ -75,7 +95,8 @@ struct ServerOptions {
 };
 
 // Cumulative serving-layer counters. Conservation invariants (asserted by
-// tests/net_server_test.cc after a drained shutdown):
+// tests/net_server_test.cc after a drained shutdown; they hold exactly even
+// with pipelined requests and multiple loop shards):
 //   requests_received == requests_admitted + admission_rejects
 //                        + shutdown_rejects
 //   requests_admitted == committed + aborted + deadline_exceeded_queue
@@ -127,7 +148,7 @@ class AccdbServer {
     return recovery_report_;
   }
 
-  // Binds, listens, spawns the event loop and worker threads. Runs
+  // Binds, listens, spawns the loop shards and worker threads. Runs
   // RecoverFromWal first; a recovery that is not clean() fails the start.
   Status Start();
   // The bound port (valid after Start; resolves ephemeral binds).
@@ -147,27 +168,54 @@ class AccdbServer {
  private:
   struct Session {
     uint64_t id = 0;
+    int shard = 0;
     net::ScopedFd fd;
     net::FrameDecoder decoder;
-    std::string tx;  // Encoded frames awaiting write.
+    std::string tx;  // Encoded frames awaiting write (in delivery order).
+    // Pipelining: every request gets the session's next sequence number at
+    // arrival; responses append to `tx` strictly in sequence order.
+    uint64_t next_arrival_seq = 0;  // Assigned to the next request.
+    uint64_t next_send_seq = 0;     // Next sequence allowed into `tx`.
+    std::map<uint64_t, std::string> parked;  // Responses awaiting their turn.
+    bool dirty = false;  // Already on the shard's flush list?
+  };
+
+  // One event loop shard: the loop, its thread, and the sessions it owns.
+  // `sessions` and `flush_list` are touched only by this shard's loop
+  // thread (or after every loop thread has been joined).
+  struct LoopShard {
+    std::unique_ptr<net::EventLoop> loop;
+    std::thread thread;
+    std::unordered_map<uint64_t, Session> sessions;
+    std::vector<uint64_t> flush_list;  // Sessions dirtied this iteration.
   };
 
   struct Work {
     uint64_t session_id = 0;
+    int shard = 0;
+    uint64_t seq = 0;  // Per-session response-order sequence number.
     net::ExecRequest request;
     double arrival = 0;  // Steady-clock seconds at admission.
   };
 
   static double NowSeconds();
 
-  // --- Event-loop thread only ---
-  void OnListenerReadable();
-  void OnSessionEvent(uint64_t session_id, uint32_t events);
-  void HandleMessage(Session& session, const net::Message& msg);
-  void Respond(Session& session, const net::Message& msg);
+  // --- Loop-shard threads (each method runs on shard `si`'s thread) ---
+  void OnListenerReadable();  // Shard 0 only (the acceptor).
+  void InstallSession(int si, uint64_t id, int raw_fd);
+  void OnSessionEvent(int si, uint64_t session_id, uint32_t events);
+  void HandleMessage(int si, Session& session, const net::Message& msg);
+  // Ordered-delivery entry: append `frame` for sequence `seq` to the wire
+  // buffer (or park it until its turn) and schedule the session for the
+  // end-of-iteration flush.
+  void QueueResponse(int si, Session& session, uint64_t seq,
+                     std::string frame);
+  void MarkDirty(int si, Session& session);
+  void FlushDirty(int si);  // Post-event hook body.
   void FlushTx(Session& session);
-  void CloseSession(uint64_t session_id);
-  void DeliverResponse(uint64_t session_id, std::string frame);
+  void CloseSession(int si, uint64_t session_id);
+  void DeliverResponse(int si, uint64_t session_id, uint64_t seq,
+                       std::string frame);
 
   // --- Worker threads ---
   void WorkerLoop(int worker_index);
@@ -179,17 +227,16 @@ class AccdbServer {
 
   net::ScopedFd listener_;
   uint16_t port_ = 0;
-  std::unique_ptr<net::EventLoop> loop_;
-  std::thread loop_thread_;
+  std::vector<std::unique_ptr<LoopShard>> shards_;
   std::vector<std::thread> workers_;
   bool started_ = false;
   bool shut_down_ = false;
 
-  // Session table: event-loop thread only.
+  // Acceptor state: shard 0's loop thread only.
   uint64_t next_session_id_ = 1;
-  std::unordered_map<uint64_t, Session> sessions_;
+  int next_shard_ = 0;  // Round-robin cursor.
 
-  // Request queue + drain state.
+  // Request queue + drain state (shared by all loop shards and workers).
   mutable std::mutex queue_mu_;
   std::condition_variable queue_cv_;  // Workers wait for work / stop.
   std::condition_variable drain_cv_;  // Shutdown waits for quiescence.

@@ -56,6 +56,7 @@ TEST(ProtocolTest, ExecResponseRoundTrip) {
   resp.step_deadlock_retries = 7;
   resp.txn_restarts = 2;
   resp.server_seconds = 0.034251;
+  resp.queue_seconds = 0.0125;
   resp.message = "lock wait deadline";
 
   FrameDecoder decoder;
@@ -70,6 +71,7 @@ TEST(ProtocolTest, ExecResponseRoundTrip) {
   EXPECT_EQ(got->step_deadlock_retries, resp.step_deadlock_retries);
   EXPECT_EQ(got->txn_restarts, resp.txn_restarts);
   EXPECT_DOUBLE_EQ(got->server_seconds, resp.server_seconds);
+  EXPECT_DOUBLE_EQ(got->queue_seconds, resp.queue_seconds);
   EXPECT_EQ(got->message, resp.message);
 }
 
