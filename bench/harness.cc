@@ -389,6 +389,13 @@ Json WorkloadResultJson(const tpcc::WorkloadResult& result) {
   out["throughput"] = result.throughput();
   out["total_lock_wait"] = result.total_lock_wait;
   out["sim_seconds"] = result.sim_seconds;
+  // Only present for audited runs (EngineConfig::audit_assertions), so
+  // non-audited reports — including the sim-identity golden — keep their
+  // exact historical key set.
+  if (result.assertions_audited > 0 || result.assertion_violations > 0) {
+    out["assertions_audited"] = result.assertions_audited;
+    out["assertion_violations"] = result.assertion_violations;
+  }
   out["consistent"] = result.consistent;
   Json stats = Json::Object();
   stats["requests"] = result.lock_stats.requests;

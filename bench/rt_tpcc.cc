@@ -26,6 +26,10 @@
 //   --think-scale=F        scales keying/think times (default 0: saturated)
 //   --lock-partitions=N    lock-table partitions (0 = auto; falls back to
 //                          the ACCDB_LOCK_PARTITIONS environment variable)
+//   --audit                re-evaluate interstep assertion predicates at
+//                          their contract points (EngineConfig::
+//                          audit_assertions); exits nonzero if any predicate
+//                          was found false
 //   --wal-path=FILE        write-ahead log path; every cell starts from an
 //                          empty log (default: no WAL, pure in-memory)
 //   --group-commit-us=N    group-commit window in microseconds (0 = fsync
@@ -57,6 +61,7 @@ struct RtOptions {
   uint32_t txn_id_block = accdb::acc::TxnIdAllocator::kDefaultBlock;
   std::string wal_path;
   uint32_t group_commit_us = 0;
+  bool audit = false;
   std::string json_path = "BENCH_rt_tpcc.json";
 };
 
@@ -67,7 +72,7 @@ struct RtOptions {
                "          [--seconds=S] [--warmup=S] [--seed=N]\n"
                "          [--cost-scale=F] [--think-scale=F]\n"
                "          [--lock-partitions=N] [--affinity=0|1]\n"
-               "          [--txn-id-block=N] [--wal-path=FILE]\n"
+               "          [--txn-id-block=N] [--audit] [--wal-path=FILE]\n"
                "          [--group-commit-us=N] [--json=PATH | --no-json]\n",
                argv0);
   std::exit(2);
@@ -155,6 +160,8 @@ RtOptions ParseOptions(int argc, char** argv) {
     } else if (ParseValue(argv[i], "--group-commit-us", &value)) {
       options.group_commit_us =
           static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      options.audit = true;
     } else if (ParseValue(argv[i], "--json", &value)) {
       options.json_path = value;
     } else if (std::strcmp(argv[i], "--no-json") == 0) {
@@ -200,6 +207,7 @@ int main(int argc, char** argv) {
   base.workload.engine.lock_partitions = options.lock_partitions;
   base.workload.engine.wal.path = options.wal_path;
   base.workload.engine.wal.group_commit_us = options.group_commit_us;
+  base.workload.engine.audit_assertions = options.audit;
   base.warehouse_affinity = options.affinity;
   base.txn_id_block = options.txn_id_block;
   const size_t resolved_partitions =
@@ -220,7 +228,13 @@ int main(int argc, char** argv) {
         Json(static_cast<uint64_t>(options.group_commit_us));
   }
 
+  if (options.audit) {
+    report.root()["audit"] = Json(true);
+    std::printf("assertion auditor: on\n");
+  }
+
   bool consistent = true;
+  uint64_t audited = 0, violations = 0;
   for (int warehouses : options.warehouses) {
     // Every W keeps the same per-warehouse regime (one hot district, 50%
     // of that warehouse's traffic): the W=1 cells reproduce the
@@ -271,6 +285,17 @@ int main(int argc, char** argv) {
               r.first_violation.c_str());
           consistent = false;
         }
+        audited += r.assertions_audited;
+        violations += r.assertion_violations;
+        if (r.assertion_violations > 0) {
+          std::printf(
+              "!! assertion violation at W=%d, %d threads (%s: %llu of %llu "
+              "audits; first: %s)\n",
+              warehouses, point.terminals, systems[s].label.c_str(),
+              static_cast<unsigned long long>(r.assertion_violations),
+              static_cast<unsigned long long>(r.assertions_audited),
+              r.first_assertion_violation.c_str());
+        }
       }
     }
 
@@ -287,6 +312,11 @@ int main(int argc, char** argv) {
     report.AddMultiSweep(label, "threads", systems, sweep,
                          {{"warehouses", Json(warehouses)}});
   }
+  if (options.audit) {
+    std::printf("assertion audits: %llu, violations: %llu\n",
+                static_cast<unsigned long long>(audited),
+                static_cast<unsigned long long>(violations));
+  }
   report.Write();
-  return consistent ? 0 : 1;
+  return (consistent && violations == 0) ? 0 : 1;
 }

@@ -12,7 +12,11 @@ if(NOT DEFINED SOURCE_DIR OR NOT DEFINED BUILD_DIR)
   message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=... -DBUILD_DIR=... -P sanitizer_smoke.cmake")
 endif()
 
-set(SMOKE_TESTS sim_test lock_manager_test engine_test cc_backend_test)
+# interference_test carries the spec-derivation cross-check (DESIGN.md §14)
+# and spec_audit_test the runtime auditor — both sanitized here so the
+# derivation and audit paths run under ASan+UBSan in every CI matrix cell.
+set(SMOKE_TESTS sim_test lock_manager_test engine_test cc_backend_test
+    interference_test spec_audit_test)
 
 include(ProcessorCount)
 ProcessorCount(NPROC)

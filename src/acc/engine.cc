@@ -84,6 +84,21 @@ void Engine::OnWaiterAborted(lock::TxnId txn) {
   if (it != txn_envs_.end()) it->second->LockAborted(txn);
 }
 
+void Engine::AuditAssertion(const AssertionInstance& instance) {
+  if (!config_.audit_assertions || !auditor_ || instance.empty()) return;
+  std::string detail;
+  AuditVerdict verdict = auditor_(instance, &detail);
+  if (verdict == AuditVerdict::kNotChecked) return;
+  std::lock_guard<std::mutex> guard(metrics_mu_);
+  ++metrics_.assertions_audited;
+  if (verdict == AuditVerdict::kViolated) {
+    ++metrics_.assertion_violations;
+    if (metrics_.first_assertion_violation.empty()) {
+      metrics_.first_assertion_violation = std::move(detail);
+    }
+  }
+}
+
 ExecResult Engine::Execute(TransactionProgram& program, ExecutionEnv& env,
                            ExecMode mode) {
   const bool analyzed = program.analyzed();

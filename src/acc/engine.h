@@ -28,6 +28,7 @@
 
 #include "acc/program.h"
 #include "acc/recovery_log.h"
+#include "acc/spec.h"
 #include "acc/wal.h"
 #include "cc/occ.h"
 #include "cc/version_store.h"
@@ -84,6 +85,16 @@ struct EngineConfig {
   // two-level behaviour.
   bool two_level_dispatch = false;
   std::vector<lock::AssertionId> dispatch_assertions;
+  // Runtime semantic-correctness audit: at every point an interstep
+  // assertion is claimed to hold (initial acquisition, end-of-step
+  // acquisition, and the start of the step executing under it), re-evaluate
+  // its predicate against the live database through the installed
+  // AssertionAuditor and count violations in EngineMetrics. Sound
+  // assertional locking must yield zero violations — the auditor is the
+  // safety net that catches an unsound interference-table entry at run
+  // time. Off by default (the audit reads rows outside the modeled cost);
+  // a no-op unless set_assertion_auditor was called.
+  bool audit_assertions = false;
   // Lock-table partitions (0 = auto: next_pow2(2 × hardware threads)).
   // Single-threaded simulation results are identical for any value; the
   // real-thread runtime scales with it. See LockManagerOptions::partitions.
@@ -275,6 +286,15 @@ struct EngineMetrics {
   sim::Histogram txn_latency;
   // Each individual resolved lock wait (granted or deadlock-aborted).
   sim::Histogram lock_wait;
+
+  // Runtime assertion audit (EngineConfig::audit_assertions): predicate
+  // re-evaluations performed (kNotChecked verdicts are not counted) and how
+  // many found the claimed assertion false. Violations must be zero under a
+  // sound interference table.
+  uint64_t assertions_audited = 0;
+  uint64_t assertion_violations = 0;
+  // Description of the first violation observed (empty when none).
+  std::string first_assertion_violation;
 };
 
 class Engine : public lock::LockManager::Listener {
@@ -331,6 +351,20 @@ class Engine : public lock::LockManager::Listener {
     std::lock_guard<std::mutex> guard(metrics_mu_);
     metrics_.lock_wait.Add(seconds);
   }
+
+  // Installs the runtime assertion auditor (spec::SpecRegistry::
+  // MakeAuditor). Call before any concurrent execution; the captured
+  // registry must outlive the engine. Evaluation is additionally gated by
+  // EngineConfig::audit_assertions.
+  void set_assertion_auditor(AssertionAuditor auditor) {
+    auditor_ = std::move(auditor);
+  }
+  // Re-evaluates `instance` through the installed auditor (no-op without
+  // one, with auditing disabled, or for the empty assertion) and records
+  // the verdict. Called by TxnContext wherever an interstep assertion is
+  // claimed to hold; the caller holds the step's locks, so a sound table
+  // makes the read race-free with respect to same-instance writers.
+  void AuditAssertion(const AssertionInstance& instance);
   // Consistent copy while executions may still be in flight.
   EngineMetrics MetricsSnapshot() const {
     std::lock_guard<std::mutex> guard(metrics_mu_);
@@ -360,6 +394,7 @@ class Engine : public lock::LockManager::Listener {
   cc::VersionStore version_store_;
   std::unique_ptr<Wal> wal_;
   Status wal_status_;
+  AssertionAuditor auditor_;
   TxnIdAllocator txn_ids_;
   mutable std::mutex metrics_mu_;
   EngineMetrics metrics_;

@@ -23,6 +23,7 @@
 #ifndef ACCDB_ACC_INTERFERENCE_H_
 #define ACCDB_ACC_INTERFERENCE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -50,15 +51,32 @@ class InterferenceTable {
 
   Interference Get(lock::ActorId actor, lock::AssertionId assertion) const;
 
+  // The stored entry, ignoring the key_refinement ablation downgrade — what
+  // the design-time analysis recorded. Used by the spec cross-checker and
+  // the dump tool so the comparison is independent of ablation state.
+  Interference GetRaw(lock::ActorId actor, lock::AssertionId assertion) const;
+
   // The run-time check. Key vectors are compared element-wise over their
   // common prefix; differing on any position proves the actor targets a
   // different instance. Empty key vectors cannot be refined (conservative).
+  //
+  // With a catalog attached (set_catalog), the comparison is bounded by the
+  // assertion declaration's key arity: positions beyond the declared
+  // discriminators are incidental payload and must not refine, and an
+  // assertion instance carrying MORE keys than its declared arity is
+  // malformed — the check falls back to conservative interference instead
+  // of trusting the comparison. Without a catalog the historical
+  // common-prefix behaviour is kept.
   bool Interferes(lock::ActorId actor, const std::vector<int64_t>& actor_keys,
                   lock::AssertionId assertion,
                   const std::vector<int64_t>& assertion_keys) const;
 
   void set_key_refinement(bool enabled) { key_refinement_ = enabled; }
   bool key_refinement() const { return key_refinement_; }
+
+  // Attaches the catalog whose assertion arities bound key refinement.
+  // Must outlive the table.
+  void set_catalog(const Catalog* catalog) { catalog_ = catalog; }
 
   size_t entry_count() const { return entries_.size(); }
 
@@ -68,6 +86,7 @@ class InterferenceTable {
   }
 
   bool key_refinement_;
+  const Catalog* catalog_ = nullptr;
   std::unordered_map<uint64_t, Interference> entries_;
 };
 

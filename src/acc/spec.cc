@@ -1,0 +1,48 @@
+#include "acc/spec.h"
+
+namespace accdb::acc::spec {
+
+void SpecRegistry::DeclareStep(StepSpec spec) {
+  steps_.push_back(std::move(spec));
+}
+
+void SpecRegistry::DeclarePrefix(PrefixSpec spec) {
+  prefixes_.push_back(std::move(spec));
+}
+
+void SpecRegistry::DeclareAssertion(AssertionSpec spec) {
+  assertions_.push_back(std::move(spec));
+}
+
+const StepSpec* SpecRegistry::FindStep(lock::ActorId actor) const {
+  for (const StepSpec& s : steps_) {
+    if (s.actor == actor) return &s;
+  }
+  return nullptr;
+}
+
+const PrefixSpec* SpecRegistry::FindPrefix(lock::ActorId actor) const {
+  for (const PrefixSpec& p : prefixes_) {
+    if (p.actor == actor) return &p;
+  }
+  return nullptr;
+}
+
+const AssertionSpec* SpecRegistry::FindAssertion(
+    lock::AssertionId decl) const {
+  for (const AssertionSpec& a : assertions_) {
+    if (a.decl == decl) return &a;
+  }
+  return nullptr;
+}
+
+AssertionAuditor SpecRegistry::MakeAuditor() const {
+  return [this](const AssertionInstance& instance,
+                std::string* detail) -> AuditVerdict {
+    const AssertionSpec* spec = FindAssertion(instance.decl);
+    if (spec == nullptr || !spec->checker) return AuditVerdict::kNotChecked;
+    return spec->checker(instance.keys, detail);
+  };
+}
+
+}  // namespace accdb::acc::spec

@@ -1,0 +1,206 @@
+#include "acc/spec_derive.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace accdb::acc::spec {
+
+namespace {
+
+const char* InterferenceName(Interference v) {
+  switch (v) {
+    case Interference::kNone:
+      return "kNone";
+    case Interference::kIfSameKey:
+      return "kIfSameKey";
+    case Interference::kAlways:
+      return "kAlways";
+  }
+  return "?";
+}
+
+bool Contains(const std::vector<int>& xs, int x) {
+  return std::find(xs.begin(), xs.end(), x) != xs.end();
+}
+
+// The columns of `read` a write of `write` can change; empty = no overlap.
+std::vector<int> OverlappedColumns(const WriteAccess& write,
+                                   const ReadAccess& read) {
+  if (write.kind != WriteKind::kMutate) {
+    // Insert/delete changes row existence and every column the predicate
+    // ranges over.
+    return read.columns;
+  }
+  std::vector<int> overlapped;
+  for (int c : write.columns) {
+    if (c != kExistence && Contains(read.columns, c)) overlapped.push_back(c);
+  }
+  return overlapped;
+}
+
+// True iff the key vectors discriminate this (write, read) pair: the common
+// prefix of the two dim lists is non-empty and every position in it names
+// the same dimension on both sides AND pins the rows on both sides. The
+// runtime comparison declares disjointness on the FIRST differing common
+// position, so each position must separate instances on its own.
+bool FullyDiscriminated(const StepSpec& step, const WriteAccess& write,
+                        const AssertionSpec& assertion,
+                        const ReadAccess& read) {
+  size_t common =
+      std::min(step.key_dims.size(), assertion.key_dims.size());
+  if (common == 0) return false;
+  for (size_t i = 0; i < common; ++i) {
+    if (step.key_dims[i] != assertion.key_dims[i]) return false;
+    if (!Contains(write.key_positions, static_cast<int>(i))) return false;
+    if (!Contains(read.key_positions, static_cast<int>(i))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int InterferenceRank(Interference v) { return static_cast<int>(v); }
+
+Interference DeriveStepEntry(const StepSpec& step,
+                             const AssertionSpec& assertion,
+                             std::string* why) {
+  Interference worst = Interference::kNone;
+  if (why != nullptr) *why = "no overlapping access pair";
+  for (const WriteAccess& write : step.writes) {
+    // Provenance discharge (rule 2): fresh identities cannot be named by
+    // existing instances; own-state effects are the prefix entry's burden.
+    if (write.scope != WriteScope::kShared) continue;
+    for (const ReadAccess& read : assertion.footprint) {
+      if (write.table != read.table) continue;
+      std::vector<int> overlapped = OverlappedColumns(write, read);
+      if (overlapped.empty()) continue;
+      // Commutativity discharge (rule 3): a commutative delta to columns
+      // the predicate constrains only up to such deltas.
+      if (write.kind == WriteKind::kMutate && write.commutative) {
+        bool all_tolerant = true;
+        for (int c : overlapped) {
+          if (!Contains(read.commute_tolerant, c)) {
+            all_tolerant = false;
+            break;
+          }
+        }
+        if (all_tolerant) continue;
+      }
+      Interference pair =
+          FullyDiscriminated(step, write, assertion, read)
+              ? Interference::kIfSameKey
+              : Interference::kAlways;
+      if (InterferenceRank(pair) > InterferenceRank(worst)) {
+        worst = pair;
+        if (why != nullptr) {
+          *why = StrFormat(
+              "write on table %u (%s) overlaps predicate read "
+              "(%zu column(s)) -> %s",
+              write.table,
+              write.kind == WriteKind::kMutate
+                  ? "mutate"
+                  : (write.kind == WriteKind::kInsert ? "insert" : "delete"),
+              overlapped.size(), InterferenceName(pair));
+        }
+      }
+      if (worst == Interference::kAlways) return worst;
+    }
+  }
+  return worst;
+}
+
+Interference DerivePrefixEntry(const PrefixSpec& prefix,
+                               const AssertionSpec& assertion,
+                               const SpecRegistry& registry,
+                               std::string* why) {
+  if (why != nullptr) *why = "no constituent step breaks the assertion";
+  for (lock::ActorId actor : prefix.steps) {
+    const StepSpec* step = registry.FindStep(actor);
+    if (step == nullptr) {
+      // An unspecified constituent step: nothing is known about what its
+      // partial execution falsified. Conservative.
+      if (why != nullptr) {
+        *why = StrFormat("constituent step %u has no spec", actor);
+      }
+      return Interference::kAlways;
+    }
+    for (lock::AssertionId broken : step->breaks) {
+      if (broken != assertion.decl) continue;
+      // The falsified instance is the holder's own, named by its key
+      // vector — discriminable iff the assertion is keyed at all.
+      if (why != nullptr) {
+        *why = StrFormat("constituent step %u breaks it mid-transaction",
+                         actor);
+      }
+      return assertion.key_dims.empty() ? Interference::kAlways
+                                        : Interference::kIfSameKey;
+    }
+  }
+  return Interference::kNone;
+}
+
+InterferenceTable DeriveInterferenceTable(const SpecRegistry& registry,
+                                          const Catalog& catalog) {
+  InterferenceTable derived;
+  derived.set_catalog(&catalog);
+  for (const AssertionSpec& assertion : registry.assertions()) {
+    for (const StepSpec& step : registry.steps()) {
+      derived.Set(step.actor, assertion.decl,
+                  DeriveStepEntry(step, assertion));
+    }
+    for (const PrefixSpec& prefix : registry.prefixes()) {
+      derived.Set(prefix.actor, assertion.decl,
+                  DerivePrefixEntry(prefix, assertion, registry));
+    }
+  }
+  return derived;
+}
+
+Status CrossCheckInterference(const InterferenceTable& hand,
+                              const InterferenceTable& derived,
+                              const SpecRegistry& registry,
+                              const Catalog& catalog) {
+  std::string errors;
+  auto check = [&](lock::ActorId actor, lock::AssertionId decl) {
+    Interference h = hand.GetRaw(actor, decl);
+    Interference d = derived.GetRaw(actor, decl);
+    if (InterferenceRank(h) < InterferenceRank(d)) {
+      errors += StrFormat(
+          "  (%s, %s): hand table says %s but derivation requires %s\n",
+          std::string(catalog.ActorName(actor)).c_str(),
+          std::string(catalog.AssertionName(decl)).c_str(),
+          InterferenceName(h), InterferenceName(d));
+    }
+  };
+  for (const AssertionSpec& assertion : registry.assertions()) {
+    for (const StepSpec& step : registry.steps()) {
+      check(step.actor, assertion.decl);
+    }
+    for (const PrefixSpec& prefix : registry.prefixes()) {
+      check(prefix.actor, assertion.decl);
+    }
+  }
+  if (errors.empty()) return Status::Ok();
+  return Status::FailedPrecondition(
+      "hand interference table is less conservative than the derived "
+      "table:\n" +
+      errors);
+}
+
+void EnforceInterferenceSpecs(const SpecRegistry& registry,
+                              const Catalog& catalog,
+                              const InterferenceTable& hand,
+                              const char* system_name) {
+  InterferenceTable derived = DeriveInterferenceTable(registry, catalog);
+  Status check = CrossCheckInterference(hand, derived, registry, catalog);
+  if (!check.ok()) {
+    std::fprintf(stderr, "interference cross-check failed for %s:\n%s\n",
+                 system_name, std::string(check.message()).c_str());
+    std::abort();
+  }
+}
+
+}  // namespace accdb::acc::spec

@@ -1,0 +1,95 @@
+// Derivation of interference tables from step/assertion specs, and the
+// construction-time cross-check against the hand-written tables.
+//
+// Derivation rules (DESIGN.md §14). For a step S and assertion Q, consider
+// every pair of a WriteAccess of S and a ReadAccess of Q on the same table:
+//
+//   1. No such pair OVERLAPS => kNone. A pair overlaps when the write can
+//      change something the predicate reads: an insert or delete overlaps
+//      any read on the table (it changes row existence and every column); a
+//      mutate overlaps iff the written and read column sets intersect
+//      (kExistence is never mutated).
+//   2. Writes with scope kFresh or kOwn are discharged by provenance, not
+//      overlap: a fresh identity cannot be named by any existing assertion
+//      instance, and own-state effects are charged to the owner's prefix
+//      entry (via StepSpec::breaks) instead.
+//   3. A commutative mutate whose overlapped columns are all declared
+//      commute-tolerant by the read is discharged (the d_next_o_id / d_ytd
+//      field-level insight of §5.1).
+//   4. Every remaining overlap is charged. It derives kIfSameKey iff the
+//      key vectors discriminate it: the common prefix of S's and Q's key
+//      dims is non-empty, and EVERY position of that prefix (a) names the
+//      same dimension on both sides and (b) pins the written rows and the
+//      predicate's rows alike. Anything less derives kAlways — the runtime
+//      comparison (InterferenceTable::Interferes) treats a mismatch at any
+//      common position as proof of disjointness, which is only sound when
+//      each position individually separates the instances.
+//   5. The entry for (S, Q) is the most severe among its charged pairs
+//      (kNone < kIfSameKey < kAlways).
+//
+// Prefix entries fold from the constituent steps' `breaks` declarations: a
+// prefix containing a step that breaks Q gets kIfSameKey on Q when Q is
+// keyed (the falsified instance is the holder's own, named by its keys) and
+// kAlways when Q has no discriminators; otherwise kNone.
+//
+// The cross-check direction matters: the hand table may be MORE
+// conservative than the derived one (that only costs performance), but an
+// entry where the hand table is LESS conservative is a soundness hole and
+// fails construction with the named (actor, assertion) pair.
+
+#ifndef ACCDB_ACC_SPEC_DERIVE_H_
+#define ACCDB_ACC_SPEC_DERIVE_H_
+
+#include <string>
+
+#include "acc/catalog.h"
+#include "acc/interference.h"
+#include "acc/spec.h"
+#include "common/status.h"
+
+namespace accdb::acc::spec {
+
+// Severity order for cross-checking: kNone (0) < kIfSameKey (1) <
+// kAlways (2).
+int InterferenceRank(Interference v);
+
+// Derives the entry for one step against one assertion. When `why` is
+// non-null it receives a short explanation of the decisive access pair (for
+// the dump tool and cross-check diagnostics).
+Interference DeriveStepEntry(const StepSpec& step,
+                             const AssertionSpec& assertion,
+                             std::string* why = nullptr);
+
+// Derives the entry for one prefix against one assertion by folding the
+// constituent steps' `breaks`.
+Interference DerivePrefixEntry(const PrefixSpec& prefix,
+                               const AssertionSpec& assertion,
+                               const SpecRegistry& registry,
+                               std::string* why = nullptr);
+
+// Derives the full table: one entry per declared (step|prefix, assertion)
+// pair. Pairs not covered by the registry keep the table's kAlways default.
+InterferenceTable DeriveInterferenceTable(const SpecRegistry& registry,
+                                          const Catalog& catalog);
+
+// Diffs `hand` against `derived` over every registered pair in `registry`.
+// OK iff the hand table is at least as conservative as the derived one
+// everywhere; otherwise the error message names every offending
+// (actor, assertion) pair with both values. Raw entries are compared
+// (key_refinement ablation state does not affect the check).
+Status CrossCheckInterference(const InterferenceTable& hand,
+                              const InterferenceTable& derived,
+                              const SpecRegistry& registry,
+                              const Catalog& catalog);
+
+// Construction-time enforcement: derive, cross-check, and abort the process
+// with the full diff on stderr if the hand table is unsound. Called from
+// the TpccDb / OrderSystem constructors; `system_name` labels the message.
+void EnforceInterferenceSpecs(const SpecRegistry& registry,
+                              const Catalog& catalog,
+                              const InterferenceTable& hand,
+                              const char* system_name);
+
+}  // namespace accdb::acc::spec
+
+#endif  // ACCDB_ACC_SPEC_DERIVE_H_

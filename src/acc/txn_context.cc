@@ -454,6 +454,9 @@ Status TxnContext::AcquireAssertion(const AssertionInstance& assertion) {
     }
     ACCDB_RETURN_IF_ERROR(AwaitTimed(lock::LockMode::kAssert));
   }
+  // Audit: the locks are granted, so the assertion instance is claimed to
+  // hold for this reader from here on.
+  if (!in_compensation_) engine_->AuditAssertion(assertion);
   return Status::Ok();
 }
 
@@ -521,6 +524,14 @@ Status TxnContext::RunStep(lock::ActorId step_type,
   storage::UndoLog::Savepoint sp = undo_.Mark();
   assert(sp == 0 && "ACC steps release undo at step end");
   step_redo_mark_ = redo_.size();
+
+  // Audit: the interstep assertion carried across the think-time gap must
+  // still hold now that the next step begins — its A-locks are supposed to
+  // have excluded every interfering actor in between. This is the check
+  // that catches an unsound interference-table entry at run time.
+  if (current_assertion_.held && !in_compensation_) {
+    engine_->AuditAssertion(current_assertion_.instance);
+  }
 
   bool granted_next = false;
   int attempts = 0;
@@ -642,6 +653,13 @@ void TxnContext::CompleteStep(const AssertionInstance& next_assertion,
   ++completed_steps_;
   step_writes_.clear();
 
+  // Audit: the step body must have established the assertion it announced
+  // (the "claim" end of the contract; the RunStep-entry audit checks the
+  // "survives interleaving" end).
+  if (current_assertion_.held && !in_compensation_) {
+    engine_->AuditAssertion(current_assertion_.instance);
+  }
+
   // Force the end-of-step record before the step's result publishes to the
   // program. Locks were already released above: anything that reads this
   // step's writes logs behind our record, and durability is prefix-ordered,
@@ -697,6 +715,9 @@ Status TxnContext::AcquireInitialAssertion(const AssertionInstance& assertion) {
   current_assertion_.instance_number = 0;
   current_assertion_.held = true;
   pending_lock_ops_ = 0;
+  // Audit: the transaction initiates assuming its initial assertion; the
+  // initiation check just proved no in-flight actor interferes with it.
+  engine_->AuditAssertion(assertion);
   return Status::Ok();
 }
 

@@ -3,10 +3,20 @@
 #include <cassert>
 #include <map>
 
+#include "acc/spec_derive.h"
 #include "common/string_util.h"
 
 namespace accdb::orderproc {
 
+using acc::AuditVerdict;
+using acc::spec::AssertionSpec;
+using acc::spec::kExistence;
+using acc::spec::PrefixSpec;
+using acc::spec::ReadAccess;
+using acc::spec::StepSpec;
+using acc::spec::WriteAccess;
+using acc::spec::WriteKind;
+using acc::spec::WriteScope;
 using storage::ColumnType;
 using storage::Schema;
 using storage::Value;
@@ -106,6 +116,156 @@ OrderSystem::OrderSystem(storage::Database* db_in) : db(db_in) {
                    acc::Interference::kNone);
   interference.Set(prefix_no_partial, assert_i1,
                    acc::Interference::kIfSameKey);
+
+  // --- Step/assertion specs (DESIGN.md §14) ---
+  //
+  // The machine-checkable form of §4's analysis. The constructor tail
+  // derives the interference table from these footprints and aborts if the
+  // hand entries above are ever less conservative than the derivation.
+  {
+    // Loop invariant of a new_order mid-flight (keys {o}): "my order row
+    // exists with num_distinct_items = N, and the orderlines inserted so
+    // far (<= N) each have filled <= ordered".
+    AssertionSpec s;
+    s.decl = assert_no_loop;
+    s.key_dims = {"o"};
+    s.footprint = {
+        ReadAccess{orders->id(), {kExistence, o_num_items}, {0}, {}},
+        ReadAccess{orderlines->id(),
+                   {kExistence, ol_ordered, ol_filled},
+                   {0},
+                   {}},
+    };
+    s.checker = [this](const std::vector<int64_t>& keys,
+                       std::string* detail) -> AuditVerdict {
+      // Announced with no keys before NO1 allocates the order id.
+      if (keys.empty()) return AuditVerdict::kNotChecked;
+      return CheckOrderLines(keys[0], /*exact=*/false, detail);
+    };
+    specs.DeclareAssertion(std::move(s));
+  }
+  {
+    // I1^{o} (keys {o}): the orderlines count equals num_distinct_items.
+    AssertionSpec s;
+    s.decl = assert_i1;
+    s.key_dims = {"o"};
+    s.footprint = {
+        ReadAccess{orders->id(), {kExistence, o_num_items}, {0}, {}},
+        ReadAccess{orderlines->id(), {kExistence}, {0}, {}},
+    };
+    s.checker = [this](const std::vector<int64_t>& keys,
+                       std::string* detail) -> AuditVerdict {
+      if (keys.empty()) return AuditVerdict::kNotChecked;
+      return CheckOrderLines(keys[0], /*exact=*/true, detail);
+    };
+    specs.DeclareAssertion(std::move(s));
+  }
+  {
+    // NO1: counter increment (commutative) + insert of a FRESH order — the
+    // "order ids are unique" argument, as provenance. Its completion leaves
+    // I1 falsified for the new order until the last NO2 runs.
+    StepSpec s;
+    s.actor = step_no_create;
+    s.key_dims = {};
+    s.writes = {
+        WriteAccess{order_counter->id(),
+                    WriteKind::kMutate,
+                    {0},
+                    {},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{orders->id(), WriteKind::kInsert, {}, {},
+                    WriteScope::kFresh},
+    };
+    s.breaks = {assert_i1};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // NO2 {o, item}: stock decrement (commutes with the invariant's
+    // filled <= ordered bound) + orderline insert pinned by the order id.
+    // The paper charges the insert as same-key interference (rather than
+    // leaning on an ownership argument): it perturbs exactly the
+    // assertions over order o.
+    StepSpec s;
+    s.actor = step_no_orderline;
+    s.key_dims = {"o", "item"};
+    s.writes = {
+        WriteAccess{stock->id(),
+                    WriteKind::kMutate,
+                    {s_level},
+                    {},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{orderlines->id(), WriteKind::kInsert, {}, {0},
+                    WriteScope::kShared},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // Compensation {o}: removes order o and its lines, returns stock.
+    StepSpec s;
+    s.actor = step_no_compensate;
+    s.key_dims = {"o"};
+    s.writes = {
+        WriteAccess{orderlines->id(), WriteKind::kDelete, {}, {0},
+                    WriteScope::kShared},
+        WriteAccess{orders->id(), WriteKind::kDelete, {}, {0},
+                    WriteScope::kShared},
+        WriteAccess{stock->id(),
+                    WriteKind::kMutate,
+                    {s_level},
+                    {},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // bill {o}: writes only orders.price, which no assertion reads.
+    StepSpec s;
+    s.actor = step_bill;
+    s.key_dims = {"o"};
+    s.writes = {WriteAccess{orders->id(), WriteKind::kMutate, {o_price}, {0},
+                            WriteScope::kShared}};
+    specs.DeclareStep(std::move(s));
+  }
+  specs.DeclarePrefix(PrefixSpec{prefix_no_empty, {}});
+  specs.DeclarePrefix(
+      PrefixSpec{prefix_no_partial, {step_no_create, step_no_orderline}});
+  specs.DeclarePrefix(PrefixSpec{prefix_bill_empty, {}});
+
+  interference.set_catalog(&catalog);
+  acc::spec::EnforceInterferenceSpecs(specs, catalog, interference,
+                                      "orderproc");
+}
+
+AuditVerdict OrderSystem::CheckOrderLines(int64_t order_id, bool exact,
+                                          std::string* detail) const {
+  auto fail = [detail](std::string message) {
+    if (detail != nullptr) *detail = std::move(message);
+    return AuditVerdict::kViolated;
+  };
+  std::optional<storage::RowId> order_row =
+      orders->LookupPk(storage::Key(order_id));
+  if (!order_row.has_value()) {
+    return fail(StrFormat("orderproc: order %lld missing",
+                          static_cast<long long>(order_id)));
+  }
+  std::optional<storage::Row> order = orders->GetCopy(*order_row);
+  if (!order.has_value()) {
+    return fail("orderproc: order row vanished under audit");
+  }
+  int64_t num_items = (*order)[o_num_items].AsInt64();
+  int64_t lines = static_cast<int64_t>(
+      orderlines->ScanPkPrefix(storage::Key(order_id)).size());
+  bool ok = exact ? lines == num_items : lines <= num_items;
+  if (!ok) {
+    return fail(StrFormat(
+        "orderproc: order %lld has %lld lines vs num_distinct_items %lld",
+        static_cast<long long>(order_id), static_cast<long long>(lines),
+        static_cast<long long>(num_items)));
+  }
+  return AuditVerdict::kHolds;
 }
 
 void OrderSystem::LoadItems(int64_t item_count, int64_t stock_level,

@@ -26,6 +26,7 @@
 
 #include "acc/catalog.h"
 #include "acc/interference.h"
+#include "acc/spec.h"
 #include "storage/database.h"
 
 namespace accdb::orderproc {
@@ -56,6 +57,10 @@ struct OrderSystem {
   // Design-time analysis.
   acc::Catalog catalog;
   acc::InterferenceTable interference;
+  // Machine-checkable footprints; the constructor derives the table from
+  // them and aborts if the hand table is less conservative (DESIGN.md §14).
+  // Also carries the runtime checkers for EngineConfig::audit_assertions.
+  acc::spec::SpecRegistry specs;
 
   // Step types.
   lock::ActorId step_no_create;     // NO1: counter, insert into orders.
@@ -75,6 +80,12 @@ struct OrderSystem {
   // Populates stock/prices with item ids [1, item_count] at the given level
   // and unit price cents.
   void LoadItems(int64_t item_count, int64_t stock_level, int64_t price_cents);
+
+  // Shared body of the runtime checkers: order `order_id` exists and its
+  // orderline count is <= (or exactly ==, for I1) num_distinct_items.
+  // Latched Table reads only.
+  acc::AuditVerdict CheckOrderLines(int64_t order_id, bool exact,
+                                    std::string* detail) const;
 
   // Checks I1 over the whole database plus referential integrity of
   // orderlines; true iff consistent. Used by tests and examples

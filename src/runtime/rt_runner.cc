@@ -189,6 +189,9 @@ tpcc::WorkloadResult RunRtWorkload(const RtConfig& config) {
   result.step_latency_hist = metrics.step_latency;
   result.txn_latency_hist = metrics.txn_latency;
   result.lock_wait_hist = metrics.lock_wait;
+  result.assertions_audited = metrics.assertions_audited;
+  result.assertion_violations = metrics.assertion_violations;
+  result.first_assertion_violation = metrics.first_assertion_violation;
 
   tpcc::ConsistencyReport consistency = tpcc::CheckConsistency(
       system.db(), /*strict=*/compensated_whole_run == 0);

@@ -41,7 +41,7 @@ namespace {
                "          [--loop-shards=N] [--max-queue=N]\n"
                "          [--cost-scale=F] [--deadline-ms=N]\n"
                "          [--seed=N] [--warehouses=N] [--wal-path=FILE]\n"
-               "          [--group-commit-us=N] [--recover-only]\n",
+               "          [--group-commit-us=N] [--recover-only] [--audit]\n",
                argv0);
   std::exit(2);
 }
@@ -101,6 +101,8 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (std::strcmp(argv[i], "--recover-only") == 0) {
       recover_only = true;
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      options.workload.engine.audit_assertions = true;
     } else {
       Usage(argv[0]);
     }

@@ -561,6 +561,11 @@ std::string AccdbServer::StatsJson() const {
   j["queue_depth_peak"] = Json(s.queue_depth_peak);
   j["queue_depth"] = Json(static_cast<uint64_t>(queue_depth));
   j["in_flight"] = Json(static_cast<uint64_t>(in_flight));
+  {
+    acc::EngineMetrics em = system_.engine().MetricsSnapshot();
+    j["assertions_audited"] = Json(em.assertions_audited);
+    j["assertion_violations"] = Json(em.assertion_violations);
+  }
   if (const acc::Wal* wal = system_.engine().wal()) {
     acc::Wal::Stats ws = wal->StatsSnapshot();
     j["wal_appends"] = Json(ws.appends);

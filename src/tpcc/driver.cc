@@ -101,6 +101,9 @@ TpccSystem::TpccSystem(const WorkloadConfig& config)
                                          db_.assert_pay, db_.assert_dlv};
   }
   engine_ = std::make_unique<acc::Engine>(&database_, resolver, engine_config);
+  // The auditor is only consulted when engine_config.audit_assertions is
+  // set, so wiring it unconditionally costs nothing in normal runs.
+  engine_->set_assertion_auditor(db_.specs.MakeAuditor());
 }
 
 acc::ExecResult RunOneTpccTxn(TpccDb* db, acc::Engine* engine,
@@ -157,6 +160,10 @@ WorkloadResult RunWorkload(const WorkloadConfig& config) {
     result.step_latency_hist = engine.metrics().step_latency;
     result.txn_latency_hist = engine.metrics().txn_latency;
     result.lock_wait_hist = engine.metrics().lock_wait;
+    result.assertions_audited = engine.metrics().assertions_audited;
+    result.assertion_violations = engine.metrics().assertion_violations;
+    result.first_assertion_violation =
+        engine.metrics().first_assertion_violation;
   }
 
   ConsistencyReport consistency =

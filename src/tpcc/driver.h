@@ -69,6 +69,12 @@ struct WorkloadResult {
   double total_lock_wait = 0;
   double sim_seconds = 0;
   lock::LockManager::Stats lock_stats;
+  // Runtime assertion auditor (EngineConfig::audit_assertions): number of
+  // interstep assertion instances re-evaluated against the database, and how
+  // many of those evaluations found the predicate false.
+  uint64_t assertions_audited = 0;
+  uint64_t assertion_violations = 0;
+  std::string first_assertion_violation;
   bool consistent = false;
   std::string first_violation;
 

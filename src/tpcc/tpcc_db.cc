@@ -1,7 +1,19 @@
 #include "tpcc/tpcc_db.h"
 
+#include "acc/spec_derive.h"
+#include "common/string_util.h"
+
 namespace accdb::tpcc {
 
+using acc::AuditVerdict;
+using acc::spec::AssertionSpec;
+using acc::spec::kExistence;
+using acc::spec::PrefixSpec;
+using acc::spec::ReadAccess;
+using acc::spec::StepSpec;
+using acc::spec::WriteAccess;
+using acc::spec::WriteKind;
+using acc::spec::WriteScope;
 using storage::ColumnType;
 using storage::Schema;
 
@@ -160,7 +172,9 @@ TpccDb::TpccDb(storage::Database* db_in, size_t warehouse_shards)
 
   assert_no_loop = catalog.RegisterAssertion("tpcc.no.loop", 3);
   assert_order_complete = catalog.RegisterAssertion("tpcc.order_complete", 3);
-  assert_pay = catalog.RegisterAssertion("tpcc.pay", 3);
+  // Arity 2: P1/P2 announce instances keyed {w, d} (the customer is only
+  // resolved in P3, after the last announcement).
+  assert_pay = catalog.RegisterAssertion("tpcc.pay", 2);
   assert_dlv = catalog.RegisterAssertion("tpcc.dlv", 1);
 
   // --- Interference table ---
@@ -214,6 +228,417 @@ TpccDb::TpccDb(storage::Database* db_in, size_t warehouse_shards)
   }
   interference.Set(prefix_no_partial, assert_order_complete,
                    acc::Interference::kIfSameKey);
+
+  // --- Step/assertion specs (DESIGN.md §14) ---
+  //
+  // The machine-checkable form of the analysis above: footprints +
+  // provenance/commutativity facts from which spec_derive recomputes the
+  // table. The constructor tail cross-checks hand vs derived and aborts on
+  // any entry where the hand table is less conservative.
+
+  // Assertion footprints. Key dims are positional; a ReadAccess pins a
+  // position when differing values there prove the predicate ranges over
+  // disjoint rows of that table.
+  {
+    // Loop invariant of a new-order under construction (keys {w, d, o}):
+    // "my ORDER row exists undelivered (carrier unset, lines unstamped), at
+    // most o_ol_cnt ORDER-LINE rows exist so far, and o < d_next_o_id". The
+    // counter comparison survives further increments (commute-tolerant).
+    // Deliberately NOT claimed: survival of the NEW-ORDER row — a
+    // same-district D2 may pop it early and then block on the orders row
+    // (the o_carrier_id read below) until this transaction completes.
+    AssertionSpec s;
+    s.decl = assert_no_loop;
+    s.key_dims = {"w", "d", "o"};
+    s.footprint = {
+        ReadAccess{orders->id(),
+                   {kExistence, o_ol_cnt, o_carrier_id},
+                   {0, 1, 2},
+                   {}},
+        ReadAccess{order_line->id(),
+                   {kExistence, ol_delivery_d},
+                   {0, 1, 2},
+                   {}},
+        ReadAccess{district->id(),
+                   {d_next_o_id},
+                   {0, 1},
+                   /*commute_tolerant=*/{d_next_o_id}},
+    };
+    s.checker = [this](const std::vector<int64_t>& keys,
+                       std::string* detail) -> AuditVerdict {
+      // Announced as {w, d} before NO1 allocates the order id; only the
+      // refined {w, d, o} instance names checkable rows.
+      if (keys.size() < 3) return AuditVerdict::kNotChecked;
+      return CheckOrderRows(keys[0], keys[1], keys[2],
+                            /*require_undelivered=*/true,
+                            /*exact_line_count=*/false, detail);
+    };
+    specs.DeclareAssertion(std::move(s));
+  }
+  {
+    // Completeness conjunct of order o (keys {w, d, o}): all o_ol_cnt lines
+    // exist — and, while a new-order holds it, the order has not been
+    // consumed by delivery (carrier/delivery-date untouched): §3.4 forbids
+    // steps whose surviving effects consume state a compensation would
+    // reverse, which is why the footprint reads o_carrier_id and
+    // ol_delivery_d even though the count alone does not.
+    AssertionSpec s;
+    s.decl = assert_order_complete;
+    s.key_dims = {"w", "d", "o"};
+    s.footprint = {
+        ReadAccess{orders->id(),
+                   {kExistence, o_ol_cnt, o_carrier_id},
+                   {0, 1, 2},
+                   {}},
+        ReadAccess{order_line->id(),
+                   {kExistence, ol_delivery_d},
+                   {0, 1, 2},
+                   {}},
+    };
+    s.checker = [this](const std::vector<int64_t>& keys,
+                       std::string* detail) -> AuditVerdict {
+      if (keys.size() < 3) return AuditVerdict::kNotChecked;
+      // Only the count is audited: a delivered order still satisfies the
+      // conjunct order-status acquires (OS1 legitimately reads delivered
+      // orders); the undelivered-ness half is private to the new-order
+      // holder, whose own steps never set the carrier.
+      return CheckOrderRows(keys[0], keys[1], keys[2],
+                            /*require_undelivered=*/false,
+                            /*exact_line_count=*/true, detail);
+    };
+    specs.DeclareAssertion(std::move(s));
+  }
+  {
+    // Payment mid-flight (keys {w, d}): "w_ytd / d_ytd include my
+    // increments so far" — constrained only up to commutative deltas, so
+    // concurrent payments never falsify it. No runtime checker: the
+    // predicate depends on the holder's private increment history.
+    AssertionSpec s;
+    s.decl = assert_pay;
+    s.key_dims = {"w", "d"};
+    s.footprint = {
+        ReadAccess{warehouse->id(), {w_ytd}, {0}, /*commute_tolerant=*/{w_ytd}},
+        ReadAccess{district->id(),
+                   {d_ytd},
+                   {0, 1},
+                   /*commute_tolerant=*/{d_ytd}},
+    };
+    specs.DeclareAssertion(std::move(s));
+  }
+  {
+    // Delivery progress (keys {w}): bookkeeping private to the holder (which
+    // districts of warehouse w are done); reads nothing another actor
+    // writes. No runtime checker for the same reason.
+    AssertionSpec s;
+    s.decl = assert_dlv;
+    s.key_dims = {"w"};
+    specs.DeclareAssertion(std::move(s));
+  }
+
+  // Step footprints.
+  {
+    // NO1 {w, d}: bump d_next_o_id (commutative), insert ORDER + NEW-ORDER
+    // under the freshly allocated id (no existing instance can name it).
+    // The undecomposed (kSingle) granularity runs the whole transaction
+    // under this step type, so the stock update and ORDER-LINE inserts are
+    // included — both discharge the same way (commutative / fresh). Its
+    // completion leaves the new order incomplete until the last NO2:
+    // breaks the completeness conjunct.
+    StepSpec s;
+    s.actor = step_no1;
+    s.key_dims = {"w", "d"};
+    s.writes = {
+        WriteAccess{district->id(),
+                    WriteKind::kMutate,
+                    {d_next_o_id},
+                    {0, 1},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{orders->id(), WriteKind::kInsert, {}, {0, 1},
+                    WriteScope::kFresh},
+        WriteAccess{new_order->id(), WriteKind::kInsert, {}, {0, 1},
+                    WriteScope::kFresh},
+        WriteAccess{order_line->id(), WriteKind::kInsert, {}, {0, 1},
+                    WriteScope::kFresh},
+        WriteAccess{stock->id(),
+                    WriteKind::kMutate,
+                    {s_quantity, s_ytd, s_order_cnt, s_remote_cnt},
+                    {0},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    s.breaks = {assert_order_complete};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // NO2 {w, d, o}: stock update (commutative counters) + ORDER-LINE
+    // insert into the transaction's OWN order — own-state effects are the
+    // prefix entry's burden (prefix_no_partial breaks the completeness
+    // conjunct), not this step's.
+    StepSpec s;
+    s.actor = step_no2;
+    s.key_dims = {"w", "d", "o"};
+    s.writes = {
+        WriteAccess{stock->id(),
+                    WriteKind::kMutate,
+                    {s_quantity, s_ytd, s_order_cnt, s_remote_cnt},
+                    {0},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{order_line->id(), WriteKind::kInsert, {}, {0, 1, 2},
+                    WriteScope::kOwn},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // NO3 {w, d, o}: reads customer, computes the total client-side.
+    StepSpec s;
+    s.actor = step_no3;
+    s.key_dims = {"w", "d", "o"};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // P1 {w}: w_ytd increment.
+    StepSpec s;
+    s.actor = step_p1;
+    s.key_dims = {"w"};
+    s.writes = {WriteAccess{warehouse->id(),
+                            WriteKind::kMutate,
+                            {w_ytd},
+                            {0},
+                            WriteScope::kShared,
+                            /*commutative=*/true}};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // P2 {w, d}: d_ytd increment.
+    StepSpec s;
+    s.actor = step_p2;
+    s.key_dims = {"w", "d"};
+    s.writes = {WriteAccess{district->id(),
+                            WriteKind::kMutate,
+                            {d_ytd},
+                            {0, 1},
+                            WriteScope::kShared,
+                            /*commutative=*/true}};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // P3 {w, d, c}: customer balance counters (commutative) + a HISTORY row
+    // under a fresh (w, d, c, seq) key.
+    StepSpec s;
+    s.actor = step_p3;
+    s.key_dims = {"w", "d", "c"};
+    s.writes = {
+        WriteAccess{customer->id(),
+                    WriteKind::kMutate,
+                    {c_balance, c_ytd_payment, c_payment_cnt, c_data},
+                    {0, 1, 2},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{history->id(), WriteKind::kInsert, {}, {0, 1, 2},
+                    WriteScope::kFresh},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // D1 {w}: delimits the batch; writes nothing.
+    StepSpec s;
+    s.actor = step_d1;
+    s.key_dims = {"w"};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // D2 {w, d}: pops the district's oldest NEW-ORDER row, stamps the order
+    // and its lines, credits the customer. The delete and the stamps hit
+    // shared rows another transaction's assertion may range over — the rows
+    // are pinned by {w, d}, so interference refines to same-district keys.
+    StepSpec s;
+    s.actor = step_d2;
+    s.key_dims = {"w", "d"};
+    s.writes = {
+        WriteAccess{new_order->id(), WriteKind::kDelete, {}, {0, 1},
+                    WriteScope::kShared},
+        WriteAccess{orders->id(), WriteKind::kMutate, {o_carrier_id}, {0, 1},
+                    WriteScope::kShared},
+        WriteAccess{order_line->id(),
+                    WriteKind::kMutate,
+                    {ol_delivery_d},
+                    {0, 1},
+                    WriteScope::kShared},
+        WriteAccess{customer->id(),
+                    WriteKind::kMutate,
+                    {c_balance, c_delivery_cnt},
+                    {0, 1},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // D3 {w}: reports skipped districts; writes nothing.
+    StepSpec s;
+    s.actor = step_d3;
+    s.key_dims = {"w"};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // OS1 / SL1: read-only.
+    StepSpec s;
+    s.actor = step_os1;
+    s.key_dims = {"w", "d"};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    StepSpec s;
+    s.actor = step_sl1;
+    s.key_dims = {"w", "d"};
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // CS_NO {w, d, o}: removes the partially built order — deletes pinned
+    // by the full key, stock counters reversed commutatively.
+    StepSpec s;
+    s.actor = step_cs_no;
+    s.key_dims = {"w", "d", "o"};
+    s.writes = {
+        WriteAccess{order_line->id(), WriteKind::kDelete, {}, {0, 1, 2},
+                    WriteScope::kShared},
+        WriteAccess{new_order->id(), WriteKind::kDelete, {}, {0, 1, 2},
+                    WriteScope::kShared},
+        WriteAccess{orders->id(), WriteKind::kDelete, {}, {0, 1, 2},
+                    WriteScope::kShared},
+        WriteAccess{stock->id(),
+                    WriteKind::kMutate,
+                    {s_quantity, s_ytd, s_order_cnt, s_remote_cnt},
+                    {0},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // CS_P {w, d, c}: reverses the ytd/balance increments (commutative).
+    StepSpec s;
+    s.actor = step_cs_p;
+    s.key_dims = {"w", "d", "c"};
+    s.writes = {
+        WriteAccess{warehouse->id(),
+                    WriteKind::kMutate,
+                    {w_ytd},
+                    {0},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{district->id(),
+                    WriteKind::kMutate,
+                    {d_ytd},
+                    {0, 1},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+        WriteAccess{customer->id(),
+                    WriteKind::kMutate,
+                    {c_balance, c_ytd_payment, c_payment_cnt},
+                    {0, 1, 2},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+  {
+    // CS_D {w}: restores the NEW-ORDER rows its own D2 steps consumed and
+    // clears the stamps they set — state the forward steps took under
+    // their locks, now protected by kComp locks: own-transaction
+    // provenance, charged to D2's entries rather than duplicated here.
+    StepSpec s;
+    s.actor = step_cs_d;
+    s.key_dims = {"w"};
+    s.writes = {
+        WriteAccess{new_order->id(), WriteKind::kInsert, {}, {0},
+                    WriteScope::kOwn},
+        WriteAccess{orders->id(), WriteKind::kMutate, {o_carrier_id}, {0},
+                    WriteScope::kOwn},
+        WriteAccess{order_line->id(),
+                    WriteKind::kMutate,
+                    {ol_delivery_d},
+                    {0},
+                    WriteScope::kOwn},
+        WriteAccess{customer->id(),
+                    WriteKind::kMutate,
+                    {c_balance, c_delivery_cnt},
+                    {0},
+                    WriteScope::kShared,
+                    /*commutative=*/true},
+    };
+    specs.DeclareStep(std::move(s));
+  }
+
+  // Prefixes: which forward steps may have completed within each.
+  specs.DeclarePrefix(PrefixSpec{prefix_empty, {}});
+  specs.DeclarePrefix(PrefixSpec{prefix_no_partial,
+                                 {step_no1, step_no2, step_no3}});
+  specs.DeclarePrefix(PrefixSpec{prefix_p_partial,
+                                 {step_p1, step_p2, step_p3}});
+  specs.DeclarePrefix(PrefixSpec{prefix_d_partial,
+                                 {step_d1, step_d2, step_d3}});
+
+  // Bound key refinement by the declared arities, then prove the hand
+  // table: derive from the specs and fail hard on any entry where the hand
+  // table above is less conservative than the derivation.
+  interference.set_catalog(&catalog);
+  acc::spec::EnforceInterferenceSpecs(specs, catalog, interference, "tpcc");
+}
+
+AuditVerdict TpccDb::CheckOrderRows(int64_t w, int64_t d, int64_t o,
+                                    bool require_undelivered,
+                                    bool exact_line_count,
+                                    std::string* detail) const {
+  auto fail = [detail](std::string message) {
+    if (detail != nullptr) *detail = std::move(message);
+    return AuditVerdict::kViolated;
+  };
+  std::optional<storage::RowId> order_row =
+      orders->LookupPk(storage::Key(w, d, o));
+  if (!order_row.has_value()) {
+    return fail(StrFormat("tpcc: order (%lld,%lld,%lld) missing",
+                          static_cast<long long>(w),
+                          static_cast<long long>(d),
+                          static_cast<long long>(o)));
+  }
+  std::optional<storage::Row> order = orders->GetCopy(*order_row);
+  if (!order.has_value()) {
+    return fail("tpcc: order row vanished under audit");
+  }
+  int64_t ol_cnt = (*order)[o_ol_cnt].AsInt64();
+  if (require_undelivered && (*order)[o_carrier_id].AsInt64() != 0) {
+    return fail(StrFormat(
+        "tpcc: order (%lld,%lld,%lld) delivered while under construction",
+        static_cast<long long>(w), static_cast<long long>(d),
+        static_cast<long long>(o)));
+  }
+  std::vector<storage::RowId> lines_rows =
+      order_line->ScanPkPrefix(storage::Key(w, d, o));
+  if (require_undelivered) {
+    for (storage::RowId line_row : lines_rows) {
+      std::optional<storage::Row> line = order_line->GetCopy(line_row);
+      if (line.has_value() && (*line)[ol_delivery_d].AsInt64() != 0) {
+        return fail(StrFormat(
+            "tpcc: order (%lld,%lld,%lld) has a stamped line while under "
+            "construction",
+            static_cast<long long>(w), static_cast<long long>(d),
+            static_cast<long long>(o)));
+      }
+    }
+  }
+  int64_t lines = static_cast<int64_t>(lines_rows.size());
+  bool ok = exact_line_count ? lines == ol_cnt : lines <= ol_cnt;
+  if (!ok) {
+    return fail(StrFormat(
+        "tpcc: order (%lld,%lld,%lld) has %lld lines vs o_ol_cnt %lld",
+        static_cast<long long>(w), static_cast<long long>(d),
+        static_cast<long long>(o), static_cast<long long>(lines),
+        static_cast<long long>(ol_cnt)));
+  }
+  return AuditVerdict::kHolds;
 }
 
 lock::ItemId TpccDb::DistrictItem(int64_t w, int64_t d) const {

@@ -36,6 +36,7 @@
 
 #include "acc/catalog.h"
 #include "acc/interference.h"
+#include "acc/spec.h"
 #include "storage/database.h"
 #include "tpcc/config.h"
 
@@ -90,6 +91,11 @@ struct TpccDb {
 
   acc::Catalog catalog;
   acc::InterferenceTable interference;
+  // Machine-checkable step/assertion footprints. The constructor derives an
+  // interference table from them and aborts if the hand table below is ever
+  // LESS conservative than the derivation (DESIGN.md §14). Also carries the
+  // runtime assertion checkers for EngineConfig::audit_assertions.
+  acc::spec::SpecRegistry specs;
 
   // Forward step types (11) and compensating step types (3).
   lock::ActorId step_no1, step_no2, step_no3;
@@ -109,9 +115,19 @@ struct TpccDb {
                                            // construction, i lines so far.
   lock::AssertionId assert_order_complete; // Keys {w, d, o}: I-conjunct —
                                            // order has o_ol_cnt lines.
-  lock::AssertionId assert_pay;            // Keys {w, d, c}: payment
-                                           // mid-flight increments.
+  lock::AssertionId assert_pay;            // Keys {w, d}: payment mid-flight
+                                           // increments (arity matches the
+                                           // {w, d} instances P1/P2 announce).
   lock::AssertionId assert_dlv;            // Keys {w}: delivery progress.
+
+  // Shared body of the no_loop / order_complete runtime checkers: order
+  // (w, d, o) exists, optionally its NEW-ORDER row exists, and its
+  // ORDER-LINE count is <= (or exactly ==) o_ol_cnt. Reads go through the
+  // latched Table primitives only.
+  acc::AuditVerdict CheckOrderRows(int64_t w, int64_t d, int64_t o,
+                                   bool require_undelivered,
+                                   bool exact_line_count,
+                                   std::string* detail) const;
 
   lock::ItemId DistrictItem(int64_t w, int64_t d) const;
   lock::ItemId WarehouseItem(int64_t w) const;

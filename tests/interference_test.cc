@@ -3,7 +3,13 @@
 #include "acc/catalog.h"
 #include "acc/conflict_resolver.h"
 #include "acc/interference.h"
+#include "acc/spec.h"
+#include "acc/spec_derive.h"
+#include "common/status.h"
 #include "lock/types.h"
+#include "orderproc/order_system.h"
+#include "storage/database.h"
+#include "tpcc/tpcc_db.h"
 
 namespace accdb::acc {
 namespace {
@@ -199,6 +205,275 @@ TEST_F(AccResolverTest, ConventionalFallsThroughToMatrix) {
                                   RequestView{2, LockMode::kS, &b, false}));
   EXPECT_FALSE(resolver_.Conflicts(HolderView{1, LockMode::kS, &a},
                                    RequestView{2, LockMode::kS, &b, false}));
+}
+
+// --- Key-arity validation (InterferenceTable::set_catalog) ---
+
+TEST_F(InterferenceTableTest, ArityBoundsTheComparedPrefix) {
+  // assertion_ was registered with arity 1: only position 0 is a declared
+  // discriminator. Without the catalog wired, the comparison treats the
+  // actor's trailing key dimensions as if they discriminated the predicate.
+  table_.Set(step_, assertion_, Interference::kIfSameKey);
+  table_.set_catalog(&catalog_);
+  // An (erroneous, over-long) assertion key vector is conservative: a
+  // malformed instance may not silently pass the initiation check.
+  EXPECT_TRUE(table_.Interferes(step_, {5, 7}, assertion_, {5, 9}));
+  // Actor keys longer than the assertion's arity are legitimate (the
+  // actor's own trailing dimensions) — only position 0 is compared.
+  EXPECT_TRUE(table_.Interferes(step_, {1, 2}, assertion_, {1}));
+  EXPECT_FALSE(table_.Interferes(step_, {2, 2}, assertion_, {1}));
+}
+
+TEST_F(InterferenceTableTest, ArityDoesNotChangeWellFormedComparisons) {
+  lock::AssertionId wide = catalog_.RegisterAssertion("wide", 3);
+  table_.Set(step_, wide, Interference::kIfSameKey);
+  table_.set_catalog(&catalog_);
+  // Instances within the declared arity behave exactly as before.
+  EXPECT_TRUE(table_.Interferes(step_, {1, 2}, wide, {1, 2, 99}));
+  EXPECT_FALSE(table_.Interferes(step_, {1, 3}, wide, {1, 2, 99}));
+  EXPECT_TRUE(table_.Interferes(step_, {}, wide, {1}));
+}
+
+// --- Derivation from specs (spec_derive.h) ---
+
+// Minimal two-table schema for derivation tests: a "rows" table and a
+// "side" table with a few columns each.
+class SpecDeriveTest : public ::testing::Test {
+ protected:
+  SpecDeriveTest() {
+    step_ = catalog_.RegisterStepType("writer");
+    assert_ = catalog_.RegisterAssertion("inv", 2);
+  }
+
+  // An assertion over table 1, reading existence + column 2, keys {a, b}
+  // both pinning.
+  spec::AssertionSpec Inv() {
+    spec::AssertionSpec q;
+    q.decl = assert_;
+    q.key_dims = {"a", "b"};
+    q.footprint.push_back(
+        {/*table=*/1, {spec::kExistence, 2}, /*key_positions=*/{0, 1}, {}});
+    return q;
+  }
+
+  spec::StepSpec Step(std::vector<spec::WriteAccess> writes,
+                      std::vector<std::string> dims = {"a", "b"}) {
+    spec::StepSpec s;
+    s.actor = step_;
+    s.key_dims = std::move(dims);
+    s.writes = std::move(writes);
+    return s;
+  }
+
+  Catalog catalog_;
+  lock::ActorId step_;
+  lock::AssertionId assert_;
+};
+
+TEST_F(SpecDeriveTest, DisjointTablesDeriveNone) {
+  spec::StepSpec s = Step({{/*table=*/9, spec::WriteKind::kInsert, {}, {0, 1},
+                            spec::WriteScope::kShared, false}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kNone);
+}
+
+TEST_F(SpecDeriveTest, DisjointColumnsDeriveNone) {
+  // Mutating column 5 of table 1 cannot change a predicate over column 2
+  // and row existence.
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {5}, {0, 1},
+                            spec::WriteScope::kShared, false}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kNone);
+}
+
+TEST_F(SpecDeriveTest, InsertOverlapsExistenceEvenWithNoColumns) {
+  spec::StepSpec s = Step({{1, spec::WriteKind::kInsert, {}, {0, 1},
+                            spec::WriteScope::kShared, false}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kIfSameKey);
+}
+
+TEST_F(SpecDeriveTest, FullyPinnedOverlapDerivesIfSameKey) {
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {2}, {0, 1},
+                            spec::WriteScope::kShared, false}});
+  std::string why;
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv(), &why), Interference::kIfSameKey);
+  EXPECT_FALSE(why.empty());
+}
+
+TEST_F(SpecDeriveTest, PartiallyPinnedOverlapDerivesAlways) {
+  // The write pins only key position 0; position 1 of the common prefix
+  // does not separate instances, so same-key refinement would be unsound
+  // (Interferes proves disjointness from ANY differing common position).
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {2}, {0},
+                            spec::WriteScope::kShared, false}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kAlways);
+}
+
+TEST_F(SpecDeriveTest, MisalignedKeyDimsDeriveAlways) {
+  // Step keys {x, b}: position 0 names a different dimension than the
+  // assertion's, so positional comparison is meaningless.
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {2}, {0, 1},
+                            spec::WriteScope::kShared, false}},
+                          {"x", "b"});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kAlways);
+}
+
+TEST_F(SpecDeriveTest, CommutativeWriteToleratedByDeclaredColumns) {
+  spec::AssertionSpec q;
+  q.decl = assert_;
+  q.key_dims = {"a", "b"};
+  q.footprint.push_back({1, {2}, {0, 1}, /*commute_tolerant=*/{2}});
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {2}, {0, 1},
+                            spec::WriteScope::kShared, /*commutative=*/true}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, q), Interference::kNone);
+  // The same write as an arbitrary overwrite is charged.
+  s.writes[0].commutative = false;
+  EXPECT_EQ(spec::DeriveStepEntry(s, q), Interference::kIfSameKey);
+}
+
+TEST_F(SpecDeriveTest, FreshAndOwnScopesAreDischarged) {
+  spec::StepSpec s = Step({{1, spec::WriteKind::kInsert, {}, {0, 1},
+                            spec::WriteScope::kFresh, false}});
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kNone);
+  s.writes[0].scope = spec::WriteScope::kOwn;
+  EXPECT_EQ(spec::DeriveStepEntry(s, Inv()), Interference::kNone);
+}
+
+TEST_F(SpecDeriveTest, PrefixFoldsBreaksFromConstituentSteps) {
+  lock::ActorId prefix = catalog_.RegisterPrefix("partial");
+  lock::AssertionId keyless = catalog_.RegisterAssertion("keyless", 0);
+
+  spec::SpecRegistry reg;
+  spec::StepSpec s = Step({});
+  s.breaks = {assert_};
+  reg.DeclareStep(s);
+  reg.DeclareAssertion(Inv());
+  spec::AssertionSpec k;
+  k.decl = keyless;
+  reg.DeclareAssertion(k);
+  spec::PrefixSpec p;
+  p.actor = prefix;
+  p.steps = {step_};
+  reg.DeclarePrefix(p);
+
+  // Keyed broken assertion folds to kIfSameKey (the holder's own instance).
+  EXPECT_EQ(spec::DerivePrefixEntry(p, Inv(), reg),
+            Interference::kIfSameKey);
+  // A keyless broken assertion cannot be discriminated: kAlways.
+  spec::SpecRegistry reg2;
+  spec::StepSpec s2 = Step({});
+  s2.breaks = {keyless};
+  reg2.DeclareStep(s2);
+  EXPECT_EQ(spec::DerivePrefixEntry(p, k, reg2), Interference::kAlways);
+  // A prefix containing a step with no registered spec is conservative.
+  spec::PrefixSpec unknown;
+  unknown.actor = prefix;
+  unknown.steps = {lock::ActorId{999}};
+  EXPECT_EQ(spec::DerivePrefixEntry(unknown, Inv(), reg),
+            Interference::kAlways);
+  // A step that breaks nothing folds to kNone.
+  spec::SpecRegistry reg3;
+  reg3.DeclareStep(Step({}));
+  EXPECT_EQ(spec::DerivePrefixEntry(p, Inv(), reg3), Interference::kNone);
+}
+
+TEST_F(SpecDeriveTest, CrossCheckNamesTheUnsoundPair) {
+  spec::SpecRegistry registry;
+  spec::StepSpec s = Step({{1, spec::WriteKind::kMutate, {2}, {0, 1},
+                            spec::WriteScope::kShared, false}});
+  registry.DeclareStep(s);
+  registry.DeclareAssertion(Inv());
+
+  InterferenceTable derived =
+      spec::DeriveInterferenceTable(registry, catalog_);
+  EXPECT_EQ(derived.GetRaw(step_, assert_), Interference::kIfSameKey);
+
+  // Hand table claims kNone where the derivation requires kIfSameKey.
+  InterferenceTable hand;
+  hand.Set(step_, assert_, Interference::kNone);
+  Status check =
+      spec::CrossCheckInterference(hand, derived, registry, catalog_);
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.message().find("writer"), std::string::npos);
+  EXPECT_NE(check.message().find("inv"), std::string::npos);
+
+  // More conservative than required is fine.
+  hand.Set(step_, assert_, Interference::kAlways);
+  EXPECT_TRUE(
+      spec::CrossCheckInterference(hand, derived, registry, catalog_).ok());
+}
+
+// --- System tables: derived == hand, pinned pair by pair ---
+
+// Requires EXACT equality, not just soundness: the derivation reproduces
+// the paper's analysis entry for entry. A derived entry more conservative
+// than hand would fail construction; one LESS conservative here means the
+// specs claim more freedom than the hand analysis and must be revisited.
+template <typename System>
+void ExpectDerivedMatchesHand(const System& system) {
+  InterferenceTable derived =
+      spec::DeriveInterferenceTable(system.specs, system.catalog);
+  auto check = [&](lock::ActorId actor) {
+    for (size_t q = 1; q <= system.catalog.assertion_count(); ++q) {
+      lock::AssertionId assertion = static_cast<lock::AssertionId>(q);
+      EXPECT_EQ(system.interference.GetRaw(actor, assertion),
+                derived.GetRaw(actor, assertion))
+          << "(" << system.catalog.ActorName(actor) << ", "
+          << system.catalog.AssertionName(assertion) << ")";
+    }
+  };
+  for (const spec::StepSpec& step : system.specs.steps()) check(step.actor);
+  for (const spec::PrefixSpec& prefix : system.specs.prefixes()) {
+    check(prefix.actor);
+  }
+}
+
+TEST(SystemInterferenceTest, TpccDerivedMatchesHandExactly) {
+  storage::Database db;
+  tpcc::TpccDb tpcc(&db);
+  ExpectDerivedMatchesHand(tpcc);
+  // Every step, prefix, and assertion the catalog knows has a spec.
+  EXPECT_EQ(tpcc.specs.steps().size() + tpcc.specs.prefixes().size(),
+            tpcc.catalog.actor_count());
+  EXPECT_EQ(tpcc.specs.assertions().size(), tpcc.catalog.assertion_count());
+}
+
+TEST(SystemInterferenceTest, OrderprocDerivedMatchesHandExactly) {
+  storage::Database db;
+  orderproc::OrderSystem system(&db);
+  ExpectDerivedMatchesHand(system);
+  EXPECT_EQ(system.specs.steps().size() + system.specs.prefixes().size(),
+            system.catalog.actor_count());
+  EXPECT_EQ(system.specs.assertions().size(),
+            system.catalog.assertion_count());
+}
+
+TEST(SystemInterferenceTest, WeakenedTpccTableFailsCrossCheckByName) {
+  storage::Database db;
+  tpcc::TpccDb tpcc(&db);
+  InterferenceTable derived =
+      spec::DeriveInterferenceTable(tpcc.specs, tpcc.catalog);
+  // Rebuild the hand table with the (d2, no_loop) entry weakened to kNone —
+  // the bug the cross-check exists to catch (delivery pops the oldest
+  // NEW-ORDER of the district a new-order loop may be building in).
+  InterferenceTable weakened;
+  auto copy_rows = [&](lock::ActorId actor) {
+    for (size_t q = 1; q <= tpcc.catalog.assertion_count(); ++q) {
+      lock::AssertionId assertion = static_cast<lock::AssertionId>(q);
+      weakened.Set(actor, assertion,
+                   tpcc.interference.GetRaw(actor, assertion));
+    }
+  };
+  for (const spec::StepSpec& step : tpcc.specs.steps()) copy_rows(step.actor);
+  for (const spec::PrefixSpec& prefix : tpcc.specs.prefixes()) {
+    copy_rows(prefix.actor);
+  }
+  weakened.Set(tpcc.step_d2, tpcc.assert_no_loop, Interference::kNone);
+  Status check = spec::CrossCheckInterference(weakened, derived, tpcc.specs,
+                                              tpcc.catalog);
+  ASSERT_FALSE(check.ok());
+  EXPECT_NE(check.message().find("tpcc.d2"), std::string::npos)
+      << check.message();
+  EXPECT_NE(check.message().find("tpcc.no.loop"), std::string::npos)
+      << check.message();
 }
 
 }  // namespace

@@ -65,6 +65,21 @@ TEST(RtMultiWarehouseTest, AffinityOffStillConsistent) {
   EXPECT_TRUE(result.consistent) << result.first_violation;
 }
 
+TEST(RtMultiWarehouseTest, AuditedRunReportsZeroViolations) {
+  // Assertion auditing on: every interstep assertion instance that carries
+  // fully refined keys is re-evaluated against the live database at its
+  // contract points (claim, re-claim after a gap, grant). Under a sound
+  // interference table nothing may ever observe a falsified instance.
+  RtConfig config = MultiWhConfig(true, 2);
+  config.workload.engine.audit_assertions = true;
+  tpcc::WorkloadResult result = RunRtWorkload(config);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_TRUE(result.consistent) << result.first_violation;
+  EXPECT_GT(result.assertions_audited, 0u);
+  EXPECT_EQ(result.assertion_violations, 0u)
+      << result.first_assertion_violation;
+}
+
 TEST(RtMultiWarehouseTest, SharedCounterIdBlockStillWorks) {
   // txn_id_block == 1 forces every transaction start through the shared
   // atomic counter — the pre-batching behavior must stay correct.
